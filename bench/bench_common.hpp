@@ -1,0 +1,45 @@
+// Shared plumbing for the figure/table harnesses.
+//
+// Every harness prints the paper-style series to stdout AND writes a CSV
+// next to the binary. Sizes honour SELECT_BENCH_SCALE; trial counts honour
+// SELECT_TRIALS. The paper averages 100 trials; defaults here are laptop
+// sized — crank SELECT_TRIALS/SELECT_BENCH_SCALE for paper-scale runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/profiles.hpp"
+#include "overlay/system.hpp"
+#include "sim/workload.hpp"
+
+namespace sel::bench {
+
+/// Network-size sweep used by the N-sweep figures.
+inline std::vector<std::size_t> default_sizes() {
+  return {scaled(250), scaled(500), scaled(1000)};
+}
+
+/// Publishers drawn from the Jiang et al. posting model (rate-weighted), so
+/// prolific users publish more often — as in the paper's workload.
+inline std::vector<overlay::PeerId> workload_publishers(
+    const graph::SocialGraph& g, std::size_t count, std::uint64_t seed) {
+  sim::PublicationWorkload workload(g, sim::WorkloadParams{}, seed);
+  const auto nodes = workload.sample_publishers(count, derive_seed(seed, 1));
+  return {nodes.begin(), nodes.end()};
+}
+
+inline void print_banner(const char* experiment, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("scale=%.2f trials=%zu\n\n", bench_scale(), trial_count());
+}
+
+}  // namespace sel::bench

@@ -1,0 +1,70 @@
+// Figure 4: load balance — percentage of messages each peer forwards in the
+// routing tree, bucketed by social degree.
+//
+// We report (a) the forwarding share of each social-degree decile, (b) the
+// share handled by the top-degree 10% of peers, (c) the Gini coefficient of
+// per-peer forwards, and (d) the share of forwards done by non-subscribers
+// (pure relay traffic). SELECT's claim is that forwarding work sits with
+// interested subscribers and no peer class is overloaded; Vitis/OMen
+// concentrate load on high-degree hubs.
+#include "bench/bench_common.hpp"
+#include "baselines/factory.hpp"
+#include "pubsub/metrics.hpp"
+#include "sim/trial.hpp"
+
+int main() {
+  using namespace sel;
+  bench::print_banner(
+      "Figure 4 — messages forwarded per social degree",
+      "Fig. 4(a-d): % of messages forwarded vs peer social degree",
+      "SELECT avoids hotspots (>=46-73% better balance than socially-aware "
+      "baselines); Vitis concentrates load on hubs; SELECT's relay traffic "
+      "share is near zero");
+
+  const std::size_t n = scaled(1000, 200);
+  const std::size_t trials = trial_count(2);
+  CsvWriter csv("fig4_load.csv",
+                {"dataset", "system", "top_decile_share_pct", "gini",
+                 "relay_forward_share", "forwards_per_delivery",
+                 "decile0", "decile9"});
+
+  for (const auto& profile : graph::all_profiles()) {
+    std::printf("--- %s (N=%zu) ---\n", std::string(profile.name).c_str(), n);
+    TablePrinter table({"system", "top-10% deg share", "gini",
+                        "relay fwd share", "fwd/delivery"});
+    for (const auto name : baselines::all_system_names()) {
+      const auto summary = sim::run_trials(
+          trials, derive_seed(0xF16'4, n),
+          [&](std::uint64_t seed) {
+            const auto g = graph::make_dataset_graph(profile, n, seed);
+            auto sys = baselines::make_system(name, g, seed);
+            sys->build();
+            const auto publishers = bench::workload_publishers(g, 40, seed);
+            const auto load = pubsub::measure_load(*sys, publishers);
+            return sim::MetricMap{
+                {"top", load.top_decile_share},
+                {"gini", load.gini},
+                {"relay_share", load.relay_forward_share},
+                {"fwd_per_delivery", load.forwards_per_delivery},
+                {"d0", load.share_by_degree_decile.front()},
+                {"d9", load.share_by_degree_decile.back()},
+            };
+          });
+      table.add_row({std::string(name),
+                     fmt(summary.mean("top"), 1) + "%",
+                     fmt(summary.mean("gini")),
+                     fmt(summary.mean("relay_share"), 3),
+                     fmt(summary.mean("fwd_per_delivery"))});
+      csv.row(std::vector<std::string>{
+          std::string(profile.name), std::string(name),
+          fmt(summary.mean("top"), 3), fmt(summary.mean("gini"), 4),
+          fmt(summary.mean("relay_share"), 4),
+          fmt(summary.mean("fwd_per_delivery"), 4),
+          fmt(summary.mean("d0"), 3), fmt(summary.mean("d9"), 3)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("wrote fig4_load.csv\n");
+  return 0;
+}

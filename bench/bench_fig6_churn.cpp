@@ -1,0 +1,77 @@
+// Figure 6: communication availability under churn over time.
+//
+// A long-running session-churn process (log-normal on/off durations, total
+// availability floored at 50% as in the paper) drives peers off- and online;
+// after each epoch SELECT runs its recovery round (CMA + same-LSH-bucket
+// replacement) and we measure the fraction of online subscribers that
+// publications still reach. The dashed line of the paper's figure (node
+// churn) is the online fraction; the continuous line is availability.
+#include "bench/bench_common.hpp"
+#include "select/protocol.hpp"
+#include "pubsub/metrics.hpp"
+#include "sim/churn.hpp"
+
+int main() {
+  using namespace sel;
+  bench::print_banner(
+      "Figure 6 — availability under churn",
+      "Fig. 6: data availability during information propagation under churn "
+      "(10h run, up to 50% of peers offline)",
+      "SELECT's recovery keeps availability at ~100% for every data set "
+      "while up to half the network is offline");
+
+  const std::size_t n = scaled(600, 128);
+  const std::size_t epochs = 20;
+  const double epoch_s = 1800.0;  // 20 x 30min = 10 hours
+  CsvWriter csv("fig6_churn.csv",
+                {"dataset", "time_s", "online_fraction", "availability",
+                 "availability_no_recovery"});
+
+  for (const auto& profile : graph::all_profiles()) {
+    std::printf("--- %s (N=%zu, 10h simulated) ---\n",
+                std::string(profile.name).c_str(), n);
+    const std::uint64_t seed = derive_seed(0xF16'6, profile.name.size());
+    const auto g = graph::make_dataset_graph(profile, n, seed);
+
+    core::SelectSystem sys(g, core::SelectParams{}, seed);
+    sys.build();
+    core::SelectParams no_recovery_params;
+    no_recovery_params.enable_cma_recovery = false;
+    core::SelectSystem no_maint(g, no_recovery_params, seed);
+    no_maint.build();
+
+    sim::SessionChurn::Params churn_params;
+    churn_params.session_median_s = 2400.0;
+    churn_params.offline_median_s = 1800.0;
+    churn_params.min_online_fraction = 0.5;
+    sim::SessionChurn churn(n, churn_params, seed);
+
+    const auto publishers = bench::workload_publishers(g, 25, seed);
+    TablePrinter table({"t(h)", "online%", "avail% (recovery)",
+                        "avail% (no maintenance)"});
+    for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+      churn.advance_to(static_cast<double>(epoch) * epoch_s);
+      for (overlay::PeerId p = 0; p < n; ++p) {
+        sys.set_peer_online(p, churn.online(p));
+        no_maint.set_peer_online(p, churn.online(p));
+      }
+      sys.maintenance_round();  // recovery ON
+      // no_maint gets NO maintenance_round: dead links stay dead.
+      const auto avail = pubsub::measure_availability(sys, publishers);
+      const auto avail_off =
+          pubsub::measure_availability(no_maint, publishers);
+      table.add_row({fmt(epoch * epoch_s / 3600.0, 1),
+                     fmt(100.0 * churn.online_fraction(), 1),
+                     fmt(100.0 * avail.availability(), 2),
+                     fmt(100.0 * avail_off.availability(), 2)});
+      csv.row(std::vector<std::string>{
+          std::string(profile.name), fmt(epoch * epoch_s, 0),
+          fmt(churn.online_fraction(), 4), fmt(avail.availability(), 4),
+          fmt(avail_off.availability(), 4)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("wrote fig6_churn.csv\n");
+  return 0;
+}

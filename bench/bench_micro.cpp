@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: LSH indexing,
+// greedy routing, graph generation, common-neighbour counting, gossip
+// rounds and tree construction.
+#include <benchmark/benchmark.h>
+
+#include "baselines/symphony.hpp"
+#include "common/bitset.hpp"
+#include "graph/generators.hpp"
+#include "graph/profiles.hpp"
+#include "lsh/lsh.hpp"
+#include "net/id_space.hpp"
+#include "select/protocol.hpp"
+
+namespace {
+
+using namespace sel;
+
+void BM_SplitMix64(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = splitmix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_BitsetHamming(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  DynamicBitset a(bits);
+  DynamicBitset b(bits);
+  for (std::size_t i = 0; i < bits; i += 3) a.set(i);
+  for (std::size_t i = 0; i < bits; i += 5) b.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hamming_distance(b));
+  }
+}
+BENCHMARK(BM_BitsetHamming)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LshIndexInsert(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  lsh::LshIndex index(dim, 10, 12, 1);
+  Rng rng(2);
+  std::vector<DynamicBitset> bitmaps;
+  for (std::uint32_t p = 0; p < 128; ++p) {
+    DynamicBitset b(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (rng.chance(0.3)) b.set(i);
+    }
+    bitmaps.push_back(std::move(b));
+  }
+  std::uint32_t p = 0;
+  for (auto _ : state) {
+    index.insert(p % 128, bitmaps[p % 128]);
+    ++p;
+  }
+}
+BENCHMARK(BM_LshIndexInsert)->Arg(64)->Arg(256);
+
+void BM_RingDistance(benchmark::State& state) {
+  const net::OverlayId a(0.123);
+  const net::OverlayId b(0.877);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::ring_distance(a, b));
+  }
+}
+BENCHMARK(BM_RingDistance);
+
+void BM_CommonNeighbors(benchmark::State& state) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 2000, 1);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+    const auto v = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+    benchmark::DoNotOptimize(g.common_neighbors(u, v));
+  }
+}
+BENCHMARK(BM_CommonNeighbors);
+
+void BM_HolmeKimGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::holme_kim(n, 8, 0.6, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HolmeKimGenerate)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_SymphonyGreedyRoute(benchmark::State& state) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 2000, 1);
+  baselines::SymphonySystem sys(g, baselines::SymphonyParams{}, 1);
+  sys.build();
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto a = static_cast<overlay::PeerId>(rng.below(2000));
+    const auto b = static_cast<overlay::PeerId>(rng.below(2000));
+    benchmark::DoNotOptimize(sys.route(a, b));
+  }
+}
+BENCHMARK(BM_SymphonyGreedyRoute);
+
+void BM_SelectGossipRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), n, 1);
+  core::SelectSystem sys(g, core::SelectParams{}, 1);
+  sys.join_all();
+  for (auto _ : state) {
+    sys.run_round();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SelectGossipRound)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SelectBuildTree(benchmark::State& state) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 1000, 1);
+  core::SelectSystem sys(g, core::SelectParams{}, 1);
+  sys.build();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto b = static_cast<overlay::PeerId>(rng.below(1000));
+    benchmark::DoNotOptimize(sys.build_tree(b));
+  }
+}
+BENCHMARK(BM_SelectBuildTree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Sec. IV-D preliminary: simultaneous connectivity. A central peer connects
+// to all others and pushes a 1.2 MB fragment to every connection at once.
+// The paper finds the total transfer time grows linearly in the number of
+// simultaneous transfers: the bottleneck is the shared uplink, not the
+// connection count.
+#include "bench/bench_common.hpp"
+#include "net/network_model.hpp"
+
+int main() {
+  using namespace sel;
+  bench::print_banner(
+      "star transfer — simultaneous 1.2MB sends",
+      "Sec. IV-D: total time of simultaneous transfers vs number of "
+      "connections (central-peer star)",
+      "linear growth in the number of simultaneous transfers");
+
+  const std::size_t n = scaled(512, 128);
+  net::NetworkModel net(n, 7);
+  CsvWriter csv("star_transfer.csv",
+                {"connections", "total_time_s", "time_per_receiver_s"});
+  TablePrinter table({"connections", "total time (s)", "s/receiver"});
+
+  for (std::size_t fanout = 1; fanout <= std::min<std::size_t>(n - 1, 256);
+       fanout *= 2) {
+    std::vector<std::size_t> receivers;
+    receivers.reserve(fanout);
+    for (std::size_t r = 1; r <= fanout; ++r) receivers.push_back(r);
+    const double total =
+        net.star_broadcast_time_s(0, receivers, net::kDefaultPayloadBytes);
+    table.add_row({std::to_string(fanout), fmt(total),
+                   fmt(total / static_cast<double>(fanout), 3)});
+    csv.row({static_cast<double>(fanout), total,
+             total / static_cast<double>(fanout)});
+  }
+  table.print();
+  std::printf("\nwrote star_transfer.csv\n");
+  return 0;
+}

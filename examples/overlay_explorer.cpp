@@ -1,0 +1,96 @@
+// overlay_explorer: inspect what SELECT actually builds. Prints, for a
+// chosen peer: its projected identifier, ring neighbours, long-range links
+// with the LSH/social rationale (social strength, bandwidth class), its
+// lookahead coverage of the friend set, and a sample routed path — the
+// paper's Table I state, materialized.
+//
+//   $ ./overlay_explorer [num_users] [peer_id]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/profiles.hpp"
+#include "net/network_model.hpp"
+#include "select/protocol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sel;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  const std::uint64_t seed = 11;
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), n, seed);
+  net::NetworkModel net(n, seed);
+  core::SelectSystem sys(g, core::SelectParams{}, seed, &net);
+  sys.build();
+
+  const auto peer = static_cast<overlay::PeerId>(
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) % n : 0);
+  const auto& ov = sys.overlay();
+
+  std::printf("peer %u — SELECT local state (paper Table I)\n", peer);
+  std::printf("  D_p  (identifier)      : %.6f\n", ov.id(peer).value());
+  std::printf("  ring (short links)     : succ=%u (id %.6f), pred=%u (id %.6f)\n",
+              ov.successor(peer), ov.id(ov.successor(peer)).value(),
+              ov.predecessor(peer), ov.id(ov.predecessor(peer)).value());
+  std::printf("  C_p  (social friends)  : %zu friends\n", g.degree(peer));
+  std::printf("  R_p  (long links, K=%zu):\n", sys.k());
+  for (const auto q : ov.out_links(peer)) {
+    std::printf("    -> %4u  id=%.6f  strength=%.3f  uplink=%.0f Mbps  "
+                "ring distance=%.6f\n",
+                q, ov.id(q).value(), g.social_strength(peer, q),
+                net.uplink_bps(q) / 1e6,
+                net::ring_distance(ov.id(peer), ov.id(q)));
+  }
+  std::printf("  incoming links         : %zu\n", ov.in_degree(peer));
+
+  // Lookahead coverage: how many friends are reachable in <= 2 hops through
+  // the routing table (the L_p mechanism of Sec. III-E)?
+  std::size_t one_hop = 0;
+  std::size_t two_hop = 0;
+  std::size_t farther = 0;
+  for (const auto f : g.neighbors(peer)) {
+    const auto r = sys.route(peer, f);
+    if (!r.success) {
+      ++farther;
+    } else if (r.hops() <= 1) {
+      ++one_hop;
+    } else if (r.hops() == 2) {
+      ++two_hop;
+    } else {
+      ++farther;
+    }
+  }
+  std::printf("  friend coverage        : %zu in 1 hop, %zu in 2 hops, %zu "
+              "beyond\n",
+              one_hop, two_hop, farther);
+
+  // A sample lookup path to the "farthest" friend in id space.
+  overlay::PeerId far_friend = overlay::kInvalidPeer;
+  double far_dist = -1.0;
+  for (const auto f : g.neighbors(peer)) {
+    const double d = net::ring_distance(ov.id(peer), ov.id(f));
+    if (d > far_dist) {
+      far_dist = d;
+      far_friend = f;
+    }
+  }
+  if (far_friend != overlay::kInvalidPeer) {
+    const auto r = sys.route(peer, far_friend);
+    std::printf("  sample lookup to friend %u (ring distance %.4f): ",
+                far_friend, far_dist);
+    if (r.success) {
+      for (std::size_t i = 0; i < r.path.size(); ++i) {
+        std::printf(i == 0 ? "%u" : " -> %u", r.path[i]);
+      }
+      std::printf("  (%zu hops)\n", r.hops());
+    } else {
+      std::printf("unreachable\n");
+    }
+  }
+
+  // Global view.
+  std::printf("\nglobal overlay: %zu peers, avg long degree %.2f, "
+              "%zu construction iterations\n",
+              ov.joined_count(), ov.average_long_degree(),
+              sys.build_iterations());
+  return 0;
+}

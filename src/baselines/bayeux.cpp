@@ -1,0 +1,185 @@
+#include "baselines/bayeux.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::DisseminationTree;
+using overlay::kInvalidPeer;
+using overlay::PeerId;
+using overlay::RouteResult;
+
+namespace {
+constexpr std::size_t kBase = 16;
+constexpr std::size_t kBitsPerDigit = 4;
+}  // namespace
+
+BayeuxSystem::BayeuxSystem(const graph::SocialGraph& g, BayeuxParams params,
+                           std::uint64_t seed)
+    : graph_(&g), params_(params), seed_(seed) {}
+
+std::uint32_t BayeuxSystem::digit(std::uint64_t key, std::size_t d) const {
+  const std::size_t shift = (digits_ - 1 - d) * kBitsPerDigit;
+  return static_cast<std::uint32_t>((key >> shift) & (kBase - 1));
+}
+
+void BayeuxSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  digits_ = params_.digits;
+  if (digits_ == 0) {
+    digits_ = 2;
+    while (std::pow(static_cast<double>(kBase), static_cast<double>(digits_)) <
+           static_cast<double>(std::max<std::size_t>(n, 1)) * 16.0) {
+      ++digits_;
+    }
+  }
+  SEL_ASSERT(digits_ * kBitsPerDigit <= 64);
+
+  keys_.resize(n);
+  online_.assign(n, true);
+  const std::uint64_t mask =
+      digits_ * kBitsPerDigit == 64
+          ? ~0ULL
+          : ((1ULL << (digits_ * kBitsPerDigit)) - 1);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(n * 2);
+  for (PeerId p = 0; p < n; ++p) {
+    // Derive until unique so exact-key routing and surrogate roots are
+    // unambiguous.
+    std::uint64_t salt = 0;
+    std::uint64_t k = splitmix64(derive_seed(seed_, p)) & mask;
+    while (used.contains(k)) {
+      ++salt;
+      k = splitmix64(derive_seed(seed_, p ^ (salt << 32))) & mask;
+    }
+    used.insert(k);
+    keys_[p] = k;
+  }
+  sorted_keys_.clear();
+  sorted_keys_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) sorted_keys_.emplace_back(keys_[p], p);
+  std::sort(sorted_keys_.begin(), sorted_keys_.end());
+}
+
+PeerId BayeuxSystem::find_prefix(std::uint64_t prefix, std::size_t len) const {
+  // Key range covered by the prefix: [prefix << s, (prefix + 1) << s).
+  const std::size_t shift = (digits_ - len) * kBitsPerDigit;
+  const std::uint64_t lo = prefix << shift;
+  auto it = std::lower_bound(
+      sorted_keys_.begin(), sorted_keys_.end(), lo,
+      [](const auto& e, std::uint64_t v) { return e.first < v; });
+  const std::uint64_t hi_exclusive =
+      shift == 64 ? ~0ULL : ((prefix + 1) << shift);
+  for (; it != sorted_keys_.end() && it->first < hi_exclusive; ++it) {
+    if (online_[it->second]) return it->second;
+  }
+  return kInvalidPeer;
+}
+
+PeerId BayeuxSystem::route_to_key(PeerId from, std::uint64_t target_key,
+                                  std::vector<PeerId>* path) const {
+  PeerId current = from;
+  // Fix digits left to right. Each hop moves to a node matching one more
+  // digit of the target (or its cyclic surrogate when the exact digit has
+  // no node).
+  for (std::size_t level = 0; level < digits_;) {
+    const std::uint64_t cur_key = keys_[current];
+    // Longest shared prefix between current node and target.
+    std::size_t shared = 0;
+    while (shared < digits_ &&
+           digit(cur_key, shared) == digit(target_key, shared)) {
+      ++shared;
+    }
+    if (shared >= digits_) break;  // current IS the target/surrogate
+    level = shared;
+    const std::uint64_t target_prefix =
+        target_key >> ((digits_ - level) * kBitsPerDigit);
+    const std::uint32_t want = digit(target_key, level);
+    PeerId next = kInvalidPeer;
+    // Surrogate routing: try the exact digit, then the next digits
+    // cyclically.
+    for (std::size_t off = 0; off < kBase; ++off) {
+      const auto d = static_cast<std::uint32_t>((want + off) % kBase);
+      const std::uint64_t probe = (target_prefix << kBitsPerDigit) | d;
+      const PeerId candidate = find_prefix(probe, level + 1);
+      if (candidate != kInvalidPeer && candidate != current) {
+        next = candidate;
+        break;
+      }
+      if (candidate == current) {
+        // We already match the surrogate digit at this level; the shared
+        // prefix loop will advance past it next iteration... but it cannot,
+        // because digits differ. Treat current as the surrogate endpoint.
+        return current;
+      }
+    }
+    if (next == kInvalidPeer) return current;  // isolated: we are the root
+    if (path != nullptr) path->push_back(next);
+    current = next;
+  }
+  return current;
+}
+
+RouteResult BayeuxSystem::route(PeerId from, PeerId to) const {
+  RouteResult result;
+  result.path.push_back(from);
+  if (from == to) {
+    result.success = true;
+    return result;
+  }
+  if (!online_[from] || !online_[to]) return result;
+  const PeerId end = route_to_key(from, keys_[to], &result.path);
+  result.success = end == to;
+  return result;
+}
+
+PeerId BayeuxSystem::rendezvous_root(PeerId publisher) const {
+  // The root is the surrogate node of hash(topic). Resolve it globally
+  // (any node reaches the same surrogate by construction).
+  const std::uint64_t mask =
+      digits_ * kBitsPerDigit == 64
+          ? ~0ULL
+          : ((1ULL << (digits_ * kBitsPerDigit)) - 1);
+  const std::uint64_t topic_key =
+      splitmix64(derive_seed(seed_, 0x746f70ULL ^ publisher)) & mask;
+  // Start the resolution at the publisher itself.
+  return route_to_key(publisher, topic_key, nullptr);
+}
+
+DisseminationTree BayeuxSystem::build_tree(PeerId publisher) const {
+  DisseminationTree tree(publisher);
+  const PeerId root = rendezvous_root(publisher);
+
+  // Publisher -> rendezvous root.
+  std::vector<PeerId> to_root{publisher};
+  if (root != publisher) {
+    const PeerId reached = route_to_key(publisher, keys_[root], &to_root);
+    if (reached != root) return tree;  // partition: nothing deliverable
+  }
+  tree.add_path(to_root);
+
+  // Root -> each subscriber, grafted onto the publisher->root path.
+  for (const graph::NodeId s : graph_->neighbors(publisher)) {
+    if (!online_[s]) continue;
+    std::vector<PeerId> branch(to_root);
+    if (s != root) {
+      const PeerId reached = route_to_key(root, keys_[s], &branch);
+      if (reached != s) continue;
+    }
+    tree.add_path(branch);
+  }
+  return tree;
+}
+
+void BayeuxSystem::set_peer_online(PeerId p, bool online) {
+  online_[p] = online;
+}
+
+bool BayeuxSystem::peer_online(PeerId p) const { return online_[p]; }
+
+}  // namespace sel::baselines

@@ -1,0 +1,86 @@
+// Bayeux baseline (Zhuang et al. [11]): pub/sub over a Tapestry-style
+// prefix-routing DHT.
+//
+// Peers carry immutable digit identifiers (base 16, enough digits to make
+// collisions negligible). Routing fixes one digit of the target id per hop
+// via a global prefix index (the simulation stand-in for per-node Tapestry
+// routing tables); holes are crossed with surrogate routing (next existing
+// digit, cyclically), exactly how Tapestry resolves roots.
+//
+// Each topic (publisher) has a rendezvous root — the surrogate node of
+// hash(topic). A published message is routed to the root and then down
+// prefix routes to every subscriber, so almost every on-path node is a
+// relay: the behaviour Fig. 3 penalizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "overlay/system.hpp"
+
+namespace sel::baselines {
+
+struct BayeuxParams {
+  /// Digits per identifier; base is fixed at 16. 0 = ceil(log16 N) + 2.
+  std::size_t digits = 0;
+};
+
+class BayeuxSystem final : public overlay::PubSubSystem {
+ public:
+  BayeuxSystem(const graph::SocialGraph& g, BayeuxParams params,
+               std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "bayeux"; }
+  [[nodiscard]] const graph::SocialGraph& social() const override {
+    return *graph_;
+  }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+  [[nodiscard]] overlay::RouteResult route(overlay::PeerId from,
+                                           overlay::PeerId to) const override;
+
+  /// Publisher -> rendezvous root -> subscribers (see header comment).
+  [[nodiscard]] overlay::DisseminationTree build_tree(
+      overlay::PeerId publisher) const override;
+
+  void set_peer_online(overlay::PeerId p, bool online) override;
+  [[nodiscard]] bool peer_online(overlay::PeerId p) const override;
+
+  /// The rendezvous root of a topic (exposed for tests).
+  [[nodiscard]] overlay::PeerId rendezvous_root(
+      overlay::PeerId publisher) const;
+
+  [[nodiscard]] std::size_t digits() const noexcept { return digits_; }
+
+ private:
+  /// Routes from `from` toward the identifier `target_key`; appends hops to
+  /// `path`. Returns the final node (the surrogate of target_key) or
+  /// kInvalidPeer when routing hits an offline hole.
+  [[nodiscard]] overlay::PeerId route_to_key(overlay::PeerId from,
+                                             std::uint64_t target_key,
+                                             std::vector<overlay::PeerId>* path) const;
+
+  /// First online peer whose id begins with `prefix` (of `len` digits);
+  /// kInvalidPeer when none exists.
+  [[nodiscard]] overlay::PeerId find_prefix(std::uint64_t prefix,
+                                            std::size_t len) const;
+
+  [[nodiscard]] std::uint64_t key_of(overlay::PeerId p) const {
+    return keys_[p];
+  }
+  /// Digit d (0 = most significant) of a key.
+  [[nodiscard]] std::uint32_t digit(std::uint64_t key, std::size_t d) const;
+
+  const graph::SocialGraph* graph_;
+  BayeuxParams params_;
+  std::uint64_t seed_;
+  std::size_t digits_ = 0;
+
+  std::vector<std::uint64_t> keys_;           ///< per-peer digit id (packed)
+  std::vector<std::pair<std::uint64_t, overlay::PeerId>> sorted_keys_;
+  std::vector<bool> online_;
+};
+
+}  // namespace sel::baselines

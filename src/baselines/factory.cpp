@@ -1,0 +1,49 @@
+#include "baselines/factory.hpp"
+
+#include "baselines/bayeux.hpp"
+#include "baselines/omen.hpp"
+#include "baselines/random_mesh.hpp"
+#include "baselines/symphony.hpp"
+#include "baselines/vitis.hpp"
+#include "common/assert.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::baselines {
+
+const std::vector<std::string_view>& all_system_names() {
+  static const std::vector<std::string_view> names = {
+      "select", "symphony", "bayeux", "vitis", "omen"};
+  return names;
+}
+
+std::unique_ptr<overlay::PubSubSystem> make_system(
+    std::string_view name, const graph::SocialGraph& g, std::uint64_t seed,
+    std::size_t k_links, const net::NetworkModel* net) {
+  if (name == "select") {
+    core::SelectParams params;
+    params.k_links = k_links;
+    return std::make_unique<core::SelectSystem>(g, params, seed, net);
+  }
+  if (name == "symphony") {
+    return std::make_unique<SymphonySystem>(
+        g, SymphonyParams{.k_links = k_links}, seed);
+  }
+  if (name == "bayeux") {
+    return std::make_unique<BayeuxSystem>(g, BayeuxParams{}, seed);
+  }
+  if (name == "vitis") {
+    return std::make_unique<VitisSystem>(g, VitisParams{.k_links = k_links},
+                                         seed);
+  }
+  if (name == "omen") {
+    return std::make_unique<OmenSystem>(
+        g, OmenParams{.degree_budget = k_links * 2}, seed);
+  }
+  if (name == "random") {
+    return std::make_unique<RandomMeshSystem>(g, k_links, seed);
+  }
+  SEL_ASSERT(false && "unknown system name");
+  return nullptr;
+}
+
+}  // namespace sel::baselines

@@ -1,0 +1,26 @@
+// Factory over all evaluated systems. Every figure harness iterates the
+// same five names: select, symphony, bayeux, vitis, omen (plus the random
+// control for Fig. 7).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/network_model.hpp"
+#include "overlay/system.hpp"
+
+namespace sel::baselines {
+
+/// Names accepted by make_system, in the paper's comparison order.
+[[nodiscard]] const std::vector<std::string_view>& all_system_names();
+
+/// Creates a system by name ("select", "symphony", "bayeux", "vitis",
+/// "omen", "random"). `k_links` = 0 lets each system use its default
+/// (log2 N). `net` is only used by systems that are bandwidth-aware
+/// (SELECT); it may be null. Aborts on unknown names.
+[[nodiscard]] std::unique_ptr<overlay::PubSubSystem> make_system(
+    std::string_view name, const graph::SocialGraph& g, std::uint64_t seed,
+    std::size_t k_links = 0, const net::NetworkModel* net = nullptr);
+
+}  // namespace sel::baselines

@@ -1,0 +1,229 @@
+#include "baselines/omen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sel::baselines {
+
+using overlay::kInvalidPeer;
+using overlay::PeerId;
+
+std::size_t OmenSystem::TopicState::find(std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];  // path halving
+    i = parent[i];
+  }
+  return i;
+}
+
+bool OmenSystem::TopicState::unite(std::size_t i, std::size_t j) {
+  const std::size_t ri = find(i);
+  const std::size_t rj = find(j);
+  if (ri == rj) return false;
+  parent[ri] = rj;
+  --components;
+  return true;
+}
+
+std::size_t OmenSystem::TopicState::index_of(PeerId p) const {
+  const auto it = std::lower_bound(members.begin(), members.end(), p);
+  if (it == members.end() || *it != p) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - members.begin());
+}
+
+OmenSystem::OmenSystem(const graph::SocialGraph& g, OmenParams params,
+                       std::uint64_t seed)
+    : RingBasedSystem(g, overlay::RouteOptions{}),
+      params_(params),
+      seed_(seed),
+      rng_(derive_seed(seed, 0x6f6d656eULL)) {}
+
+bool OmenSystem::budget_ok(PeerId p) const {
+  return overlay_.out_degree(p) + overlay_.in_degree(p) < budget_;
+}
+
+void OmenSystem::apply_edge_to_topics(PeerId u, PeerId v) {
+  // Topics containing both endpoints: common friends of (u, v), plus u and
+  // v themselves when they are friends (u ∈ topic(v) and vice versa).
+  auto apply = [this](PeerId topic_owner, PeerId a, PeerId b) {
+    auto& t = topics_[topic_owner];
+    const std::size_t ia = t.index_of(a);
+    const std::size_t ib = t.index_of(b);
+    if (ia == static_cast<std::size_t>(-1) ||
+        ib == static_cast<std::size_t>(-1)) {
+      return;
+    }
+    t.unite(ia, ib);
+  };
+  const auto nu = graph_->neighbors(u);
+  const auto nv = graph_->neighbors(v);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      apply(nu[i], u, v);
+      ++i;
+      ++j;
+    }
+  }
+  if (graph_->has_edge(u, v)) {
+    apply(u, u, v);
+    apply(v, u, v);
+  }
+}
+
+void OmenSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+  budget_ = params_.degree_budget != 0
+                ? params_.degree_budget
+                : 2 * std::max<std::size_t>(
+                          2, static_cast<std::size_t>(std::log2(
+                                 static_cast<double>(std::max<std::size_t>(n, 2)))));
+
+  // Small-world substrate of [1]: ring with uniform immutable ids.
+  for (PeerId p = 0; p < n; ++p) {
+    overlay_.join(p, net::OverlayId::from_hash(derive_seed(seed_, p)));
+  }
+  overlay_.rebuild_ring();
+
+  // One topic per publisher: members = publisher + friends.
+  topics_.clear();
+  topics_.reserve(n);
+  for (PeerId b = 0; b < n; ++b) {
+    TopicState t;
+    t.publisher = b;
+    const auto nbrs = graph_->neighbors(b);
+    t.members.assign(nbrs.begin(), nbrs.end());
+    t.members.push_back(b);
+    std::sort(t.members.begin(), t.members.end());
+    t.parent.resize(t.members.size());
+    for (std::size_t i = 0; i < t.parent.size(); ++i) t.parent[i] = static_cast<std::uint32_t>(i);
+    t.components = t.members.size();
+    topics_.push_back(std::move(t));
+  }
+
+  // Greedy-Merge rounds.
+  rounds_run_ = 0;
+  while (rounds_run_ < params_.max_rounds) {
+    const std::size_t added = run_round();
+    ++rounds_run_;
+    if (added == 0) break;
+  }
+
+  // Shadow sets: per peer, same-topic peers it is NOT linked to, as churn
+  // backups.
+  shadows_.assign(n, {});
+  for (PeerId p = 0; p < n; ++p) {
+    const auto nbrs = graph_->neighbors(p);
+    for (const PeerId cand : nbrs) {
+      if (shadows_[p].size() >= params_.shadow_size) break;
+      if (!overlay_.linked(p, cand)) shadows_[p].push_back(cand);
+    }
+  }
+}
+
+std::size_t OmenSystem::run_round() {
+  std::size_t added = 0;
+  for (auto& topic : topics_) {
+    if (topic.components <= 1) continue;
+    // Greedy mending edge for this topic: connect the publisher's component
+    // to another component, preferring the candidate pair with the most
+    // common neighbours (≈ the edge covering the most other topics).
+    const std::size_t pub_idx = topic.index_of(topic.publisher);
+    SEL_ASSERT(pub_idx != static_cast<std::size_t>(-1));
+    const std::size_t pub_root = topic.find(pub_idx);
+
+    PeerId best_u = kInvalidPeer;
+    PeerId best_v = kInvalidPeer;
+    std::size_t best_score = 0;
+    std::size_t scanned = 0;
+    // Sample candidate cross-component pairs.
+    for (std::size_t attempt = 0;
+         attempt < params_.candidate_sample && !topic.members.empty();
+         ++attempt) {
+      const std::size_t vi = rng_.below(topic.members.size());
+      if (topic.find(vi) == pub_root) continue;
+      const PeerId v = topic.members[vi];
+      if (!budget_ok(v)) continue;
+      // Partner u inside the publisher's component.
+      for (std::size_t probe = 0;
+           probe < params_.candidate_sample && scanned < 256; ++probe) {
+        ++scanned;
+        const std::size_t ui = rng_.below(topic.members.size());
+        if (topic.find(ui) != pub_root) continue;
+        const PeerId u = topic.members[ui];
+        if (u == v || !budget_ok(u) || overlay_.linked(u, v)) continue;
+        const std::size_t score = graph_->common_neighbors(u, v) + 1;
+        if (score > best_score) {
+          best_score = score;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    if (best_u == kInvalidPeer) {
+      // Budget-blocked or sampling failed this round; fall back to linking
+      // via an already existing overlay edge if one crosses components.
+      bool merged = false;
+      for (std::size_t i = 0; i < topic.members.size() && !merged; ++i) {
+        const PeerId u = topic.members[i];
+        for (const PeerId v : overlay_.out_links(u)) {
+          const std::size_t vj = topic.index_of(v);
+          if (vj == static_cast<std::size_t>(-1)) continue;
+          if (topic.unite(i, vj)) {
+            merged = true;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (overlay_.add_long_link(best_u, best_v)) {
+      ++added;
+      apply_edge_to_topics(best_u, best_v);
+    }
+  }
+  return added;
+}
+
+overlay::DisseminationTree OmenSystem::build_tree(PeerId publisher) const {
+  return overlay::subscriber_first_tree(
+      overlay_, subscribers_of(publisher), publisher, overlay::RouteOptions{});
+}
+
+void OmenSystem::maintenance_round() {
+  const std::size_t n = graph_->num_nodes();
+  for (PeerId p = 0; p < n; ++p) {
+    if (!overlay_.online(p)) continue;
+    const std::vector<PeerId> outs(overlay_.out_links(p).begin(),
+                                   overlay_.out_links(p).end());
+    for (const PeerId u : outs) {
+      if (overlay_.online(u)) continue;
+      // Mend with a shadow peer.
+      for (const PeerId s : shadows_[p]) {
+        if (overlay_.online(s) && !overlay_.linked(p, s)) {
+          overlay_.remove_long_link(p, u);
+          overlay_.add_long_link(p, s);
+          break;
+        }
+      }
+    }
+  }
+  overlay_.rebuild_ring(/*online_only=*/true);
+}
+
+double OmenSystem::topic_connectivity() const {
+  if (topics_.empty()) return 1.0;
+  std::size_t connected = 0;
+  for (const auto& t : topics_) {
+    if (t.components <= 1) ++connected;
+  }
+  return static_cast<double>(connected) / static_cast<double>(topics_.size());
+}
+
+}  // namespace sel::baselines

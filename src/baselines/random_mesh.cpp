@@ -1,0 +1,41 @@
+#include "baselines/random_mesh.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::PeerId;
+
+RandomMeshSystem::RandomMeshSystem(const graph::SocialGraph& g,
+                                   std::size_t k_links, std::uint64_t seed)
+    : RingBasedSystem(g, overlay::RouteOptions{}),
+      k_links_(k_links),
+      seed_(seed) {}
+
+void RandomMeshSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+  const std::size_t k =
+      k_links_ != 0
+          ? k_links_
+          : std::max<std::size_t>(
+                2, static_cast<std::size_t>(std::log2(
+                       static_cast<double>(std::max<std::size_t>(n, 2)))));
+  for (PeerId p = 0; p < n; ++p) {
+    overlay_.join(p, net::OverlayId::from_hash(derive_seed(seed_, p)));
+  }
+  overlay_.rebuild_ring();
+  Rng rng(derive_seed(seed_, 0x726e64ULL));
+  for (PeerId p = 0; p < n; ++p) {
+    std::size_t established = 0;
+    for (int attempts = 0; attempts < 64 && established < k; ++attempts) {
+      const auto q = static_cast<PeerId>(rng.below(n));
+      if (q == p) continue;
+      if (overlay_.add_long_link(p, q)) ++established;
+    }
+  }
+}
+
+}  // namespace sel::baselines

@@ -1,0 +1,27 @@
+// Random-overlay control ("without selection algorithm" in Fig. 7): every
+// peer links to k uniformly random peers. No structure, no social awareness;
+// routing degenerates to bounded random exploration, and dissemination
+// funnels through whatever links exist.
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/system.hpp"
+
+namespace sel::baselines {
+
+class RandomMeshSystem final : public overlay::RingBasedSystem {
+ public:
+  RandomMeshSystem(const graph::SocialGraph& g, std::size_t k_links,
+                   std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+ private:
+  std::size_t k_links_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sel::baselines

@@ -1,0 +1,69 @@
+#include "baselines/symphony.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::PeerId;
+
+SymphonySystem::SymphonySystem(const graph::SocialGraph& g,
+                               SymphonyParams params, std::uint64_t seed)
+    : RingBasedSystem(
+          g, overlay::RouteOptions{.lookahead = params.lookahead}),
+      params_(params),
+      seed_(seed) {}
+
+PeerId SymphonySystem::manager_of(net::OverlayId target) const {
+  SEL_EXPECTS(!ring_index_.empty());
+  auto it = std::lower_bound(
+      ring_index_.begin(), ring_index_.end(), target.value(),
+      [](const auto& entry, double v) { return entry.first < v; });
+  if (it == ring_index_.end()) it = ring_index_.begin();  // wrap around
+  return it->second;
+}
+
+void SymphonySystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+
+  // Immutable uniform identifiers.
+  for (PeerId p = 0; p < n; ++p) {
+    overlay_.join(p, net::OverlayId::from_hash(derive_seed(seed_, p)));
+  }
+  overlay_.rebuild_ring();
+
+  ring_index_.clear();
+  ring_index_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    ring_index_.emplace_back(overlay_.id(p).value(), p);
+  }
+  std::sort(ring_index_.begin(), ring_index_.end());
+
+  const std::size_t k =
+      params_.k_links != 0
+          ? params_.k_links
+          : std::max<std::size_t>(
+                2, static_cast<std::size_t>(
+                       std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
+
+  Rng rng(derive_seed(seed_, 0x73796dULL));
+  for (PeerId p = 0; p < n; ++p) {
+    std::size_t established = 0;
+    // Harmonic draw: d = exp(ln(N) * (u - 1)) ∈ [1/N, 1) has pdf ∝ 1/d,
+    // Symphony's probability-distribution pd(x).
+    for (int attempts = 0; attempts < 64 && established < k; ++attempts) {
+      const double u = rng.uniform();
+      const double d =
+          std::exp(std::log(static_cast<double>(n)) * (u - 1.0));
+      const PeerId target =
+          manager_of(net::advance(overlay_.id(p), d));
+      if (target == p) continue;
+      if (overlay_.add_long_link(p, target)) ++established;
+    }
+  }
+}
+
+}  // namespace sel::baselines

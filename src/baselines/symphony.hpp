@@ -1,0 +1,46 @@
+// Symphony baseline (Manku, Bawa, Raghavan [10]): distributed hashing in a
+// small world.
+//
+// Peers get immutable uniform identifiers on the unit ring; besides the two
+// short-range ring links every peer draws k long-range links whose target
+// distance follows the harmonic distribution p(d) ∝ 1/(d ln N), giving
+// O(log^2 N / k) expected greedy routing. Construction is one-shot (no
+// iterative topology optimization), which is why the paper excludes Symphony
+// from the convergence comparison (Fig. 5).
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/system.hpp"
+
+namespace sel::baselines {
+
+struct SymphonyParams {
+  /// Long links per peer; 0 = log2(N) (matching the evaluation setup).
+  std::size_t k_links = 0;
+  /// Symphony's 1-step lookahead routing optimization.
+  bool lookahead = true;
+};
+
+class SymphonySystem final : public overlay::RingBasedSystem {
+ public:
+  SymphonySystem(const graph::SocialGraph& g, SymphonyParams params,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "symphony"; }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+ private:
+  /// Peer whose id is the clockwise successor of `target` among joined
+  /// peers (the "manager" of that point in ID space).
+  [[nodiscard]] overlay::PeerId manager_of(net::OverlayId target) const;
+
+  SymphonyParams params_;
+  std::uint64_t seed_;
+  /// (id value, peer) sorted by id — the global ring index used to resolve
+  /// harmonic-distance draws to peers.
+  std::vector<std::pair<double, overlay::PeerId>> ring_index_;
+};
+
+}  // namespace sel::baselines

@@ -1,0 +1,163 @@
+#include "baselines/vitis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sel::baselines {
+
+using overlay::PeerId;
+
+VitisSystem::VitisSystem(const graph::SocialGraph& g, VitisParams params,
+                         std::uint64_t seed)
+    : RingBasedSystem(g, overlay::RouteOptions{}),
+      params_(params),
+      seed_(seed) {}
+
+void VitisSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+  k_ = params_.k_links != 0
+           ? params_.k_links
+           : std::max<std::size_t>(
+                 2, static_cast<std::size_t>(std::log2(
+                        static_cast<double>(std::max<std::size_t>(n, 2)))));
+
+  // Immutable uniform identifiers on the ring.
+  for (PeerId p = 0; p < n; ++p) {
+    overlay_.join(p, net::OverlayId::from_hash(derive_seed(seed_, p)));
+  }
+  overlay_.rebuild_ring();
+
+  // Hybrid substrate: besides cluster links, Vitis keeps unstructured
+  // long links for rendezvous routing across the ring (harmonic draws,
+  // Symphony-style). These are immutable.
+  {
+    Rng base_rng(derive_seed(seed_, 0x62617365ULL));
+    const std::size_t base_links = std::max<std::size_t>(2, k_ / 2);
+    std::vector<std::pair<double, PeerId>> ring_index;
+    ring_index.reserve(n);
+    for (PeerId p = 0; p < n; ++p) {
+      ring_index.emplace_back(overlay_.id(p).value(), p);
+    }
+    std::sort(ring_index.begin(), ring_index.end());
+    auto manager_of = [&ring_index](double v) {
+      auto it = std::lower_bound(
+          ring_index.begin(), ring_index.end(), v,
+          [](const auto& e, double x) { return e.first < x; });
+      if (it == ring_index.end()) it = ring_index.begin();
+      return it->second;
+    };
+    base_links_.assign(n, {});
+    for (PeerId p = 0; p < n; ++p) {
+      std::size_t established = 0;
+      for (int attempts = 0; attempts < 32 && established < base_links;
+           ++attempts) {
+        const double d = std::exp(std::log(static_cast<double>(n)) *
+                                  (base_rng.uniform() - 1.0));
+        const PeerId target =
+            manager_of(net::advance(overlay_.id(p), d).value());
+        if (target == p) continue;
+        if (overlay_.add_long_link(p, target)) {
+          base_links_[p].push_back(target);
+          ++established;
+        }
+      }
+    }
+  }
+
+  // Bootstrap candidate views with random peers (a peer-sampling service).
+  view_.assign(n, {});
+  rng_.clear();
+  rng_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    rng_.emplace_back(derive_seed(seed_, 0x76697473ULL ^ p));
+    auto& v = view_[p];
+    while (v.size() < params_.view_size) {
+      const auto q = static_cast<PeerId>(rng_[p].below(n));
+      if (q != p && std::find(v.begin(), v.end(), q) == v.end()) {
+        v.push_back(q);
+      }
+    }
+  }
+
+  rounds_run_ = 0;
+  std::size_t quiet = 0;
+  while (rounds_run_ < params_.max_rounds && quiet < params_.stable_rounds) {
+    const std::size_t changes = run_round();
+    ++rounds_run_;
+    quiet = changes == 0 ? quiet + 1 : 0;
+  }
+}
+
+std::size_t VitisSystem::run_round() {
+  const std::size_t n = graph_->num_nodes();
+  std::size_t changes = 0;
+  for (PeerId p = 0; p < n; ++p) {
+    auto& view = view_[p];
+    if (view.empty()) continue;
+    // Exchange views with a random view member (T-Man gossip): both sides
+    // merge the union, then keep the most similar candidates.
+    const PeerId partner = view[rng_[p].below(view.size())];
+    auto merge_into = [this](PeerId owner, const std::vector<PeerId>& incoming) {
+      auto& v = view_[owner];
+      for (const PeerId c : incoming) {
+        if (c == owner) continue;
+        if (std::find(v.begin(), v.end(), c) == v.end()) v.push_back(c);
+      }
+      // Keep the most similar view_size candidates.
+      std::sort(v.begin(), v.end(), [this, owner](PeerId a, PeerId b) {
+        const std::size_t sa = similarity(owner, a);
+        const std::size_t sb = similarity(owner, b);
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+      if (v.size() > params_.view_size) v.resize(params_.view_size);
+    };
+    const std::vector<PeerId> mine(view);
+    merge_into(p, view_[partner]);
+    merge_into(partner, mine);
+
+    changes += reselect_links(p);
+  }
+  overlay_.rebuild_ring();
+  return changes;
+}
+
+std::size_t VitisSystem::reselect_links(PeerId p) {
+  // Cluster links: walk the similarity-ranked view, connecting until the k_
+  // budget is met. A peer whose incoming budget is exhausted (hubs attract
+  // everyone) rejects further links — the Vitis hotspot effect is bounded
+  // by connection capacity, not eliminated.
+  const auto& view = view_[p];
+  const auto& base = base_links_[p];
+  std::size_t changes = 0;
+  std::vector<PeerId> final_set;
+  final_set.reserve(k_);
+  const std::vector<PeerId> outs(overlay_.out_links(p).begin(),
+                                 overlay_.out_links(p).end());
+  auto is_base = [&base](PeerId q) {
+    return std::find(base.begin(), base.end(), q) != base.end();
+  };
+  for (const PeerId u : view) {
+    if (final_set.size() >= k_) break;
+    if (is_base(u)) continue;
+    if (std::find(outs.begin(), outs.end(), u) != outs.end()) {
+      final_set.push_back(u);
+    } else if (overlay_.in_degree(u) < 2 * k_ &&
+               overlay_.add_long_link(p, u)) {
+      final_set.push_back(u);
+      ++changes;
+    }
+  }
+  for (const PeerId v : outs) {
+    if (is_base(v)) continue;  // unstructured substrate links are immutable
+    if (std::find(final_set.begin(), final_set.end(), v) ==
+        final_set.end()) {
+      overlay_.remove_long_link(p, v);
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+}  // namespace sel::baselines

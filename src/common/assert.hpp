@@ -1,0 +1,39 @@
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects/Ensures. Violations abort with a source location;
+// checks stay on in release builds because every simulation result in this
+// repository depends on invariants holding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sel::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace sel::detail
+
+#define SEL_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sel::detail::contract_failure("Precondition", #cond, __FILE__,     \
+                                      __LINE__);                           \
+  } while (false)
+
+#define SEL_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sel::detail::contract_failure("Postcondition", #cond, __FILE__,    \
+                                      __LINE__);                           \
+  } while (false)
+
+#define SEL_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sel::detail::contract_failure("Invariant", #cond, __FILE__,        \
+                                      __LINE__);                           \
+  } while (false)

@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sel {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), columns_(header.size()), out_(path) {
+  SEL_EXPECTS(!header.empty());
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  SEL_EXPECTS(values.size() == columns_);
+  if (!out_.is_open()) return;
+  bool first = true;
+  for (const double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << v;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  SEL_EXPECTS(values.size() == columns_);
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace sel

@@ -1,0 +1,37 @@
+// Minimal CSV writer for experiment output. Every bench harness writes its
+// series next to the binary so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sel {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// True when the file opened successfully (benches degrade gracefully when
+  /// the working directory is read-only).
+  [[nodiscard]] bool ok() const noexcept { return out_.is_open(); }
+
+  /// Writes one row; the column count must match the header.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+/// Escapes a field per RFC 4180 (quotes fields containing commas/quotes).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace sel

@@ -1,0 +1,42 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sel {
+
+double env_or(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+std::int64_t env_or(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
+}
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+double bench_scale() { return env_or("SELECT_BENCH_SCALE", 1.0); }
+
+std::size_t scaled(std::size_t n, std::size_t min_n) {
+  const double s = bench_scale();
+  const auto scaled_n = static_cast<std::size_t>(static_cast<double>(n) * s);
+  return std::max(scaled_n, min_n);
+}
+
+std::size_t trial_count(std::size_t fallback) {
+  const auto t = env_or("SELECT_TRIALS", static_cast<std::int64_t>(fallback));
+  return t > 0 ? static_cast<std::size_t>(t) : fallback;
+}
+
+}  // namespace sel

@@ -1,0 +1,33 @@
+// Environment-variable helpers used by the bench harnesses:
+//   SELECT_BENCH_SCALE — multiplies experiment network sizes (default 1.0)
+//   SELECT_TRIALS      — number of independent trials per data point
+//   SELECT_THREADS     — worker threads for the global pool (0 = hardware)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sel {
+
+/// Returns the environment variable `name` parsed as a double, or `fallback`
+/// when unset or unparsable.
+[[nodiscard]] double env_or(const std::string& name, double fallback);
+
+/// Integer variant.
+[[nodiscard]] std::int64_t env_or(const std::string& name,
+                                  std::int64_t fallback);
+
+/// String variant.
+[[nodiscard]] std::string env_or(const std::string& name,
+                                 const std::string& fallback);
+
+/// Global experiment-size multiplier (SELECT_BENCH_SCALE, default 1.0).
+[[nodiscard]] double bench_scale();
+
+/// `n` scaled by bench_scale(), never below `min_n`.
+[[nodiscard]] std::size_t scaled(std::size_t n, std::size_t min_n = 32);
+
+/// Number of independent trials (SELECT_TRIALS, default `fallback`).
+[[nodiscard]] std::size_t trial_count(std::size_t fallback = 5);
+
+}  // namespace sel

@@ -1,0 +1,72 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sel {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  SEL_EXPECTS(n > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) noexcept {
+  SEL_EXPECTS(rate > 0.0);
+  // Inverse CDF on (0,1]; 1-uniform() avoids log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller transform; u1 in (0,1] to keep log finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  SEL_EXPECTS(sigma >= 0.0);
+  return std::exp(mu + sigma * normal());
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  SEL_EXPECTS(n >= 1);
+  SEL_EXPECTS(s > 0.0);
+  // Devroye's rejection method for the Zipf distribution; expected number of
+  // iterations is a small constant for any n and s.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) { return std::pow(x, -s); };
+  // Integral of h over [1, x]; handles s == 1 separately.
+  auto big_h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto big_h_inv = [s](double y) {
+    return s == 1.0 ? std::exp(y) : std::pow(1.0 + (1.0 - s) * y, 1.0 / (1.0 - s));
+  };
+  const double hx0 = big_h(nd + 0.5);
+  for (;;) {
+    const double u = uniform() * hx0;
+    const double x = big_h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1 || k > n) continue;
+    const double kd = static_cast<double>(k);
+    // Accept with probability proportional to the true mass at k.
+    if (kd - x <= 0.5 || h(kd) >= uniform() * h(x)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace sel

@@ -1,0 +1,75 @@
+// Statistics accumulators used by every experiment harness: streaming
+// mean/variance (Welford), exact percentiles over retained samples, and
+// Student-t confidence intervals for multi-trial averaging (the paper reports
+// averages over 100 independent trials).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sel {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the ~95% confidence interval on the mean (normal
+  /// approximation for n >= 30, t-table lookup below).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains every sample; supports exact quantiles. Use for per-trial metric
+/// vectors (hundreds to a few million doubles).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Exact q-quantile (q in [0,1]) with linear interpolation.
+  /// Sorts lazily; amortized O(n log n) on first call after inserts.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  void merge(const SampleSet& other);
+  void clear() noexcept { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace sel

@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+
+namespace sel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end,
+                      [&body](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) body(i);
+                      });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min<std::size_t>(size(), n);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(lo + per, end);
+    if (lo >= hi) break;
+    futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  // get() propagates the first exception thrown by a chunk.
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      static_cast<unsigned>(env_or("SELECT_THREADS", std::int64_t{0})));
+  return pool;
+}
+
+}  // namespace sel

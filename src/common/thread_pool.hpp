@@ -1,0 +1,72 @@
+// Fixed-size thread pool plus a deterministic parallel_for.
+//
+// The superstep simulation engine partitions peers into contiguous chunks and
+// runs each chunk on a worker; per-peer RNG streams make results identical
+// regardless of thread count. The pool is intentionally simple — submit
+// returns a future, parallel_for blocks until the range is done — because
+// simulation rounds are barrier-synchronized anyway.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; the returned future is ready once it ran.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs body(i) for i in [begin, end), split into contiguous chunks across
+  /// the pool. Blocks until every index ran. Exceptions from the body
+  /// propagate (the first one observed is rethrown).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) per worker chunk. Useful
+  /// when the body wants to hoist per-chunk state (e.g. an RNG or a local
+  /// accumulator).
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool sized from SELECT_THREADS (default: hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sel

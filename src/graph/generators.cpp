@@ -1,0 +1,200 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace sel::graph {
+
+SocialGraph erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  SEL_EXPECTS(p >= 0.0 && p <= 1.0);
+  GraphBuilder builder(n);
+  if (n < 2 || p <= 0.0) return builder.build();
+  Rng rng(seed);
+  if (p >= 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+    }
+    return builder.build();
+  }
+  // Geometric skipping over the n*(n-1)/2 potential edges (Batagelj–Brandes).
+  const double log1mp = std::log(1.0 - p);
+  std::size_t v = 1;
+  std::ptrdiff_t w = -1;
+  while (v < n) {
+    const double r = 1.0 - rng.uniform();  // (0, 1]
+    w += 1 + static_cast<std::ptrdiff_t>(std::floor(std::log(r) / log1mp));
+    while (w >= static_cast<std::ptrdiff_t>(v) && v < n) {
+      w -= static_cast<std::ptrdiff_t>(v);
+      ++v;
+    }
+    if (v < n) {
+      builder.add_edge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+    }
+  }
+  return builder.build();
+}
+
+SocialGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                           std::uint64_t seed) {
+  SEL_EXPECTS(k % 2 == 0);
+  SEL_EXPECTS(k < n);
+  SEL_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // has_edge bookkeeping so rewiring avoids duplicates.
+  std::vector<std::unordered_set<NodeId>> adj(n);
+  auto connect = [&adj](NodeId u, NodeId v) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  };
+  auto disconnect = [&adj](NodeId u, NodeId v) {
+    adj[u].erase(v);
+    adj[v].erase(u);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      connect(u, static_cast<NodeId>((u + j) % n));
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      if (!adj[u].contains(v)) continue;  // already rewired away
+      if (!rng.chance(beta)) continue;
+      // Rewire (u, v) to (u, w) for a uniform w avoiding self-loop/dup.
+      NodeId w = u;
+      for (int attempts = 0; attempts < 64; ++attempts) {
+        w = static_cast<NodeId>(rng.below(n));
+        if (w != u && !adj[u].contains(w)) break;
+        w = u;
+      }
+      if (w == u) continue;  // node saturated; keep original edge
+      disconnect(u, v);
+      connect(u, w);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : adj[u]) {
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+SocialGraph barabasi_albert(std::size_t n, std::size_t m, std::uint64_t seed) {
+  return holme_kim(n, m, 0.0, seed);
+}
+
+SocialGraph holme_kim(std::size_t n, std::size_t m, double triad_p,
+                      std::uint64_t seed) {
+  SEL_EXPECTS(m >= 1);
+  SEL_EXPECTS(n > m);
+  SEL_EXPECTS(triad_p >= 0.0 && triad_p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // repeated_nodes holds each endpoint once per incident edge, so a uniform
+  // draw from it is a degree-proportional draw (standard BA trick).
+  std::vector<NodeId> repeated_nodes;
+  repeated_nodes.reserve(2 * n * m);
+  std::vector<std::vector<NodeId>> adj(n);
+  auto link = [&](NodeId u, NodeId v) {
+    builder.add_edge(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    repeated_nodes.push_back(u);
+    repeated_nodes.push_back(v);
+  };
+  // Seed clique over the first m+1 nodes so preferential attachment has
+  // targets with nonzero degree.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) link(u, v);
+  }
+  std::unordered_set<NodeId> targets;
+  for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
+    targets.clear();
+    NodeId last_target = kInvalidNode;
+    while (targets.size() < m) {
+      NodeId candidate;
+      const bool try_triad =
+          last_target != kInvalidNode && rng.chance(triad_p);
+      if (try_triad) {
+        // Triad closure: connect to a random neighbour of the last target.
+        const auto& nbrs = adj[last_target];
+        candidate = nbrs[rng.below(nbrs.size())];
+      } else {
+        candidate = repeated_nodes[rng.below(repeated_nodes.size())];
+      }
+      if (candidate == u || targets.contains(candidate)) {
+        // Fall back to preferential attachment on a bad triad draw so the
+        // loop always terminates.
+        last_target = kInvalidNode;
+        continue;
+      }
+      targets.insert(candidate);
+      last_target = candidate;
+    }
+    for (const NodeId t : targets) link(u, t);
+  }
+  return builder.build();
+}
+
+SocialGraph degree_preserving_rewire(const SocialGraph& g,
+                                     double swaps_per_edge,
+                                     std::uint64_t seed) {
+  SEL_EXPECTS(swaps_per_edge >= 0.0);
+  // Materialize the edge list, then repeatedly pick two edges (a,b), (c,d)
+  // and swap endpoints to (a,d), (c,b) when that creates neither self-loops
+  // nor duplicates.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  if (edges.size() < 2) {
+    GraphBuilder builder(g.num_nodes());
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    return builder.build();
+  }
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(edges.size() * 2);
+  auto key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+           std::max(a, b);
+  };
+  for (const auto& [u, v] : edges) present.insert(key(u, v));
+
+  Rng rng(seed);
+  const auto target = static_cast<std::size_t>(
+      swaps_per_edge * static_cast<double>(edges.size()));
+  std::size_t done = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target * 20 + 100;
+  while (done < target && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t i = rng.below(edges.size());
+    const std::size_t j = rng.below(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Randomize orientation so both swap variants are reachable.
+    if (rng.chance(0.5)) std::swap(a, b);
+    if (rng.chance(0.5)) std::swap(c, d);
+    if (a == d || c == b || a == c || b == d) continue;
+    if (present.contains(key(a, d)) || present.contains(key(c, b))) continue;
+    present.erase(key(edges[i].first, edges[i].second));
+    present.erase(key(edges[j].first, edges[j].second));
+    edges[i] = {std::min(a, d), std::max(a, d)};
+    edges[j] = {std::min(c, b), std::max(c, b)};
+    present.insert(key(a, d));
+    present.insert(key(c, b));
+    ++done;
+  }
+  GraphBuilder builder(g.num_nodes());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+}  // namespace sel::graph

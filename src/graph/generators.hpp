@@ -1,0 +1,49 @@
+// Synthetic social-graph generators.
+//
+// The paper evaluates on four SNAP datasets (Facebook, Twitter, Slashdot,
+// Google Plus). Those files are not available offline, so we synthesize
+// graphs with matching structure: heavy-tailed degree distributions and high
+// clustering, via the Holme–Kim model (Barabási–Albert preferential
+// attachment with triad-closure steps). Plain BA, Watts–Strogatz and
+// Erdős–Rényi generators are provided for ablations and tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/social_graph.hpp"
+
+namespace sel::graph {
+
+/// Erdős–Rényi G(n, p): each pair independently connected with probability p.
+/// O(n + m) expected time via geometric edge skipping.
+[[nodiscard]] SocialGraph erdos_renyi(std::size_t n, double p,
+                                      std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side... k
+/// must be even; each edge rewired with probability beta.
+[[nodiscard]] SocialGraph watts_strogatz(std::size_t n, std::size_t k,
+                                         double beta, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches to m
+/// existing nodes chosen proportionally to degree.
+[[nodiscard]] SocialGraph barabasi_albert(std::size_t n, std::size_t m,
+                                          std::uint64_t seed);
+
+/// Holme–Kim powerlaw-cluster graph: BA attachment where each of the m links
+/// is followed, with probability triad_p, by a triad-closure link to a random
+/// neighbour of the just-linked node. Produces power-law degrees AND high
+/// clustering — the structure the paper's datasets share.
+[[nodiscard]] SocialGraph holme_kim(std::size_t n, std::size_t m,
+                                    double triad_p, std::uint64_t seed);
+
+/// Degree-preserving randomization (configuration-model null model): applies
+/// `swaps_per_edge * |E|` double-edge swaps, destroying clustering and
+/// community structure while keeping every node's degree exactly. Used by
+/// the structure-vs-degree ablation: if SELECT's wins survived rewiring they
+/// would come from the degree sequence, not the social structure.
+[[nodiscard]] SocialGraph degree_preserving_rewire(const SocialGraph& g,
+                                                   double swaps_per_edge,
+                                                   std::uint64_t seed);
+
+}  // namespace sel::graph

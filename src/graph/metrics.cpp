@@ -1,0 +1,110 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace sel::graph {
+
+std::vector<std::size_t> degree_sequence(const SocialGraph& g) {
+  std::vector<std::size_t> degrees(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degrees[u] = g.degree(u);
+  return degrees;
+}
+
+std::vector<std::size_t> degree_distribution(const SocialGraph& g) {
+  std::vector<std::size_t> counts(g.max_degree() + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++counts[g.degree(u)];
+  return counts;
+}
+
+double clustering_coefficient(const SocialGraph& g, std::size_t samples,
+                              std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  std::vector<NodeId> nodes;
+  if (samples >= n) {
+    nodes.resize(n);
+    std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  } else {
+    nodes.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng.below(n)));
+    }
+  }
+  double total = 0.0;
+  for (const NodeId u : nodes) {
+    const auto nbrs = g.neighbors(u);
+    const std::size_t d = nbrs.size();
+    if (d < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    total += 2.0 * static_cast<double>(closed) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+namespace {
+
+/// BFS marking component ids; returns component sizes.
+std::vector<std::size_t> component_sizes(const SocialGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> sizes;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    std::size_t size = 0;
+    visited[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      ++size;
+      for (const NodeId v : g.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::size_t connected_components(const SocialGraph& g) {
+  return component_sizes(g).size();
+}
+
+std::size_t largest_component_size(const SocialGraph& g) {
+  const auto sizes = component_sizes(g);
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+double powerlaw_alpha(const SocialGraph& g, std::size_t d_min) {
+  // Discrete MLE: alpha ≈ 1 + n / sum(ln(d_i / (d_min - 0.5))).
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t d = g.degree(u);
+    if (d < d_min) continue;
+    log_sum += std::log(static_cast<double>(d) /
+                        (static_cast<double>(d_min) - 0.5));
+    ++n;
+  }
+  if (n < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace sel::graph

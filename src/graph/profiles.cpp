@@ -1,0 +1,35 @@
+#include "graph/profiles.hpp"
+
+#include "graph/generators.hpp"
+
+namespace sel::graph {
+
+// gen_m is chosen so the generated average degree (~2m) tracks Table II's
+// average degree; gen_triad_p tunes clustering: friendship graphs (Facebook)
+// are highly clustered, follower graphs (Twitter) less so.
+const std::array<DatasetProfile, 4>& all_profiles() {
+  static const std::array<DatasetProfile, 4> profiles = {{
+      {"facebook", 63'731, 817'090, 25.642, 13, 0.85},
+      {"twitter", 3'990'418, 294'865'207, 73.89, 37, 0.55},
+      {"slashdot", 82'168, 948'463, 11.543, 6, 0.40},
+      {"gplus", 107'614, 13'673'453, 127.0, 63, 0.60},
+  }};
+  return profiles;
+}
+
+const DatasetProfile& profile_by_name(std::string_view name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  SEL_ASSERT(false && "unknown dataset profile");
+  return all_profiles()[0];  // unreachable
+}
+
+SocialGraph make_dataset_graph(const DatasetProfile& profile, std::size_t n,
+                               std::uint64_t seed) {
+  // Clamp m so tiny test graphs stay valid (holme_kim requires n > m).
+  const std::size_t m = std::min(profile.gen_m, n > 2 ? (n - 1) / 2 : 1);
+  return holme_kim(n, std::max<std::size_t>(m, 1), profile.gen_triad_p, seed);
+}
+
+}  // namespace sel::graph

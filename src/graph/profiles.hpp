@@ -1,0 +1,38 @@
+// Dataset profiles mirroring the paper's Table II. Each profile records the
+// published statistics of the real dataset and the generator parameters that
+// reproduce its structure (average degree, clustering) at arbitrary scale.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "graph/social_graph.hpp"
+
+namespace sel::graph {
+
+struct DatasetProfile {
+  std::string_view name;
+  /// Published size (Table II) — for reporting, not for generation.
+  std::size_t paper_users;
+  std::size_t paper_connections;
+  double paper_avg_degree;
+  /// Holme–Kim parameters that reproduce the structure at any scale:
+  /// each node attaches with `m` links; triad_p controls clustering.
+  std::size_t gen_m;
+  double gen_triad_p;
+};
+
+/// The four datasets of Table II.
+[[nodiscard]] const std::array<DatasetProfile, 4>& all_profiles();
+
+/// Profile by name ("facebook", "twitter", "slashdot", "gplus").
+/// Aborts on unknown names (programming error in a harness).
+[[nodiscard]] const DatasetProfile& profile_by_name(std::string_view name);
+
+/// Generates a synthetic graph with the profile's structure at `n` users.
+[[nodiscard]] SocialGraph make_dataset_graph(const DatasetProfile& profile,
+                                             std::size_t n,
+                                             std::uint64_t seed);
+
+}  // namespace sel::graph

@@ -1,0 +1,77 @@
+#include "graph/snap_loader.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace sel::graph {
+
+namespace {
+
+/// Parses one whitespace-separated unsigned integer starting at pos;
+/// advances pos past it. Returns false when no digits are found.
+bool parse_uint(std::string_view line, std::size_t& pos, std::uint64_t& out) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr == begin) return false;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+}  // namespace
+
+std::optional<SnapLoadResult> parse_snap_edge_list(std::string_view text) {
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+
+  auto intern = [&remap](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    const std::size_t line_end = text.find('\n', line_start);
+    const std::string_view line =
+        text.substr(line_start,
+                    (line_end == std::string_view::npos ? text.size()
+                                                        : line_end) -
+                        line_start);
+    line_start = line_end == std::string_view::npos ? text.size() + 1
+                                                    : line_end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!parse_uint(line, pos, a) || !parse_uint(line, pos, b)) {
+      ++skipped;
+      continue;
+    }
+    ++parsed;
+    if (a == b) continue;
+    edges.emplace_back(intern(a), intern(b));
+  }
+
+  if (edges.empty()) return std::nullopt;
+  GraphBuilder builder(remap.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return SnapLoadResult{builder.build(), parsed, skipped};
+}
+
+std::optional<SnapLoadResult> load_snap_edge_list(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_snap_edge_list(buffer.str());
+}
+
+}  // namespace sel::graph

@@ -1,0 +1,31 @@
+// Loader for SNAP-style edge lists ("u<TAB>v" or "u v" per line, '#'
+// comments). If the real Facebook/Twitter/Slashdot/GooglePlus files are
+// available they can be dropped in and used instead of the synthetic
+// profiles; node ids are remapped to a dense range.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/social_graph.hpp"
+
+namespace sel::graph {
+
+struct SnapLoadResult {
+  SocialGraph graph;
+  std::size_t lines_parsed = 0;
+  std::size_t lines_skipped = 0;
+};
+
+/// Parses the file at `path`. Directed input is symmetrized (the paper's
+/// subscriber set is the publisher's friend set, i.e. an undirected
+/// relationship). Returns nullopt when the file cannot be opened or contains
+/// no valid edges.
+[[nodiscard]] std::optional<SnapLoadResult> load_snap_edge_list(
+    const std::string& path);
+
+/// Parses edge-list text from memory (testable core of the loader).
+[[nodiscard]] std::optional<SnapLoadResult> parse_snap_edge_list(
+    std::string_view text);
+
+}  // namespace sel::graph

@@ -1,0 +1,109 @@
+#include "net/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sel::net {
+
+const std::vector<BandwidthClass>& default_bandwidth_mix() {
+  static const std::vector<BandwidthClass> mix = {
+      {"adsl", 1e6, 8e6, 0.15},
+      {"cable", 5e6, 50e6, 0.35},
+      {"vdsl", 20e6, 100e6, 0.35},
+      {"fiber", 100e6, 500e6, 0.15},
+  };
+  return mix;
+}
+
+NetworkModel::NetworkModel(std::size_t num_peers, std::uint64_t seed,
+                           const std::vector<BandwidthClass>& mix,
+                           double median_latency_ms, double latency_sigma,
+                           GeoParams geo)
+    : latency_seed_(derive_seed(seed, 0x6c61746e63ULL)),
+      latency_mu_(std::log(median_latency_ms / 1000.0)),
+      latency_sigma_(latency_sigma),
+      geo_(geo) {
+  SEL_EXPECTS(!mix.empty());
+  SEL_EXPECTS(median_latency_ms > 0.0);
+  double total_weight = 0.0;
+  for (const auto& c : mix) {
+    SEL_EXPECTS(c.weight >= 0.0);
+    total_weight += c.weight;
+  }
+  SEL_EXPECTS(total_weight > 0.0);
+
+  Rng rng(derive_seed(seed, 0x62616e64ULL));
+  profiles_.reserve(num_peers);
+  for (std::size_t p = 0; p < num_peers; ++p) {
+    double pick = rng.uniform() * total_weight;
+    const BandwidthClass* chosen = &mix.back();
+    for (const auto& c : mix) {
+      if (pick < c.weight) {
+        chosen = &c;
+        break;
+      }
+      pick -= c.weight;
+    }
+    profiles_.push_back(PeerLinkProfile{chosen->up_bps, chosen->down_bps});
+  }
+  if (geo_.regions > 0) {
+    Rng region_rng(derive_seed(seed, 0x67656fULL));
+    regions_.reserve(num_peers);
+    for (std::size_t p = 0; p < num_peers; ++p) {
+      regions_.push_back(
+          static_cast<std::uint32_t>(region_rng.below(geo_.regions)));
+    }
+  }
+}
+
+std::size_t NetworkModel::region_of(std::size_t peer) const {
+  SEL_EXPECTS(peer < profiles_.size());
+  return regions_.empty() ? 0 : regions_[peer];
+}
+
+const PeerLinkProfile& NetworkModel::profile(std::size_t peer) const {
+  SEL_EXPECTS(peer < profiles_.size());
+  return profiles_[peer];
+}
+
+double NetworkModel::latency_s(std::size_t a, std::size_t b) const {
+  SEL_EXPECTS(a < profiles_.size() && b < profiles_.size());
+  if (a == b) return 0.0;
+  // Deterministic per unordered pair: seed an RNG from the pair key.
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  Rng rng(derive_seed(latency_seed_, (lo << 32) ^ hi));
+  double latency = rng.lognormal(latency_mu_, latency_sigma_);
+  if (!regions_.empty() && regions_[a] != regions_[b]) {
+    latency += geo_.inter_region_extra_ms / 1000.0;
+  }
+  return latency;
+}
+
+double NetworkModel::transfer_time_s(std::size_t sender, std::size_t receiver,
+                                     double bytes,
+                                     std::size_t concurrent_sends) const {
+  SEL_EXPECTS(bytes >= 0.0);
+  SEL_EXPECTS(concurrent_sends >= 1);
+  const double up =
+      profile(sender).up_bps / static_cast<double>(concurrent_sends);
+  const double down = profile(receiver).down_bps;
+  const double bottleneck_bps = std::min(up, down);
+  return latency_s(sender, receiver) + bytes * 8.0 / bottleneck_bps;
+}
+
+double NetworkModel::star_broadcast_time_s(
+    std::size_t center, const std::vector<std::size_t>& receivers,
+    double bytes) const {
+  if (receivers.empty()) return 0.0;
+  double worst = 0.0;
+  for (const std::size_t r : receivers) {
+    worst = std::max(worst,
+                     transfer_time_s(center, r, bytes, receivers.size()));
+  }
+  return worst;
+}
+
+}  // namespace sel::net

@@ -1,0 +1,105 @@
+// Heterogeneous peer network model for the paper's "realistic" experiments.
+//
+// The paper deployed WebRTC browser peers across 18 VMs, with per-peer
+// bandwidth differences and per-pair latency, and disseminated 1.2 MB
+// payloads (average image size). We model exactly the quantities those
+// experiments measure:
+//   - each peer gets an up/down bandwidth drawn from an access-link mix,
+//   - each ordered pair gets a propagation latency (lognormal, deterministic
+//     per pair),
+//   - a transfer of B bytes from u to v that shares u's uplink with c
+//     concurrent transfers takes  latency(u,v) + B / min(up(u)/c, down(v)).
+// The star-transfer experiment (Sec. IV-D) falls out of the same formula.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sel::net {
+
+/// The paper sends 1.2 MB data fragments ("average image size").
+constexpr double kDefaultPayloadBytes = 1.2e6;
+
+/// An access-link class in the bandwidth mix.
+struct BandwidthClass {
+  std::string_view name;
+  double up_bps;    ///< uplink, bits per second
+  double down_bps;  ///< downlink, bits per second
+  double weight;    ///< relative share of peers in this class
+};
+
+/// Residential access mix: ADSL / cable / VDSL / fiber.
+[[nodiscard]] const std::vector<BandwidthClass>& default_bandwidth_mix();
+
+struct PeerLinkProfile {
+  double up_bps = 0.0;
+  double down_bps = 0.0;
+};
+
+/// Geographic model (the "geographical distribution study" the paper's
+/// Discussion leaves as future work): peers are spread over regions; pairs
+/// in different regions pay an extra propagation latency.
+struct GeoParams {
+  /// 0 disables geography (flat latency model).
+  std::size_t regions = 0;
+  /// Extra one-way latency between distinct regions, milliseconds.
+  double inter_region_extra_ms = 60.0;
+};
+
+class NetworkModel {
+ public:
+  /// Assigns every peer a bandwidth class (weighted draw) deterministically
+  /// from `seed`. Latency parameters: lognormal with median ~`median_ms` and
+  /// multiplicative spread sigma.
+  NetworkModel(std::size_t num_peers, std::uint64_t seed,
+               const std::vector<BandwidthClass>& mix = default_bandwidth_mix(),
+               double median_latency_ms = 40.0, double latency_sigma = 0.5,
+               GeoParams geo = {});
+
+  [[nodiscard]] std::size_t num_peers() const noexcept {
+    return profiles_.size();
+  }
+
+  [[nodiscard]] const PeerLinkProfile& profile(std::size_t peer) const;
+
+  /// Uplink bandwidth in bits/second — the "bw" the picker (Alg. 6) compares.
+  [[nodiscard]] double uplink_bps(std::size_t peer) const {
+    return profile(peer).up_bps;
+  }
+
+  /// One-way propagation latency between two peers, seconds. Symmetric,
+  /// deterministic per pair; self-latency is 0.
+  [[nodiscard]] double latency_s(std::size_t a, std::size_t b) const;
+
+  /// Time for `bytes` from `sender` to `receiver` when the sender's uplink
+  /// is shared by `concurrent_sends` simultaneous transfers.
+  [[nodiscard]] double transfer_time_s(std::size_t sender, std::size_t receiver,
+                                       double bytes,
+                                       std::size_t concurrent_sends = 1) const;
+
+  /// Total completion time when `center` pushes `bytes` to each of `fanout`
+  /// receivers simultaneously (the star experiment): the slowest transfer
+  /// with the uplink split `fanout` ways.
+  [[nodiscard]] double star_broadcast_time_s(
+      std::size_t center, const std::vector<std::size_t>& receivers,
+      double bytes) const;
+
+  /// Region of a peer; 0 when geography is disabled.
+  [[nodiscard]] std::size_t region_of(std::size_t peer) const;
+  [[nodiscard]] std::size_t num_regions() const noexcept {
+    return geo_.regions;
+  }
+
+ private:
+  std::vector<PeerLinkProfile> profiles_;
+  std::uint64_t latency_seed_;
+  double latency_mu_;     // lognormal mu (of seconds)
+  double latency_sigma_;
+  GeoParams geo_;
+  std::vector<std::uint32_t> regions_;
+};
+
+}  // namespace sel::net

@@ -1,0 +1,94 @@
+// Explicit lookahead sets L_p (paper Table I / Sec. III-E).
+//
+// In a deployment a peer does not see its neighbours' routing tables live;
+// it holds *snapshots* exchanged through gossip ("a set of connections that
+// the peer v ∈ R_p maintains"). This cache materializes those snapshots:
+// routing with RouteOptions::lookahead_cache consults the snapshot instead
+// of the ground truth, so stale knowledge behaves exactly as it would in a
+// real network — a shortcut through a dropped link costs extra hops rather
+// than silently working.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace sel::overlay {
+
+class LookaheadCache {
+ public:
+  explicit LookaheadCache(const Overlay& ov)
+      : ov_(&ov), snapshots_(ov.num_peers()), known_(ov.num_peers(), false) {}
+
+  /// Refreshes the snapshot of `p`'s neighbour set (ring + long links).
+  void refresh(PeerId p) {
+    auto list = ov_->neighbor_list(p);
+    std::sort(list.begin(), list.end());
+    snapshots_[p] = std::move(list);
+    known_[p] = true;
+  }
+
+  void refresh_all() {
+    for (PeerId p = 0; p < snapshots_.size(); ++p) refresh(p);
+  }
+
+  [[nodiscard]] bool has_snapshot(PeerId p) const { return known_[p]; }
+
+  /// The snapshotted neighbour list (sorted); empty when unknown.
+  [[nodiscard]] std::span<const PeerId> snapshot(PeerId p) const {
+    static const std::vector<PeerId> kEmpty;
+    return known_[p] ? std::span<const PeerId>(snapshots_[p])
+                     : std::span<const PeerId>(kEmpty);
+  }
+
+  /// L_p query: does the *snapshot* of `via` contain `target`?
+  /// Unknown peers answer false (no lookahead claim without knowledge).
+  [[nodiscard]] bool cached_contains(PeerId via, PeerId target) const {
+    if (!known_[via]) return false;
+    const auto& snap = snapshots_[via];
+    return std::binary_search(snap.begin(), snap.end(), target);
+  }
+
+  /// Entries in the snapshot that no longer match the live neighbour set —
+  /// a staleness measure for tests and diagnostics.
+  [[nodiscard]] std::size_t stale_entries(PeerId p) const {
+    if (!known_[p]) return 0;
+    auto live = ov_->neighbor_list(p);
+    std::sort(live.begin(), live.end());
+    const auto& snap = snapshots_[p];
+    std::size_t divergent = 0;
+    // Symmetric difference size via merge walk.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < snap.size() || j < live.size()) {
+      if (j >= live.size() || (i < snap.size() && snap[i] < live[j])) {
+        ++divergent;
+        ++i;
+      } else if (i >= snap.size() || live[j] < snap[i]) {
+        ++divergent;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    return divergent;
+  }
+
+  [[nodiscard]] std::size_t num_snapshots() const {
+    std::size_t count = 0;
+    for (const bool k : known_) {
+      if (k) ++count;
+    }
+    return count;
+  }
+
+ private:
+  const Overlay* ov_;
+  std::vector<std::vector<PeerId>> snapshots_;
+  std::vector<bool> known_;
+};
+
+}  // namespace sel::overlay

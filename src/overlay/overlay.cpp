@@ -1,0 +1,259 @@
+#include "overlay/overlay.hpp"
+
+#include "overlay/lookahead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+namespace sel::overlay {
+
+Overlay::Overlay(std::size_t num_peers) : peers_(num_peers) {}
+
+void Overlay::join(PeerId p, net::OverlayId id) {
+  auto& pr = peer(p);
+  if (!pr.joined) {
+    pr.joined = true;
+    ++joined_count_;
+  }
+  pr.id = id;
+  pr.online = true;
+}
+
+void Overlay::set_id(PeerId p, net::OverlayId id) {
+  SEL_EXPECTS(peer(p).joined);
+  peer(p).id = id;
+}
+
+void Overlay::set_online(PeerId p, bool online) { peer(p).online = online; }
+
+void Overlay::rebuild_ring(bool online_only) {
+  std::vector<PeerId> order;
+  order.reserve(joined_count_);
+  for (PeerId p = 0; p < peers_.size(); ++p) {
+    if (!peers_[p].joined) continue;
+    if (online_only && !peers_[p].online) {
+      peers_[p].succ = kInvalidPeer;
+      peers_[p].pred = kInvalidPeer;
+      continue;
+    }
+    order.push_back(p);
+  }
+  std::sort(order.begin(), order.end(), [this](PeerId a, PeerId b) {
+    if (peers_[a].id != peers_[b].id) return peers_[a].id < peers_[b].id;
+    return a < b;
+  });
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerId p = order[i];
+    if (n == 1) {
+      peers_[p].succ = kInvalidPeer;
+      peers_[p].pred = kInvalidPeer;
+    } else {
+      peers_[p].succ = order[(i + 1) % n];
+      peers_[p].pred = order[(i + n - 1) % n];
+    }
+  }
+}
+
+bool Overlay::add_long_link(PeerId from, PeerId to) {
+  if (from == to) return false;
+  auto& f = peer(from);
+  auto& t = peer(to);
+  if (!f.joined || !t.joined) return false;
+  if (std::find(f.out_links.begin(), f.out_links.end(), to) !=
+      f.out_links.end()) {
+    return false;
+  }
+  f.out_links.push_back(to);
+  t.in_links.push_back(from);
+  return true;
+}
+
+bool Overlay::remove_long_link(PeerId from, PeerId to) {
+  auto& f = peer(from);
+  const auto it = std::find(f.out_links.begin(), f.out_links.end(), to);
+  if (it == f.out_links.end()) return false;
+  f.out_links.erase(it);
+  auto& t = peer(to);
+  const auto rit = std::find(t.in_links.begin(), t.in_links.end(), from);
+  SEL_ASSERT(rit != t.in_links.end());
+  t.in_links.erase(rit);
+  return true;
+}
+
+void Overlay::clear_long_links(PeerId p) {
+  // Copy: remove_long_link mutates the vectors we iterate.
+  const std::vector<PeerId> outs(peer(p).out_links);
+  for (const PeerId to : outs) remove_long_link(p, to);
+  const std::vector<PeerId> ins(peer(p).in_links);
+  for (const PeerId from : ins) remove_long_link(from, p);
+}
+
+bool Overlay::linked(PeerId a, PeerId b) const {
+  const auto& pa = peer(a);
+  if (std::find(pa.out_links.begin(), pa.out_links.end(), b) !=
+      pa.out_links.end()) {
+    return true;
+  }
+  return std::find(pa.in_links.begin(), pa.in_links.end(), b) !=
+         pa.in_links.end();
+}
+
+bool Overlay::neighbors_of_contains(PeerId a, PeerId b) const {
+  const auto& pa = peer(a);
+  return pa.succ == b || pa.pred == b || linked(a, b);
+}
+
+void Overlay::for_each_neighbor(
+    PeerId p, const std::function<void(PeerId)>& fn) const {
+  const auto& pr = peer(p);
+  // Small neighbour sets (K + 2): linear dedup beats hashing.
+  std::vector<PeerId> seen;
+  seen.reserve(pr.out_links.size() + pr.in_links.size() + 2);
+  auto visit = [&seen, &fn](PeerId q) {
+    if (q == kInvalidPeer) return;
+    if (std::find(seen.begin(), seen.end(), q) != seen.end()) return;
+    seen.push_back(q);
+    fn(q);
+  };
+  visit(pr.succ);
+  visit(pr.pred);
+  for (const PeerId q : pr.out_links) visit(q);
+  for (const PeerId q : pr.in_links) visit(q);
+}
+
+std::vector<PeerId> Overlay::neighbor_list(PeerId p) const {
+  std::vector<PeerId> out;
+  for_each_neighbor(p, [&out](PeerId q) { out.push_back(q); });
+  return out;
+}
+
+RouteResult Overlay::greedy_route(PeerId src, PeerId dst,
+                                  const RouteOptions& opts) const {
+  RouteResult result;
+  if (!peer(src).joined || !peer(dst).joined) return result;
+  std::size_t max_hops = opts.max_hops;
+  if (max_hops == 0) {
+    const double n = std::max<double>(2.0, static_cast<double>(joined_count_));
+    max_hops = static_cast<std::size_t>(4.0 * std::log2(n)) + 32;
+  }
+
+  result.path.push_back(src);
+  if (src == dst) {
+    result.success = true;
+    return result;
+  }
+
+  std::unordered_set<PeerId> visited{src};
+  PeerId current = src;
+  const net::OverlayId target = peer(dst).id;
+
+  auto usable = [this, &opts, dst](PeerId q) {
+    if (q == kInvalidPeer || !peer(q).joined) return false;
+    if (opts.require_online && !peer(q).online) return false;
+    if (opts.avoid != nullptr && q != dst && opts.avoid->contains(q)) {
+      return false;
+    }
+    return true;
+  };
+
+  while (result.path.size() <= max_hops) {
+    // Direct neighbour?
+    if (neighbors_of_contains(current, dst) && usable(dst)) {
+      result.path.push_back(dst);
+      result.success = true;
+      return result;
+    }
+
+    PeerId next = kInvalidPeer;
+
+    if (opts.lookahead) {
+      // Neighbour whose own neighbour set contains dst (and that is usable):
+      // guarantees delivery in two hops from here. With a cache, the claim
+      // comes from the gossip snapshot and may be stale — the route then
+      // simply continues from w.
+      auto set_contains = [this, &opts](PeerId via, PeerId target) {
+        return opts.lookahead_cache != nullptr
+                   ? opts.lookahead_cache->cached_contains(via, target)
+                   : neighbors_of_contains(via, target);
+      };
+      for_each_neighbor(current, [&](PeerId w) {
+        if (next != kInvalidPeer) return;
+        if (!usable(w) || visited.contains(w)) return;
+        if (set_contains(w, dst)) next = w;
+      });
+      if (next == kInvalidPeer && opts.lookahead_depth >= 2) {
+        // Depth 2: a neighbour w one of whose neighbours x connects to dst
+        // (guaranteed 3 hops). Scan w's (cached) neighbour list.
+        for_each_neighbor(current, [&](PeerId w) {
+          if (next != kInvalidPeer) return;
+          if (!usable(w) || visited.contains(w)) return;
+          if (opts.lookahead_cache != nullptr) {
+            for (const PeerId x : opts.lookahead_cache->snapshot(w)) {
+              if (!usable(x)) continue;
+              if (opts.lookahead_cache->cached_contains(x, dst)) {
+                next = w;
+                return;
+              }
+            }
+          } else {
+            for (const PeerId x : neighbor_list(w)) {
+              if (!usable(x)) continue;
+              if (neighbors_of_contains(x, dst)) {
+                next = w;
+                return;
+              }
+            }
+          }
+        });
+      }
+    }
+
+    if (next == kInvalidPeer) {
+      // Classic greedy: unvisited usable neighbour closest to the target.
+      // Inside a tight id cluster ring distances tie at ~0, so break ties
+      // by clockwise distance — this degenerates into an ordered ring walk
+      // that always terminates at the target.
+      double best = std::numeric_limits<double>::infinity();
+      double best_cw = std::numeric_limits<double>::infinity();
+      const double here = net::ring_distance(peer(current).id, target);
+      for_each_neighbor(current, [&](PeerId w) {
+        if (!usable(w) || visited.contains(w)) return;
+        const double d = net::ring_distance(peer(w).id, target);
+        const double cw = net::clockwise_distance(peer(w).id, target);
+        if (d < best || (d == best && cw < best_cw)) {
+          best = d;
+          best_cw = cw;
+          next = w;
+        }
+      });
+      if (next != kInvalidPeer && !opts.allow_detour && best >= here) {
+        next = kInvalidPeer;  // strict greedy: stuck at a local minimum
+      }
+    }
+
+    if (next == kInvalidPeer) return result;  // dead end
+    visited.insert(next);
+    result.path.push_back(next);
+    current = next;
+    if (current == dst) {
+      result.success = true;
+      return result;
+    }
+  }
+  return result;  // TTL exceeded
+}
+
+double Overlay::average_long_degree() const {
+  if (joined_count_ == 0) return 0.0;
+  std::size_t total = 0;
+  for (const auto& p : peers_) {
+    if (p.joined) total += p.out_links.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(joined_count_);
+}
+
+}  // namespace sel::overlay

@@ -1,0 +1,73 @@
+#include "overlay/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sel::overlay {
+
+bool save_overlay(const Overlay& ov, std::ostream& out) {
+  out << "selectov v1 " << ov.num_peers() << "\n";
+  out.precision(17);
+  for (PeerId p = 0; p < ov.num_peers(); ++p) {
+    if (!ov.joined(p)) continue;
+    out << "P " << p << ' ' << ov.id(p).value() << ' '
+        << (ov.online(p) ? 1 : 0) << "\n";
+  }
+  for (PeerId p = 0; p < ov.num_peers(); ++p) {
+    if (!ov.joined(p)) continue;
+    for (const PeerId q : ov.out_links(p)) {
+      out << "L " << p << ' ' << q << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_overlay_file(const Overlay& ov, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  return save_overlay(ov, out);
+}
+
+std::optional<Overlay> load_overlay(std::istream& in) {
+  std::string magic;
+  std::string version;
+  std::size_t n = 0;
+  if (!(in >> magic >> version >> n)) return std::nullopt;
+  if (magic != "selectov" || version != "v1") return std::nullopt;
+
+  Overlay ov(n);
+  std::string tag;
+  while (in >> tag) {
+    if (tag == "P") {
+      std::uint64_t p = 0;
+      double id = 0.0;
+      int online = 0;
+      if (!(in >> p >> id >> online)) return std::nullopt;
+      if (p >= n || id < 0.0 || id >= 1.0) return std::nullopt;
+      ov.join(static_cast<PeerId>(p), net::OverlayId(id));
+      ov.set_online(static_cast<PeerId>(p), online != 0);
+    } else if (tag == "L") {
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      if (!(in >> a >> b)) return std::nullopt;
+      if (a >= n || b >= n) return std::nullopt;
+      if (!ov.joined(static_cast<PeerId>(a)) ||
+          !ov.joined(static_cast<PeerId>(b))) {
+        return std::nullopt;  // links must follow their P lines
+      }
+      ov.add_long_link(static_cast<PeerId>(a), static_cast<PeerId>(b));
+    } else {
+      return std::nullopt;  // unknown record
+    }
+  }
+  ov.rebuild_ring();
+  return ov;
+}
+
+std::optional<Overlay> load_overlay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  return load_overlay(in);
+}
+
+}  // namespace sel::overlay

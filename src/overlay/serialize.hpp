@@ -1,0 +1,36 @@
+// Overlay snapshot serialization.
+//
+// A line-oriented text format ("selectov v1") capturing membership,
+// identifiers, liveness and long links — enough to persist a built overlay
+// and reload it later (analysis runs, warm restarts, cross-tool exchange).
+// Short-range links are not stored: they are derived state
+// (rebuild_ring()).
+//
+//   selectov v1 <num_peers>
+//   P <peer> <id> <online 0|1>        one line per joined peer
+//   L <from> <to>                     one line per long link
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "overlay/overlay.hpp"
+
+namespace sel::overlay {
+
+/// Writes the snapshot; returns false on stream failure.
+bool save_overlay(const Overlay& ov, std::ostream& out);
+
+/// Convenience: save to a file path.
+bool save_overlay_file(const Overlay& ov, const std::string& path);
+
+/// Parses a snapshot. Returns nullopt on malformed input (wrong magic,
+/// out-of-range peers, truncated lines). The returned overlay has its ring
+/// rebuilt.
+[[nodiscard]] std::optional<Overlay> load_overlay(std::istream& in);
+
+[[nodiscard]] std::optional<Overlay> load_overlay_file(
+    const std::string& path);
+
+}  // namespace sel::overlay

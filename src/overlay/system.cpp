@@ -1,0 +1,100 @@
+#include "overlay/system.hpp"
+
+namespace sel::overlay {
+
+std::unordered_set<PeerId> PubSubSystem::subscribers_of(
+    PeerId publisher) const {
+  std::unordered_set<PeerId> subs;
+  for (const graph::NodeId friend_id : social().neighbors(publisher)) {
+    if (interest_ != nullptr && !interest_->interested(friend_id, publisher)) {
+      continue;
+    }
+    subs.insert(friend_id);
+  }
+  return subs;
+}
+
+DisseminationTree PubSubSystem::build_tree(PeerId publisher) const {
+  DisseminationTree tree(publisher);
+  for (const graph::NodeId s : social().neighbors(publisher)) {
+    const RouteResult r = route(publisher, s);
+    if (r.success) tree.add_path(r.path);
+  }
+  return tree;
+}
+
+DisseminationTree subscriber_first_tree(
+    const Overlay& ov, const std::unordered_set<PeerId>& subscribers,
+    PeerId publisher, const RouteOptions& route_options) {
+  DisseminationTree tree(publisher);
+  // Phase 1: flood over subscriber-to-subscriber links (plus the
+  // publisher's own links). Every node on these branches is interested in
+  // the message, so no relays are created.
+  std::vector<PeerId> frontier{publisher};
+  std::unordered_set<PeerId> reached{publisher};
+  while (!frontier.empty()) {
+    std::vector<PeerId> next;
+    for (const PeerId u : frontier) {
+      ov.for_each_neighbor(u, [&](PeerId v) {
+        if (reached.contains(v)) return;
+        if (!subscribers.contains(v)) return;
+        if (route_options.require_online && !ov.online(v)) return;
+        reached.insert(v);
+        tree.add_child(u, v);
+        next.push_back(v);
+      });
+    }
+    frontier = std::move(next);
+  }
+  // Phase 2: an unreached subscriber may hang one relay below the tree — a
+  // non-subscriber connected to both a tree node and the subscriber (the
+  // lookahead set L_p resolves exactly this pattern in 2 hops).
+  for (const PeerId s : subscribers) {
+    if (reached.contains(s)) continue;
+    if (route_options.require_online && !ov.online(s)) continue;
+    PeerId via = kInvalidPeer;
+    PeerId anchor = kInvalidPeer;
+    ov.for_each_neighbor(s, [&](PeerId w) {
+      if (via != kInvalidPeer) return;
+      if (route_options.require_online && !ov.online(w)) return;
+      ov.for_each_neighbor(w, [&](PeerId t) {
+        if (via != kInvalidPeer) return;
+        if (tree.contains(t)) {
+          via = w;
+          anchor = t;
+        }
+      });
+    });
+    if (via != kInvalidPeer) {
+      if (!tree.contains(via)) tree.add_child(anchor, via);
+      tree.add_child(via, s);
+      reached.insert(s);
+    }
+  }
+  // Phase 3: anything still unreached gets a full overlay route from the
+  // publisher; intermediate non-subscribers on those paths are the relays.
+  for (const PeerId s : subscribers) {
+    if (reached.contains(s)) continue;
+    const RouteResult r = ov.greedy_route(publisher, s, route_options);
+    if (r.success) tree.add_path(r.path);
+  }
+  return tree;
+}
+
+RingBasedSystem::RingBasedSystem(const graph::SocialGraph& g,
+                                 RouteOptions route_options)
+    : graph_(&g), overlay_(g.num_nodes()), route_options_(route_options) {}
+
+RouteResult RingBasedSystem::route(PeerId from, PeerId to) const {
+  return overlay_.greedy_route(from, to, route_options_);
+}
+
+void RingBasedSystem::set_peer_online(PeerId p, bool online) {
+  overlay_.set_online(p, online);
+}
+
+bool RingBasedSystem::peer_online(PeerId p) const {
+  return overlay_.online(p);
+}
+
+}  // namespace sel::overlay

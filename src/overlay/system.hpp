@@ -1,0 +1,107 @@
+// The common interface every pub/sub system under evaluation implements
+// (SELECT plus the Symphony, Bayeux, Vitis and OMen baselines).
+//
+// A system owns its overlay construction; the evaluation harnesses only use
+// this interface, so every figure compares all five systems symmetrically.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+
+#include "graph/social_graph.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/tree.hpp"
+
+namespace sel::overlay {
+
+/// The interest function f : S x B -> {true,false} of the pub/sub model
+/// (paper Sec. II-B). A friend that is not interested does not subscribe.
+class InterestFunction {
+ public:
+  virtual ~InterestFunction() = default;
+  [[nodiscard]] virtual bool interested(PeerId subscriber,
+                                        PeerId publisher) const = 0;
+};
+
+class PubSubSystem {
+ public:
+  virtual ~PubSubSystem() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const graph::SocialGraph& social() const = 0;
+
+  /// Constructs the overlay to convergence (join + topology iterations).
+  virtual void build() = 0;
+
+  /// Iterations the construction took; 0 for non-iterative systems
+  /// (Symphony, Bayeux — excluded from Fig. 5 for that reason).
+  [[nodiscard]] virtual std::size_t build_iterations() const = 0;
+
+  /// Social lookup: route a message from peer `from` to peer `to`
+  /// (Fig. 2 measures the hop count of these).
+  [[nodiscard]] virtual RouteResult route(PeerId from, PeerId to) const = 0;
+
+  /// Dissemination tree from `publisher` to all its subscribers (its social
+  /// friends, paper Sec. II-B). Unreachable subscribers are simply absent.
+  [[nodiscard]] virtual DisseminationTree build_tree(PeerId publisher) const;
+
+  /// Churn hook: marks a peer online/offline. Systems with recovery react
+  /// here (SELECT Sec. III-F, OMen shadow sets); default adjusts liveness
+  /// only.
+  virtual void set_peer_online(PeerId p, bool online) = 0;
+  [[nodiscard]] virtual bool peer_online(PeerId p) const = 0;
+
+  /// Runs one maintenance round under churn (recovery/mending). Default:
+  /// nothing.
+  virtual void maintenance_round() {}
+
+  /// The subscriber set S_b of a publisher: its social friends, filtered by
+  /// the interest function when one is installed (f ≡ true otherwise,
+  /// matching the paper's evaluation).
+  [[nodiscard]] std::unordered_set<PeerId> subscribers_of(PeerId publisher) const;
+
+  /// Installs an interest function (not owned; may be null to reset).
+  void set_interest_function(const InterestFunction* f) { interest_ = f; }
+  [[nodiscard]] const InterestFunction* interest_function() const noexcept {
+    return interest_;
+  }
+
+ private:
+  const InterestFunction* interest_ = nullptr;
+};
+
+/// Subscriber-first tree construction: BFS from the publisher over overlay
+/// links *between subscribers* (a subscriber that received the message
+/// forwards it to fellow subscribers it is directly connected to — zero
+/// relay nodes on those branches), then route any unreached subscriber
+/// through the overlay. SELECT (Sec. III-E, lookahead trees over friend
+/// links) and OMen (topic-connected overlays) disseminate this way.
+[[nodiscard]] DisseminationTree subscriber_first_tree(
+    const Overlay& ov, const std::unordered_set<PeerId>& subscribers,
+    PeerId publisher, const RouteOptions& route_options);
+
+/// Base for systems whose routing runs on the shared Overlay substrate
+/// (SELECT, Symphony, Vitis, OMen). Bayeux routes on digit prefixes and
+/// implements PubSubSystem directly.
+class RingBasedSystem : public PubSubSystem {
+ public:
+  RingBasedSystem(const graph::SocialGraph& g, RouteOptions route_options);
+
+  [[nodiscard]] const graph::SocialGraph& social() const final {
+    return *graph_;
+  }
+  [[nodiscard]] RouteResult route(PeerId from, PeerId to) const override;
+  void set_peer_online(PeerId p, bool online) override;
+  [[nodiscard]] bool peer_online(PeerId p) const override;
+
+  [[nodiscard]] const Overlay& overlay() const noexcept { return overlay_; }
+  [[nodiscard]] Overlay& overlay() noexcept { return overlay_; }
+
+ protected:
+  const graph::SocialGraph* graph_;
+  Overlay overlay_;
+  RouteOptions route_options_;
+};
+
+}  // namespace sel::overlay

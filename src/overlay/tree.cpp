@@ -1,0 +1,69 @@
+#include "overlay/tree.hpp"
+
+#include "common/assert.hpp"
+
+namespace sel::overlay {
+
+const std::vector<PeerId> DisseminationTree::kNoChildren{};
+
+DisseminationTree::DisseminationTree(PeerId root) : root_(root) {
+  order_.push_back(root);
+}
+
+void DisseminationTree::add_path(std::span<const PeerId> path) {
+  if (path.empty()) return;
+  SEL_EXPECTS(path.front() == root_);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const PeerId node = path[i];
+    const PeerId via = path[i - 1];
+    if (node == root_ || parent_.contains(node)) continue;
+    // `via` is guaranteed present: it is either the root or was inserted in
+    // the previous iteration of this same walk.
+    SEL_ASSERT(contains(via));
+    parent_.emplace(node, via);
+    children_[via].push_back(node);
+    order_.push_back(node);
+  }
+}
+
+void DisseminationTree::add_child(PeerId parent, PeerId child) {
+  SEL_EXPECTS(contains(parent));
+  if (child == root_ || parent_.contains(child)) return;
+  parent_.emplace(child, parent);
+  children_[parent].push_back(child);
+  order_.push_back(child);
+}
+
+PeerId DisseminationTree::parent(PeerId p) const {
+  const auto it = parent_.find(p);
+  return it == parent_.end() ? kInvalidPeer : it->second;
+}
+
+std::span<const PeerId> DisseminationTree::children(PeerId p) const {
+  const auto it = children_.find(p);
+  if (it == children_.end()) return kNoChildren;
+  return it->second;
+}
+
+std::size_t DisseminationTree::depth(PeerId p) const {
+  if (!contains(p)) return static_cast<std::size_t>(-1);
+  std::size_t d = 0;
+  PeerId cur = p;
+  while (cur != root_) {
+    cur = parent_.at(cur);
+    ++d;
+  }
+  return d;
+}
+
+std::vector<PeerId> DisseminationTree::relay_nodes(
+    const std::unordered_set<PeerId>& subscribers) const {
+  std::vector<PeerId> relays;
+  for (const PeerId node : order_) {
+    if (node == root_) continue;
+    if (!subscribers.contains(node)) relays.push_back(node);
+  }
+  return relays;
+}
+
+}  // namespace sel::overlay

@@ -1,0 +1,70 @@
+// Dissemination (routing) tree RT_b for a publisher b (paper Sec. II-B).
+//
+// The tree is assembled by merging the overlay route from the publisher to
+// each subscriber: a node's parent is fixed by the first route that reaches
+// it, so every node has exactly one parent and the structure stays a tree.
+// Relay accounting follows the paper: a relay node is a peer that forwards a
+// message it is not itself subscribed to.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace sel::overlay {
+
+class DisseminationTree {
+ public:
+  explicit DisseminationTree(PeerId root);
+
+  [[nodiscard]] PeerId root() const noexcept { return root_; }
+
+  /// Merges a route path (path[0] must equal root()). Nodes already in the
+  /// tree keep their existing parent.
+  void add_path(std::span<const PeerId> path);
+
+  /// Attaches `child` under `parent` (which must already be in the tree).
+  /// No-op when child is already present.
+  void add_child(PeerId parent, PeerId child);
+
+  [[nodiscard]] bool contains(PeerId p) const {
+    return p == root_ || parent_.contains(p);
+  }
+  /// kInvalidPeer for the root or for nodes outside the tree.
+  [[nodiscard]] PeerId parent(PeerId p) const;
+  [[nodiscard]] std::span<const PeerId> children(PeerId p) const;
+
+  /// Number of nodes including the root.
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return parent_.size() + 1;
+  }
+
+  /// All nodes, root first, in insertion (delivery) order.
+  [[nodiscard]] const std::vector<PeerId>& nodes() const noexcept {
+    return order_;
+  }
+
+  /// Messages forwarded by p = number of children (each child is one send).
+  [[nodiscard]] std::size_t forward_count(PeerId p) const {
+    return children(p).size();
+  }
+
+  /// Depth of p (root = 0); SIZE_MAX when p is not in the tree.
+  [[nodiscard]] std::size_t depth(PeerId p) const;
+
+  /// Nodes that are neither the root nor in `subscribers` — pure relays.
+  [[nodiscard]] std::vector<PeerId> relay_nodes(
+      const std::unordered_set<PeerId>& subscribers) const;
+
+ private:
+  PeerId root_;
+  std::unordered_map<PeerId, PeerId> parent_;
+  std::unordered_map<PeerId, std::vector<PeerId>> children_;
+  std::vector<PeerId> order_;
+  static const std::vector<PeerId> kNoChildren;
+};
+
+}  // namespace sel::overlay

@@ -1,0 +1,102 @@
+#include "pubsub/engine.hpp"
+
+namespace sel::pubsub {
+
+using overlay::DisseminationTree;
+using overlay::PeerId;
+
+NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
+                                       const net::NetworkModel& net,
+                                       double payload_bytes)
+    : sys_(&sys), net_(&net), payload_bytes_(payload_bytes) {
+  SEL_EXPECTS(payload_bytes > 0.0);
+}
+
+MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
+  SEL_EXPECTS(time_s >= queue_.now());
+  const MessageId id = next_id_++;
+
+  // Tree: cached per publisher until invalidate_trees().
+  auto cached = tree_cache_.find(publisher);
+  if (cached == tree_cache_.end()) {
+    ++stats_.tree_cache_misses;
+    cached = tree_cache_.emplace(publisher, sys_->build_tree(publisher)).first;
+  } else {
+    ++stats_.tree_cache_hits;
+  }
+
+  InFlight flight{cached->second, sys_->subscribers_of(publisher)};
+
+  MessageRecord rec;
+  rec.id = id;
+  rec.publisher = publisher;
+  rec.publish_time_s = time_s;
+  for (const PeerId s : flight.subscribers) {
+    if (sys_->peer_online(s) && flight.tree.contains(s)) ++rec.wanted;
+  }
+  stats_.wanted += rec.wanted;
+  ++stats_.messages_published;
+
+  records_.emplace(id, rec);
+  auto& stored = in_flight_.emplace(id, std::move(flight)).first->second;
+  stored.pending_events = 1;  // the initial forward below
+  queue_.schedule(time_s, [this, id, publisher](double now) {
+    forward(id, publisher, now);
+    finish_event(id);
+  });
+  return id;
+}
+
+void NotificationEngine::finish_event(MessageId id) {
+  const auto it = in_flight_.find(id);
+  SEL_ASSERT(it != in_flight_.end());
+  SEL_ASSERT(it->second.pending_events > 0);
+  if (--it->second.pending_events == 0) {
+    in_flight_.erase(it);
+  }
+}
+
+void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
+  const auto flight_it = in_flight_.find(id);
+  SEL_ASSERT(flight_it != in_flight_.end());
+  auto& flight = flight_it->second;
+  auto& rec = records_.at(id);
+
+  const auto kids = flight.tree.children(node);
+  if (kids.empty()) return;
+  // A forwarding non-subscriber is a relay (the publisher itself excluded).
+  if (node != rec.publisher && !flight.subscribers.contains(node)) {
+    ++rec.relay_forwards;
+    ++stats_.relay_forwards;
+  }
+  // Simultaneous sends split the uplink across all children.
+  flight.pending_events += kids.size();
+  for (const PeerId child : kids) {
+    const double arrival =
+        start_s +
+        net_->transfer_time_s(node, child, payload_bytes_, kids.size());
+    queue_.schedule(arrival, [this, id, child](double now) {
+      auto& r = records_.at(id);
+      const auto f = in_flight_.find(id);
+      SEL_ASSERT(f != in_flight_.end());
+      if (f->second.subscribers.contains(child) && sys_->peer_online(child)) {
+        ++r.delivered;
+        ++stats_.deliveries;
+        const double latency = now - r.publish_time_s;
+        r.delivery_latency_s.add(latency);
+        stats_.delivery_latency_s.add(latency);
+        if (r.delivered >= r.wanted) r.completed_at_s = now;
+      }
+      forward(id, child, now);
+      finish_event(id);
+    });
+  }
+}
+
+const MessageRecord& NotificationEngine::record(MessageId id) const {
+  const auto it = records_.find(id);
+  SEL_EXPECTS(it != records_.end());
+  return it->second;
+}
+
+}  // namespace sel::pubsub

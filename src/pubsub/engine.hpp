@@ -1,0 +1,112 @@
+// NotificationEngine — the message plane of the system.
+//
+// The metrics in metrics.hpp evaluate one dissemination at a time; this
+// engine runs the *service*: posts arrive on a timeline (from the Jiang et
+// al. workload or an application), each becomes a message disseminated down
+// the system's routing tree with real transfer durations (latency +
+// payload/bandwidth, uplink shared across a node's simultaneous child
+// sends), overlapping freely with other messages. Per-message and aggregate
+// delivery statistics come out the other end.
+//
+// Trees are cached per publisher and invalidated on churn — rebuilding the
+// tree for every post would hide the cost structure a real deployment has.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/network_model.hpp"
+#include "overlay/system.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sel::pubsub {
+
+using MessageId = std::uint64_t;
+
+struct MessageRecord {
+  MessageId id = 0;
+  overlay::PeerId publisher = overlay::kInvalidPeer;
+  double publish_time_s = 0.0;
+  std::size_t wanted = 0;     ///< online subscribers at publish time
+  std::size_t delivered = 0;  ///< subscribers reached so far
+  std::size_t relay_forwards = 0;  ///< forwards by non-subscribers
+  RunningStats delivery_latency_s;
+  /// Completion time (max subscriber arrival, Eq. 1); set when all wanted
+  /// subscribers were reached.
+  std::optional<double> completed_at_s;
+};
+
+struct EngineStats {
+  std::size_t messages_published = 0;
+  std::size_t deliveries = 0;
+  std::size_t wanted = 0;
+  std::size_t relay_forwards = 0;
+  std::size_t tree_cache_hits = 0;
+  std::size_t tree_cache_misses = 0;
+  RunningStats delivery_latency_s;
+
+  [[nodiscard]] double delivery_rate() const noexcept {
+    return wanted == 0 ? 1.0
+                       : static_cast<double>(deliveries) /
+                             static_cast<double>(wanted);
+  }
+};
+
+class NotificationEngine {
+ public:
+  /// The engine reads (never mutates) the system and network model; both
+  /// must outlive it.
+  NotificationEngine(const overlay::PubSubSystem& sys,
+                     const net::NetworkModel& net,
+                     double payload_bytes = net::kDefaultPayloadBytes);
+
+  /// Publishes a message at `time_s` (>= the engine clock). Transfers are
+  /// scheduled on the internal event queue; call run_until()/run_all() to
+  /// make progress. Returns the message id.
+  MessageId publish(overlay::PeerId publisher, double time_s);
+
+  /// Advances simulated time, delivering everything due by then.
+  void run_until(double t_s) { queue_.run_until(t_s); }
+  /// Drains all in-flight transfers.
+  void run_all() { queue_.run_all(); }
+
+  [[nodiscard]] double now_s() const noexcept { return queue_.now(); }
+
+  /// Drops cached trees; call after churn or topology maintenance.
+  void invalidate_trees() { tree_cache_.clear(); }
+
+  [[nodiscard]] const MessageRecord& record(MessageId id) const;
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  /// Schedules the sends from `node` for message `id` down its cached tree.
+  void forward(MessageId id, overlay::PeerId node, double start_s);
+
+  const overlay::PubSubSystem* sys_;
+  const net::NetworkModel* net_;
+  double payload_bytes_;
+  sim::EventQueue queue_;
+  MessageId next_id_ = 1;
+  std::unordered_map<MessageId, MessageRecord> records_;
+  /// Per-message subscriber set + tree (kept while events are pending).
+  struct InFlight {
+    overlay::DisseminationTree tree;
+    std::unordered_set<overlay::PeerId> subscribers;
+    std::size_t pending_events = 0;
+  };
+
+  /// Decrements the pending-event count; frees the in-flight state when the
+  /// last event of the message fired.
+  void finish_event(MessageId id);
+  std::unordered_map<MessageId, InFlight> in_flight_;
+  std::unordered_map<overlay::PeerId, overlay::DisseminationTree> tree_cache_;
+  EngineStats stats_;
+};
+
+}  // namespace sel::pubsub

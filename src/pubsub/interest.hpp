@@ -1,0 +1,49 @@
+// The interest function f : S x B -> {true,false} (paper Sec. II-B).
+//
+// A subscriber receives a publisher's messages only when it is a social
+// friend AND interested: S_b = { s | f(s,b) = true ∧ (b,s) ∈ E }. The
+// evaluation treats f ≡ true (every friend subscribes, the notification
+// use case); this model generalizes it: each (subscriber, publisher) pair
+// is interested with probability `interest_probability`, deterministically
+// derived from the pair and a seed — think muted friends / unfollowed pages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/social_graph.hpp"
+#include "overlay/system.hpp"
+
+namespace sel::pubsub {
+
+class InterestModel final : public overlay::InterestFunction {
+ public:
+  /// probability = 1 reproduces the paper's evaluation (all friends).
+  InterestModel(double interest_probability, std::uint64_t seed)
+      : probability_(interest_probability), seed_(seed) {
+    SEL_EXPECTS(interest_probability >= 0.0 && interest_probability <= 1.0);
+  }
+
+  /// f(subscriber, publisher): deterministic per pair. Note the asymmetry —
+  /// s being interested in b says nothing about b's interest in s.
+  [[nodiscard]] bool interested(graph::NodeId subscriber,
+                                graph::NodeId publisher) const override {
+    if (probability_ >= 1.0) return true;
+    if (probability_ <= 0.0) return false;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(subscriber) << 32) | publisher;
+    // Map the pair hash to [0,1) and threshold.
+    const double u =
+        static_cast<double>(splitmix64(derive_seed(seed_, key)) >> 11) *
+        0x1.0p-53;
+    return u < probability_;
+  }
+
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+
+ private:
+  double probability_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sel::pubsub

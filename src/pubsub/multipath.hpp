@@ -1,0 +1,64 @@
+// Multipath dissemination — the extension sketched in the paper's
+// Discussion (Sec. V): "This issue can be optimized by having more than one
+// paths to the subscribers in order to guarantee the transmission."
+//
+// For each subscriber we compute a primary route and a backup route whose
+// intermediate peers are disjoint from the primary's, so any single relay
+// failure leaves at least one path intact. measure_fault_tolerance()
+// quantifies the gain: Monte-Carlo peer failures, delivery probability with
+// one vs two paths — and the cost: extra path length (the paper notes it is
+// "unlikely to find paths of the same length").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "overlay/system.hpp"
+
+namespace sel::pubsub {
+
+struct SubscriberPaths {
+  overlay::PeerId subscriber;
+  /// Primary route publisher -> subscriber (publisher first).
+  std::vector<overlay::PeerId> primary;
+  /// Backup route with intermediates disjoint from primary's; empty when no
+  /// disjoint route exists.
+  std::vector<overlay::PeerId> backup;
+};
+
+struct MultipathPlan {
+  overlay::PeerId publisher;
+  std::vector<SubscriberPaths> paths;
+
+  /// Fraction of subscribers holding a disjoint backup path.
+  [[nodiscard]] double backup_coverage() const;
+  /// Mean extra hops of backup vs primary (over subscribers with both).
+  [[nodiscard]] double backup_stretch() const;
+};
+
+/// Computes primary + disjoint backup routes from a publisher to every
+/// subscriber, using the overlay's routing with exclusion sets.
+[[nodiscard]] MultipathPlan plan_multipath(const overlay::Overlay& ov,
+                                           const graph::SocialGraph& g,
+                                           overlay::PeerId publisher);
+
+struct FaultToleranceResult {
+  double single_path_delivery = 0.0;  ///< P(delivered) with primary only
+  double multi_path_delivery = 0.0;   ///< P(delivered) with backup too
+  double backup_coverage = 0.0;
+  double backup_stretch = 0.0;
+};
+
+/// Monte-Carlo failure injection: every non-endpoint peer fails
+/// independently with probability `fail_probability` in each of `rounds`
+/// draws; a subscriber is delivered if any of its paths has all
+/// intermediates alive.
+[[nodiscard]] FaultToleranceResult measure_fault_tolerance(
+    const overlay::Overlay& ov, const graph::SocialGraph& g,
+    const std::vector<overlay::PeerId>& publishers, double fail_probability,
+    std::size_t rounds, std::uint64_t seed);
+
+}  // namespace sel::pubsub

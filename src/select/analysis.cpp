@@ -1,0 +1,155 @@
+#include "select/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "net/id_space.hpp"
+
+namespace sel::core {
+
+using overlay::PeerId;
+
+CoverageReport friend_coverage(const overlay::Overlay& ov,
+                               const graph::SocialGraph& g,
+                               std::size_t sample_pairs, std::uint64_t seed,
+                               const overlay::RouteOptions& opts) {
+  CoverageReport report;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return report;
+  Rng rng(seed);
+  std::size_t one = 0;
+  std::size_t two = 0;
+  std::size_t beyond = 0;
+  double hop_total = 0.0;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < sample_pairs; ++i) {
+    PeerId from = overlay::kInvalidPeer;
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      const auto candidate = static_cast<PeerId>(rng.below(n));
+      if (g.degree(candidate) > 0 && ov.joined(candidate)) {
+        from = candidate;
+        break;
+      }
+    }
+    if (from == overlay::kInvalidPeer) break;
+    const auto nbrs = g.neighbors(from);
+    const PeerId to = nbrs[rng.below(nbrs.size())];
+    const auto r = ov.greedy_route(from, to, opts);
+    if (!r.success) {
+      ++beyond;
+      continue;
+    }
+    ++delivered;
+    hop_total += static_cast<double>(r.hops());
+    if (r.hops() <= 1) {
+      ++one;
+    } else if (r.hops() == 2) {
+      ++two;
+    } else {
+      ++beyond;
+    }
+  }
+  const double total = static_cast<double>(one + two + beyond);
+  if (total > 0.0) {
+    report.one_hop_fraction = static_cast<double>(one) / total;
+    report.two_hop_fraction = static_cast<double>(two) / total;
+    report.beyond_fraction = static_cast<double>(beyond) / total;
+  }
+  if (delivered > 0) {
+    report.avg_hops = hop_total / static_cast<double>(delivered);
+  }
+  return report;
+}
+
+std::vector<IdCluster> id_clusters(const overlay::Overlay& ov,
+                                   double gap_threshold) {
+  std::vector<double> ids;
+  ids.reserve(ov.joined_count());
+  for (PeerId p = 0; p < ov.num_peers(); ++p) {
+    if (ov.joined(p)) ids.push_back(ov.id(p).value());
+  }
+  std::vector<IdCluster> clusters;
+  if (ids.empty()) return clusters;
+  std::sort(ids.begin(), ids.end());
+
+  // Find the largest gap to anchor the segmentation (the ring has no
+  // natural start).
+  const std::size_t n = ids.size();
+  std::size_t anchor = 0;
+  double max_gap = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double next = ids[(i + 1) % n] + (i + 1 == n ? 1.0 : 0.0);
+    const double gap = next - ids[i];
+    if (gap > max_gap) {
+      max_gap = gap;
+      anchor = (i + 1) % n;
+    }
+  }
+  IdCluster current{ids[anchor], ids[anchor], 1};
+  double prev = ids[anchor];
+  for (std::size_t step = 1; step < n; ++step) {
+    double value = ids[(anchor + step) % n];
+    if (value < prev) value += 1.0;  // unwrap
+    if (value - prev > gap_threshold) {
+      current.hi = prev;
+      clusters.push_back(current);
+      current = IdCluster{value, value, 1};
+    } else {
+      ++current.size;
+    }
+    prev = value;
+  }
+  current.hi = prev;
+  clusters.push_back(current);
+  return clusters;
+}
+
+double ring_social_coherence(const overlay::Overlay& ov,
+                             const graph::SocialGraph& g,
+                             std::size_t min_common) {
+  std::size_t coherent = 0;
+  std::size_t total = 0;
+  for (PeerId p = 0; p < ov.num_peers(); ++p) {
+    if (!ov.joined(p)) continue;
+    const PeerId succ = ov.successor(p);
+    if (succ == overlay::kInvalidPeer) continue;
+    ++total;
+    if (g.has_edge(p, succ) || g.common_neighbors(p, succ) >= min_common) {
+      ++coherent;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(coherent) /
+                          static_cast<double>(total);
+}
+
+double link_strength_lift(const overlay::Overlay& ov,
+                          const graph::SocialGraph& g, std::uint64_t seed) {
+  double linked_strength = 0.0;
+  std::size_t linked_count = 0;
+  for (PeerId p = 0; p < ov.num_peers(); ++p) {
+    for (const PeerId q : ov.out_links(p)) {
+      linked_strength += g.social_strength(p, q);
+      ++linked_count;
+    }
+  }
+  if (linked_count == 0) return 0.0;
+  linked_strength /= static_cast<double>(linked_count);
+
+  // Baseline: uniformly random peer pairs.
+  Rng rng(seed);
+  double random_strength = 0.0;
+  std::size_t random_count = 0;
+  for (std::size_t i = 0; i < 4000 && g.num_nodes() > 1; ++i) {
+    const auto u = static_cast<PeerId>(rng.below(g.num_nodes()));
+    const auto v = static_cast<PeerId>(rng.below(g.num_nodes()));
+    if (u == v) continue;
+    random_strength += g.social_strength(u, v);
+    ++random_count;
+  }
+  if (random_count == 0 || random_strength == 0.0) return 0.0;
+  random_strength /= static_cast<double>(random_count);
+  return linked_strength / random_strength;
+}
+
+}  // namespace sel::core

@@ -1,0 +1,34 @@
+// Cumulative Moving Average availability tracker (paper Sec. III-F).
+//
+// Each peer's online behaviour is summarized as the CMA of binary
+// availability samples: cma_{n+1} = cma_n + (x_{n+1} - cma_n) / (n + 1).
+// A high CMA on an unresponsive peer indicates a transient failure (keep the
+// link); a low CMA indicates a mostly-offline user (replace the link).
+#pragma once
+
+#include <cstddef>
+
+namespace sel::core {
+
+class Cma {
+ public:
+  /// Records one availability sample (1 = online, 0 = offline).
+  void update(bool online) noexcept {
+    ++samples_;
+    value_ += ((online ? 1.0 : 0.0) - value_) / static_cast<double>(samples_);
+  }
+
+  /// Average availability so far; peers with no samples are optimistically
+  /// treated as fully available (a freshly met peer was just online).
+  [[nodiscard]] double value() const noexcept {
+    return samples_ == 0 ? 1.0 : value_;
+  }
+
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+ private:
+  double value_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace sel::core

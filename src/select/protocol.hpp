@@ -1,0 +1,168 @@
+// The SELECT system (paper Sec. III).
+//
+// Pipeline:
+//   1. Projection (Alg. 1): peers join per the growth schedule; invited
+//      peers are placed next to their inviter in the ID space, independent
+//      subscribers get a uniform hash id.
+//   2. Gossip peer sampling (Algs. 3-4): every round each peer exchanges
+//      its friend set and routing table with one random social friend,
+//      learning social strengths and friendship bitmaps incrementally.
+//   3. Identifier reassignment (Alg. 2): move to the ring midpoint of the
+//      two strongest known ties (damped).
+//   4. Link reassignment (Algs. 5-6): index friendship bitmaps into K LSH
+//      buckets, keep one long link per bucket, picked for social coverage
+//      and bandwidth; incoming links are capped at K with bandwidth-based
+//      admission.
+//   5. Recovery (Sec. III-F): CMA availability decides whether a dead link
+//      is kept (transient) or replaced with a same-LSH-bucket peer.
+//
+// The pub/sub layer (Sec. III-E) is the inherited route/tree machinery:
+// direct links and lookahead deliver to friends in 1-2 hops, greedy ring
+// routing covers the rest.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/rng.hpp"
+#include "lsh/lsh.hpp"
+#include "net/network_model.hpp"
+#include "overlay/lookahead.hpp"
+#include "overlay/system.hpp"
+#include "select/cma.hpp"
+#include "select/params.hpp"
+#include "sim/growth.hpp"
+
+namespace sel::core {
+
+class SelectSystem final : public overlay::RingBasedSystem {
+ public:
+  /// `net` provides per-peer bandwidth (picker, Alg. 6); when null an
+  /// internal model seeded from `seed` is created.
+  SelectSystem(const graph::SocialGraph& g, SelectParams params,
+               std::uint64_t seed, const net::NetworkModel* net = nullptr);
+
+  [[nodiscard]] std::string_view name() const override { return "select"; }
+
+  /// Joins every user per the growth model, then runs topology rounds to
+  /// convergence.
+  void build() override;
+
+  /// Join phase only (projection + initial friend links), no gossip rounds.
+  /// Exposed for the convergence harness and tests.
+  void join_all();
+
+  /// One gossip round over all joined peers; returns true when the round
+  /// was quiet (counts toward convergence).
+  bool run_round();
+
+  /// Rounds run by the last build()/run-to-convergence sequence.
+  [[nodiscard]] std::size_t build_iterations() const override {
+    return rounds_run_;
+  }
+
+  /// Runs rounds until converged or params.max_rounds; returns rounds run.
+  std::size_t run_to_convergence();
+
+  [[nodiscard]] bool converged() const noexcept {
+    return quiet_streak_ >= params_.stable_rounds;
+  }
+
+  /// SELECT dissemination (Sec. III-E): subscribers forward to the fellow
+  /// subscribers in their routing table and lookahead set; only subscribers
+  /// the friend-link mesh misses are reached by greedy routing.
+  [[nodiscard]] overlay::DisseminationTree build_tree(
+      overlay::PeerId publisher) const override;
+
+  // -- churn ------------------------------------------------------------------
+  void set_peer_online(overlay::PeerId p, bool online) override;
+
+  /// Recovery round (Sec. III-F): samples availability into each CMA,
+  /// repairs the ring, and replaces links to low-CMA offline peers with
+  /// same-bucket alternatives.
+  void maintenance_round() override;
+
+  // -- introspection ------------------------------------------------------------
+  [[nodiscard]] const SelectParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] double cma_of(overlay::PeerId p) const {
+    return cma_[p].value();
+  }
+  /// Social strength of `friend_peer` as known to p via gossip so far
+  /// (-1 when not yet learned).
+  [[nodiscard]] double known_strength(overlay::PeerId p,
+                                      overlay::PeerId friend_peer) const;
+  /// Identifier movement (sum of ring distances) during the last round.
+  [[nodiscard]] double last_round_movement() const noexcept {
+    return last_movement_;
+  }
+  [[nodiscard]] std::size_t last_round_link_changes() const noexcept {
+    return last_link_changes_;
+  }
+  /// The gossip-maintained L_p snapshots used for lookahead routing.
+  [[nodiscard]] const overlay::LookaheadCache& lookahead() const noexcept {
+    return lookahead_;
+  }
+
+ private:
+  struct FriendInfo {
+    double strength = -1.0;      ///< known via gossip; -1 = unknown
+    DynamicBitset bitmap;        ///< R_friend ∩ C_p over C_p's index space
+    bool bitmap_known = false;
+  };
+
+  struct PeerState {
+    std::vector<FriendInfo> friends;           ///< aligned with g.neighbors(p)
+    std::optional<lsh::LshIndex> index;        ///< persistent K-bucket index
+    Rng rng;
+  };
+
+  /// Position of `friend_peer` in p's sorted neighbour list.
+  [[nodiscard]] std::size_t friend_index(overlay::PeerId p,
+                                         overlay::PeerId friend_peer) const;
+
+  /// Gossip exchange between p and its friend u (Algs. 3-4): both sides
+  /// learn strength + bitmap of the other.
+  void exchange(overlay::PeerId p, overlay::PeerId u);
+
+  /// Alg. 2 (damped): returns the ring distance moved.
+  double evaluate_position(overlay::PeerId p);
+
+  /// Algs. 5-6: rebuilds p's LSH index and reassigns long links. Returns
+  /// the number of link changes made.
+  std::size_t create_links(overlay::PeerId p);
+
+  /// Alg. 6 picker over bucket candidates (already filtered to usable).
+  [[nodiscard]] overlay::PeerId pick_from_bucket(
+      const std::vector<lsh::LshIndex::Entry>& bucket) const;
+
+  /// Full picker ordering of a bucket (best first, Alg. 6 semantics).
+  [[nodiscard]] std::vector<overlay::PeerId> rank_bucket(
+      const std::vector<lsh::LshIndex::Entry>& bucket) const;
+
+  /// Connects p -> u honoring u's K incoming cap with bandwidth admission.
+  /// Returns true when the link was established.
+  bool try_connect(overlay::PeerId p, overlay::PeerId u);
+
+  /// Refreshes p's stored bitmap for friend u from u's current links.
+  void refresh_bitmap(overlay::PeerId p, overlay::PeerId u);
+
+  SelectParams params_;
+  std::uint64_t seed_;
+  std::size_t k_ = 0;
+  std::optional<net::NetworkModel> owned_net_;
+  const net::NetworkModel* net_ = nullptr;
+
+  std::vector<PeerState> state_;
+  std::vector<Cma> cma_;
+  overlay::LookaheadCache lookahead_;
+  std::vector<sim::JoinEvent> schedule_;
+
+  std::size_t rounds_run_ = 0;
+  std::size_t quiet_streak_ = 0;
+  double last_movement_ = 0.0;
+  std::size_t last_link_changes_ = 0;
+};
+
+}  // namespace sel::core

@@ -1,0 +1,85 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sel::sim {
+
+RoundChurn::RoundChurn(std::size_t num_peers, Params params,
+                       std::uint64_t seed)
+    : num_peers_(num_peers), params_(params), rng_(seed) {
+  SEL_EXPECTS(params.max_fraction >= 0.0 && params.max_fraction <= 1.0);
+}
+
+std::vector<std::uint32_t> RoundChurn::draw_offline_set() {
+  const auto cap = static_cast<std::size_t>(
+      params_.max_fraction * static_cast<double>(num_peers_));
+  auto count = static_cast<std::size_t>(
+      std::llround(rng_.lognormal(params_.mu, params_.sigma)));
+  count = std::min(count, cap);
+  // Floyd's algorithm would also work; with count << n, rejection is fine.
+  std::vector<std::uint32_t> offline;
+  offline.reserve(count);
+  std::vector<bool> taken(num_peers_, false);
+  while (offline.size() < count) {
+    const auto p = static_cast<std::uint32_t>(rng_.below(num_peers_));
+    if (!taken[p]) {
+      taken[p] = true;
+      offline.push_back(p);
+    }
+  }
+  std::sort(offline.begin(), offline.end());
+  return offline;
+}
+
+SessionChurn::SessionChurn(std::size_t num_peers, Params params,
+                           std::uint64_t seed)
+    : num_peers_(num_peers),
+      params_(params),
+      rng_(seed),
+      session_mu_(std::log(params.session_median_s)),
+      offline_mu_(std::log(params.offline_median_s)),
+      online_(num_peers, true),
+      next_toggle_(num_peers, 0.0),
+      online_count_(num_peers) {
+  SEL_EXPECTS(params.session_median_s > 0.0);
+  SEL_EXPECTS(params.offline_median_s > 0.0);
+  // Start everyone online with a staggered first departure so the process
+  // doesn't thunder-herd at t=0.
+  for (std::size_t p = 0; p < num_peers_; ++p) {
+    next_toggle_[p] = rng_.uniform() * draw_session();
+  }
+}
+
+void SessionChurn::advance_to(double t_s) {
+  SEL_EXPECTS(t_s >= now_);
+  last_departures_.clear();
+  last_arrivals_.clear();
+  const auto floor_count = static_cast<std::size_t>(
+      std::ceil(params_.min_online_fraction * static_cast<double>(num_peers_)));
+  for (std::size_t p = 0; p < num_peers_; ++p) {
+    while (next_toggle_[p] <= t_s) {
+      if (online_[p]) {
+        if (online_count_ <= floor_count) {
+          // Availability floor: postpone this departure by one session.
+          next_toggle_[p] += draw_session();
+          continue;
+        }
+        online_[p] = false;
+        --online_count_;
+        last_departures_.push_back(static_cast<std::uint32_t>(p));
+        next_toggle_[p] += draw_offline();
+      } else {
+        online_[p] = true;
+        ++online_count_;
+        last_arrivals_.push_back(static_cast<std::uint32_t>(p));
+        next_toggle_[p] += draw_session();
+      }
+    }
+  }
+  now_ = t_s;
+}
+
+}  // namespace sel::sim

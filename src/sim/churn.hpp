@@ -1,0 +1,103 @@
+// Churn models after Berta et al. [20] (paper Sec. IV).
+//
+// Two variants are used in the evaluation:
+//
+//  * RoundChurn — "at each iteration step, we select a number of peers based
+//    on a log-normal distribution to be excluded from the overlay network.
+//    When the iteration step is completed, the removed peers are recovered."
+//    Used while measuring overlay construction under churn.
+//
+//  * SessionChurn — a continuous-time on/off process with log-normal session
+//    (online) and absence (offline) durations, used for the ten-hour Fig. 6
+//    availability experiment. The paper bounds total unavailability: "the
+//    total number of peers that are available cannot be less than half of
+//    the overall social network" — enforced here by refusing departures that
+//    would cross the floor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sel::sim {
+
+/// Per-iteration churn: a lognormal number of peers goes offline for exactly
+/// one iteration.
+class RoundChurn {
+ public:
+  struct Params {
+    double mu = 2.0;     ///< lognormal mu of the per-round departure count
+    double sigma = 1.0;  ///< lognormal sigma
+    double max_fraction = 0.5;  ///< never take more than this share offline
+  };
+
+  RoundChurn(std::size_t num_peers, Params params, std::uint64_t seed);
+
+  /// Draws the set of peers that are offline for this round.
+  [[nodiscard]] std::vector<std::uint32_t> draw_offline_set();
+
+  [[nodiscard]] std::size_t num_peers() const noexcept { return num_peers_; }
+
+ private:
+  std::size_t num_peers_;
+  Params params_;
+  Rng rng_;
+};
+
+/// Continuous on/off churn with lognormal session and offline durations.
+class SessionChurn {
+ public:
+  struct Params {
+    double session_median_s = 1200.0;  ///< median online session (20 min)
+    double session_sigma = 1.0;
+    double offline_median_s = 600.0;   ///< median offline gap (10 min)
+    double offline_sigma = 1.0;
+    double min_online_fraction = 0.5;  ///< availability floor (paper Sec. IV)
+  };
+
+  SessionChurn(std::size_t num_peers, Params params, std::uint64_t seed);
+
+  /// Advances the process to absolute time `t_s` (seconds, monotone calls).
+  void advance_to(double t_s);
+
+  [[nodiscard]] bool online(std::size_t peer) const {
+    return online_[peer];
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_count_;
+  }
+  [[nodiscard]] double online_fraction() const noexcept {
+    return num_peers_ == 0
+               ? 1.0
+               : static_cast<double>(online_count_) /
+                     static_cast<double>(num_peers_);
+  }
+  [[nodiscard]] std::size_t num_peers() const noexcept { return num_peers_; }
+
+  /// Peers that changed state during the last advance_to() call.
+  [[nodiscard]] const std::vector<std::uint32_t>& last_departures() const {
+    return last_departures_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& last_arrivals() const {
+    return last_arrivals_;
+  }
+
+ private:
+  [[nodiscard]] double draw_session() { return rng_.lognormal(session_mu_, params_.session_sigma); }
+  [[nodiscard]] double draw_offline() { return rng_.lognormal(offline_mu_, params_.offline_sigma); }
+
+  std::size_t num_peers_;
+  Params params_;
+  Rng rng_;
+  double session_mu_;
+  double offline_mu_;
+  double now_ = 0.0;
+  std::vector<bool> online_;
+  std::vector<double> next_toggle_;  ///< absolute time of next state change
+  std::size_t online_count_ = 0;
+  std::vector<std::uint32_t> last_departures_;
+  std::vector<std::uint32_t> last_arrivals_;
+};
+
+}  // namespace sel::sim

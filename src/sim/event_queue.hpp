@@ -1,0 +1,94 @@
+// Discrete-event scheduler. The round-based superstep engine drives
+// topology construction (matching the paper's vertex-centric simulation);
+// the *message plane* — transfers with real durations, overlapping
+// disseminations — needs event-driven time. Events at equal times fire in
+// scheduling order (a monotone sequence number breaks ties), so runs are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sel::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(double now_s)>;
+
+  /// Schedules `cb` at absolute time `time_s` (must not be in the past).
+  void schedule(double time_s, Callback cb) {
+    SEL_EXPECTS(time_s >= now_);
+    heap_.push(Entry{time_s, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedules `cb` at now + delay.
+  void schedule_in(double delay_s, Callback cb) {
+    SEL_EXPECTS(delay_s >= 0.0);
+    schedule(now_ + delay_s, std::move(cb));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Time of the next pending event; infinity when empty.
+  [[nodiscard]] double next_time() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.top().time;
+  }
+
+  /// Fires the earliest event. Returns false when the queue is empty.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    // Move the entry out before invoking: the callback may schedule more.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.time;
+    entry.callback(now_);
+    return true;
+  }
+
+  /// Fires every event with time <= t_s, then advances the clock to t_s.
+  /// Returns the number of events fired.
+  std::size_t run_until(double t_s) {
+    SEL_EXPECTS(t_s >= now_);
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.top().time <= t_s) {
+      run_next();
+      ++fired;
+    }
+    now_ = t_s;
+    return fired;
+  }
+
+  /// Drains the queue (bounded by max_events as a runaway backstop).
+  /// Returns the number of events fired.
+  std::size_t run_all(std::size_t max_events = 100'000'000) {
+    std::size_t fired = 0;
+    while (fired < max_events && run_next()) ++fired;
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Callback callback;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace sel::sim

@@ -1,0 +1,88 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace sel::sim {
+
+ChurnTrace::ChurnTrace(std::vector<ChurnEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+ChurnTrace ChurnTrace::record(SessionChurn& churn, double horizon_s,
+                              double step_s) {
+  SEL_EXPECTS(horizon_s >= 0.0);
+  SEL_EXPECTS(step_s > 0.0);
+  std::vector<ChurnEvent> events;
+  // Snapshot-diff per window: a peer that toggled multiple times within one
+  // sampling window contributes at most one event (its net transition), so
+  // replaying the trace reproduces the sampled states exactly.
+  std::vector<bool> prev(churn.num_peers(), true);
+  for (double t = step_s; t <= horizon_s; t += step_s) {
+    churn.advance_to(t);
+    for (std::size_t p = 0; p < churn.num_peers(); ++p) {
+      const bool now = churn.online(p);
+      if (now != prev[p]) {
+        events.push_back(ChurnEvent{t, static_cast<std::uint32_t>(p), now});
+        prev[p] = now;
+      }
+    }
+  }
+  return ChurnTrace(std::move(events));
+}
+
+bool ChurnTrace::save(std::ostream& out) const {
+  out.precision(17);
+  for (const auto& e : events_) {
+    out << e.time_s << ' ' << e.peer << ' ' << (e.online ? 1 : 0) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<ChurnTrace> ChurnTrace::load(std::istream& in) {
+  std::vector<ChurnEvent> events;
+  double prev = -1.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    double t = 0.0;
+    std::uint32_t peer = 0;
+    int online = -1;
+    if (!(fields >> t >> peer >> online)) return std::nullopt;  // truncated
+    std::string extra;
+    if (fields >> extra) return std::nullopt;  // trailing garbage
+    if (t < prev || (online != 0 && online != 1)) return std::nullopt;
+    prev = t;
+    events.push_back(ChurnEvent{t, peer, online == 1});
+  }
+  return ChurnTrace(std::move(events));
+}
+
+TraceReplayer::TraceReplayer(const ChurnTrace& trace, std::size_t num_peers)
+    : trace_(&trace), online_(num_peers, true), online_count_(num_peers) {}
+
+std::vector<ChurnEvent> TraceReplayer::advance_to(double t_s) {
+  std::vector<ChurnEvent> applied;
+  const auto& events = trace_->events();
+  while (cursor_ < events.size() && events[cursor_].time_s <= t_s) {
+    const auto& e = events[cursor_++];
+    SEL_EXPECTS(e.peer < online_.size());
+    if (online_[e.peer] != e.online) {
+      online_[e.peer] = e.online;
+      online_count_ += e.online ? 1 : -1;
+    }
+    applied.push_back(e);
+  }
+  return applied;
+}
+
+}  // namespace sel::sim

@@ -1,0 +1,75 @@
+// Churn trace record/replay.
+//
+// A trace is a time-ordered list of (time, peer, online) transitions. The
+// SessionChurn process can be recorded into a trace and replayed later —
+// so a churn scenario can be shared between experiments (or swapped for a
+// real measured trace) with bit-identical behaviour.
+//
+// Text format, one event per line:  <time_s> <peer> <0|1>
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/churn.hpp"
+
+namespace sel::sim {
+
+struct ChurnEvent {
+  double time_s;
+  std::uint32_t peer;
+  bool online;
+};
+
+class ChurnTrace {
+ public:
+  ChurnTrace() = default;
+  explicit ChurnTrace(std::vector<ChurnEvent> events);
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] double duration_s() const noexcept {
+    return events_.empty() ? 0.0 : events_.back().time_s;
+  }
+
+  /// Records a SessionChurn process sampled at `step_s` for `horizon_s`.
+  [[nodiscard]] static ChurnTrace record(SessionChurn& churn,
+                                         double horizon_s, double step_s);
+
+  bool save(std::ostream& out) const;
+  [[nodiscard]] static std::optional<ChurnTrace> load(std::istream& in);
+
+ private:
+  std::vector<ChurnEvent> events_;  ///< sorted by time
+};
+
+/// Replays a trace: apply() advances to a time and returns the transitions
+/// in (time) order since the previous call; online() tracks current state.
+class TraceReplayer {
+ public:
+  TraceReplayer(const ChurnTrace& trace, std::size_t num_peers);
+
+  /// Applies all events with time <= t_s; returns them.
+  std::vector<ChurnEvent> advance_to(double t_s);
+
+  [[nodiscard]] bool online(std::size_t peer) const { return online_[peer]; }
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_count_;
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return cursor_ >= trace_->events().size();
+  }
+
+ private:
+  const ChurnTrace* trace_;
+  std::size_t cursor_ = 0;
+  std::vector<bool> online_;
+  std::size_t online_count_;
+};
+
+}  // namespace sel::sim

@@ -1,0 +1,139 @@
+#include "baselines/bayeux.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pubsub/metrics.hpp"
+
+namespace sel::baselines {
+namespace {
+
+using overlay::PeerId;
+
+graph::SocialGraph test_graph(std::size_t n, std::uint64_t seed) {
+  return graph::holme_kim(n, 4, 0.6, seed);
+}
+
+TEST(Bayeux, DigitCountSizedToNetwork) {
+  const auto g = test_graph(1000, 1);
+  BayeuxSystem sys(g, BayeuxParams{}, 1);
+  sys.build();
+  // 16^d >= 16 * 1000 -> d >= 4 (digits_ also floors at 2).
+  EXPECT_GE(sys.digits(), 4u);
+}
+
+TEST(Bayeux, ExplicitDigitsHonored) {
+  const auto g = test_graph(100, 2);
+  BayeuxSystem sys(g, BayeuxParams{.digits = 8}, 2);
+  sys.build();
+  EXPECT_EQ(sys.digits(), 8u);
+}
+
+TEST(Bayeux, SelfRouteSucceeds) {
+  const auto g = test_graph(200, 3);
+  BayeuxSystem sys(g, BayeuxParams{}, 3);
+  sys.build();
+  const auto r = sys.route(7, 7);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+TEST(Bayeux, AllPairsRoutable) {
+  const auto g = test_graph(300, 4);
+  BayeuxSystem sys(g, BayeuxParams{}, 4);
+  sys.build();
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<PeerId>(rng.below(300));
+    const auto b = static_cast<PeerId>(rng.below(300));
+    const auto r = sys.route(a, b);
+    EXPECT_TRUE(r.success) << a << " -> " << b;
+    EXPECT_EQ(r.path.front(), a);
+    EXPECT_EQ(r.path.back(), b);
+  }
+}
+
+TEST(Bayeux, HopsBoundedByDigits) {
+  const auto g = test_graph(400, 5);
+  BayeuxSystem sys(g, BayeuxParams{}, 5);
+  sys.build();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<PeerId>(rng.below(400));
+    const auto b = static_cast<PeerId>(rng.below(400));
+    const auto r = sys.route(a, b);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.hops(), sys.digits() + 1);
+  }
+}
+
+TEST(Bayeux, RendezvousRootIsDeterministic) {
+  const auto g = test_graph(200, 6);
+  BayeuxSystem sys(g, BayeuxParams{}, 6);
+  sys.build();
+  EXPECT_EQ(sys.rendezvous_root(3), sys.rendezvous_root(3));
+  // Different topics usually map to different roots.
+  std::set<PeerId> roots;
+  for (PeerId b = 0; b < 20; ++b) roots.insert(sys.rendezvous_root(b));
+  EXPECT_GT(roots.size(), 10u);
+}
+
+TEST(Bayeux, TreeRoutesThroughRendezvous) {
+  const auto g = test_graph(300, 7);
+  BayeuxSystem sys(g, BayeuxParams{}, 7);
+  sys.build();
+  const PeerId publisher = 0;
+  const auto tree = sys.build_tree(publisher);
+  EXPECT_EQ(tree.root(), publisher);
+  const PeerId root = sys.rendezvous_root(publisher);
+  EXPECT_TRUE(tree.contains(root));
+  const auto subs = sys.subscribers_of(publisher);
+  std::size_t covered = 0;
+  for (const PeerId s : subs) {
+    if (tree.contains(s)) ++covered;
+  }
+  EXPECT_GE(covered, subs.size() * 9 / 10);
+}
+
+TEST(Bayeux, RelayHeavyDissemination) {
+  // The defining Bayeux weakness (Fig. 3): most tree nodes are relays.
+  const auto g = test_graph(400, 8);
+  BayeuxSystem sys(g, BayeuxParams{}, 8);
+  sys.build();
+  std::vector<PeerId> publishers{0, 17, 42, 99, 123};
+  const auto relays = pubsub::measure_relays(sys, publishers);
+  EXPECT_GT(relays.relays_per_path.mean(), 1.0);
+}
+
+TEST(Bayeux, OfflinePeersBlockRouting) {
+  const auto g = test_graph(100, 9);
+  BayeuxSystem sys(g, BayeuxParams{}, 9);
+  sys.build();
+  sys.set_peer_online(5, false);
+  EXPECT_FALSE(sys.peer_online(5));
+  EXPECT_FALSE(sys.route(0, 5).success);
+}
+
+TEST(Bayeux, NonIterative) {
+  const auto g = test_graph(100, 10);
+  BayeuxSystem sys(g, BayeuxParams{}, 10);
+  sys.build();
+  EXPECT_EQ(sys.build_iterations(), 0u);
+}
+
+TEST(Bayeux, Deterministic) {
+  const auto g = test_graph(200, 11);
+  BayeuxSystem a(g, BayeuxParams{}, 11);
+  BayeuxSystem b(g, BayeuxParams{}, 11);
+  a.build();
+  b.build();
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = static_cast<PeerId>(rng.below(200));
+    const auto y = static_cast<PeerId>(rng.below(200));
+    EXPECT_EQ(a.route(x, y).path, b.route(x, y).path);
+  }
+}
+
+}  // namespace
+}  // namespace sel::baselines

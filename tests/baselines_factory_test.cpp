@@ -1,0 +1,75 @@
+#include "baselines/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/symphony.hpp"
+#include "graph/profiles.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::baselines {
+namespace {
+
+graph::SocialGraph small_graph(std::uint64_t seed) {
+  return graph::make_dataset_graph(graph::profile_by_name("facebook"), 200,
+                                   seed);
+}
+
+TEST(Factory, ListsThePaperComparisonOrder) {
+  const auto& names = all_system_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "select");
+  EXPECT_EQ(names[1], "symphony");
+  EXPECT_EQ(names[2], "bayeux");
+  EXPECT_EQ(names[3], "vitis");
+  EXPECT_EQ(names[4], "omen");
+}
+
+TEST(Factory, EveryListedNameConstructs) {
+  const auto g = small_graph(1);
+  for (const auto name : all_system_names()) {
+    auto sys = make_system(name, g, 1);
+    ASSERT_NE(sys, nullptr);
+    EXPECT_EQ(sys->name(), name);
+    EXPECT_EQ(&sys->social(), &g);
+  }
+}
+
+TEST(Factory, RandomControlConstructs) {
+  const auto g = small_graph(2);
+  auto sys = make_system("random", g, 2);
+  ASSERT_NE(sys, nullptr);
+  EXPECT_EQ(sys->name(), "random");
+}
+
+TEST(Factory, KOverridePropagates) {
+  const auto g = small_graph(3);
+  auto sys = make_system("symphony", g, 3, 4);
+  sys->build();
+  const auto* symphony = dynamic_cast<const SymphonySystem*>(sys.get());
+  ASSERT_NE(symphony, nullptr);
+  for (overlay::PeerId p = 0; p < g.num_nodes(); ++p) {
+    EXPECT_LE(symphony->overlay().out_degree(p), 4u);
+  }
+}
+
+TEST(Factory, SelectUsesProvidedNetworkModel) {
+  const auto g = small_graph(4);
+  net::NetworkModel net(g.num_nodes(), 99);
+  auto sys = make_system("select", g, 4, 0, &net);
+  sys->build();  // must not crash; bandwidth decisions read `net`
+  EXPECT_EQ(sys->name(), "select");
+}
+
+TEST(Factory, SeparateInstancesAreIndependent) {
+  const auto g = small_graph(5);
+  auto a = make_system("select", g, 5);
+  auto b = make_system("select", g, 5);
+  a->build();
+  b->build();
+  a->set_peer_online(0, false);
+  EXPECT_FALSE(a->peer_online(0));
+  EXPECT_TRUE(b->peer_online(0));
+}
+
+}  // namespace
+}  // namespace sel::baselines

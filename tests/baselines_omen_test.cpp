@@ -1,0 +1,109 @@
+#include "baselines/omen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pubsub/metrics.hpp"
+
+namespace sel::baselines {
+namespace {
+
+using overlay::PeerId;
+
+graph::SocialGraph test_graph(std::size_t n, std::uint64_t seed) {
+  return graph::holme_kim(n, 4, 0.6, seed);
+}
+
+TEST(Omen, IterativeConstruction) {
+  const auto g = test_graph(300, 1);
+  OmenSystem sys(g, OmenParams{}, 1);
+  sys.build();
+  EXPECT_GT(sys.build_iterations(), 0u);
+}
+
+TEST(Omen, MostTopicsBecomeConnected) {
+  const auto g = test_graph(300, 2);
+  OmenSystem sys(g, OmenParams{}, 2);
+  sys.build();
+  EXPECT_GT(sys.topic_connectivity(), 0.6);
+}
+
+TEST(Omen, DegreeBudgetRespectedDuringGm) {
+  const auto g = test_graph(400, 3);
+  OmenParams params;
+  params.degree_budget = 10;
+  OmenSystem sys(g, params, 3);
+  sys.build();
+  for (PeerId p = 0; p < 400; ++p) {
+    // GM stops adding once the budget is reached; the last accepted edge
+    // may land exactly on the boundary.
+    EXPECT_LE(sys.overlay().out_degree(p) + sys.overlay().in_degree(p), 11u);
+  }
+}
+
+TEST(Omen, TcoEdgesConnectTopicMates) {
+  const auto g = test_graph(300, 4);
+  OmenSystem sys(g, OmenParams{}, 4);
+  sys.build();
+  // Every TCO edge must share at least one topic (common neighbour or
+  // direct friendship).
+  for (PeerId p = 0; p < 300; ++p) {
+    for (const PeerId q : sys.overlay().out_links(p)) {
+      EXPECT_TRUE(g.common_neighbors(p, q) > 0 || g.has_edge(p, q))
+          << p << " - " << q;
+    }
+  }
+}
+
+TEST(Omen, LowRelayDissemination) {
+  const auto g = test_graph(400, 5);
+  OmenSystem sys(g, OmenParams{}, 5);
+  sys.build();
+  std::vector<PeerId> publishers{0, 13, 77, 200};
+  const auto relays = pubsub::measure_relays(sys, publishers);
+  EXPECT_GT(relays.coverage.mean(), 0.95);
+  EXPECT_LT(relays.relays_per_path.mean(), 1.5);
+}
+
+TEST(Omen, ShadowSetsMendChurn) {
+  const auto g = test_graph(300, 6);
+  OmenSystem sys(g, OmenParams{}, 6);
+  sys.build();
+  // Take a linked peer offline; maintenance should replace links to it.
+  PeerId victim = overlay::kInvalidPeer;
+  for (PeerId p = 0; p < 300; ++p) {
+    if (sys.overlay().in_degree(p) >= 1) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, overlay::kInvalidPeer);
+  const std::size_t before = sys.overlay().in_degree(victim);
+  sys.set_peer_online(victim, false);
+  sys.maintenance_round();
+  EXPECT_LT(sys.overlay().in_degree(victim), before + 1);
+  // Peers that replaced the victim used shadow peers (still have links).
+}
+
+TEST(Omen, IterationsGrowWithSize) {
+  const auto small_g = test_graph(200, 7);
+  OmenSystem small_sys(small_g, OmenParams{}, 7);
+  small_sys.build();
+  const auto big_g = test_graph(1600, 7);
+  OmenSystem big_sys(big_g, OmenParams{}, 7);
+  big_sys.build();
+  EXPECT_GE(big_sys.build_iterations(), small_sys.build_iterations());
+}
+
+TEST(Omen, Deterministic) {
+  const auto g = test_graph(200, 8);
+  OmenSystem a(g, OmenParams{}, 8);
+  OmenSystem b(g, OmenParams{}, 8);
+  a.build();
+  b.build();
+  EXPECT_EQ(a.build_iterations(), b.build_iterations());
+  EXPECT_DOUBLE_EQ(a.topic_connectivity(), b.topic_connectivity());
+}
+
+}  // namespace
+}  // namespace sel::baselines

@@ -1,0 +1,259 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace sel {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+TEST(SplitMix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) outputs.insert(splitmix64(i));
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(SplitMix64, SpreadsBits) {
+  // Consecutive inputs should not produce correlated high bits.
+  std::size_t high_set = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (splitmix64(i) >> 63) ++high_set;
+  }
+  EXPECT_GT(high_set, 400u);
+  EXPECT_LT(high_set, 600u);
+}
+
+TEST(DeriveSeed, IndependentStreamsDiffer) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(37);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(41);
+  std::vector<double> xs;
+  const int n = 50'001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(43);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto z = rng.zipf(100, 1.2);
+    EXPECT_GE(z, 1u);
+    EXPECT_LE(z, 100u);
+  }
+}
+
+TEST(Rng, ZipfIsHeavyTailed) {
+  // Rank 1 should be drawn far more often than rank 50.
+  Rng rng(47);
+  int rank1 = 0;
+  int rank50 = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto z = rng.zipf(100, 1.0);
+    if (z == 1) ++rank1;
+    if (z == 50) ++rank50;
+  }
+  EXPECT_GT(rank1, rank50 * 10);
+}
+
+TEST(Rng, ZipfDegenerateN1) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.zipf(1, 1.0), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng root(59);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(61);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Shuffle, EmptyAndSingleton) {
+  Rng rng(67);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+// Property sweep: statistical sanity for many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, BelowNeverExceeds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t n = 1 + rng.below(1000);
+    EXPECT_LT(rng.below(n), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           ~0ULL, 0x123456789abcdefULL));
+
+}  // namespace
+}  // namespace sel

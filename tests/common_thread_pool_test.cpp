@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sel {
+namespace {
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> x{0};
+  pool.submit([&x] { x = 42; }).get();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequested) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&hits](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(0, 10'000, [&sum](std::size_t i) {
+    sum += static_cast<long long>(i);
+  });
+  EXPECT_EQ(sum, 10'000LL * 9'999 / 2);
+}
+
+TEST(ThreadPool, ChunkedVariantCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for_chunks(0, 500, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_lo = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GT(hi, lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 100u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromBody) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmissionsAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&done] { done++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,151 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "graph/profiles.hpp"
+
+namespace sel::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  const std::size_t n = 2000;
+  const double p = 0.01;
+  const SocialGraph g = erdos_renyi(n, p, 1);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.1);
+}
+
+TEST(ErdosRenyi, ZeroProbabilityGivesNoEdges) {
+  EXPECT_EQ(erdos_renyi(100, 0.0, 1).num_edges(), 0u);
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesCompleteGraph) {
+  const SocialGraph g = erdos_renyi(20, 1.0, 1);
+  EXPECT_EQ(g.num_edges(), 20u * 19 / 2);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const SocialGraph a = erdos_renyi(500, 0.02, 7);
+  const SocialGraph b = erdos_renyi(500, 0.02, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < 500; ++u) EXPECT_EQ(a.degree(u), b.degree(u));
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  const SocialGraph a = erdos_renyi(500, 0.02, 1);
+  const SocialGraph b = erdos_renyi(500, 0.02, 2);
+  bool any_diff = false;
+  for (NodeId u = 0; u < 500 && !any_diff; ++u) {
+    any_diff = a.degree(u) != b.degree(u);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  const SocialGraph g = watts_strogatz(100, 4, 0.0, 1);
+  for (NodeId u = 0; u < 100; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 99));
+  EXPECT_TRUE(g.has_edge(0, 98));
+  EXPECT_FALSE(g.has_edge(0, 50));
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+  const SocialGraph g = watts_strogatz(200, 6, 0.3, 5);
+  EXPECT_EQ(g.num_edges(), 200u * 3);
+}
+
+TEST(WattsStrogatz, HighBetaLowersClustering) {
+  const double c_low = clustering_coefficient(watts_strogatz(500, 8, 0.0, 3),
+                                              500, 1);
+  const double c_high = clustering_coefficient(watts_strogatz(500, 8, 0.9, 3),
+                                               500, 1);
+  EXPECT_GT(c_low, 0.5);
+  EXPECT_LT(c_high, c_low / 2.0);
+}
+
+TEST(BarabasiAlbert, NodeAndEdgeCounts) {
+  const std::size_t n = 1000;
+  const std::size_t m = 3;
+  const SocialGraph g = barabasi_albert(n, m, 11);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique of m+1 nodes plus m edges per remaining node.
+  const std::size_t expected = m * (m + 1) / 2 + (n - m - 1) * m;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsM) {
+  const SocialGraph g = barabasi_albert(500, 4, 13);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_GE(g.degree(u), 4u);
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  const SocialGraph g = barabasi_albert(2000, 3, 17);
+  EXPECT_GT(g.max_degree(), 50u);  // heavy tail
+}
+
+TEST(BarabasiAlbert, IsConnected) {
+  const SocialGraph g = barabasi_albert(1000, 2, 19);
+  EXPECT_EQ(connected_components(g), 1u);
+}
+
+TEST(HolmeKim, TriadClosureRaisesClustering) {
+  const double c_ba =
+      clustering_coefficient(holme_kim(1500, 4, 0.0, 23), 600, 1);
+  const double c_hk =
+      clustering_coefficient(holme_kim(1500, 4, 0.9, 23), 600, 1);
+  EXPECT_GT(c_hk, c_ba * 2.0);
+  EXPECT_GT(c_hk, 0.1);
+}
+
+TEST(HolmeKim, Deterministic) {
+  const SocialGraph a = holme_kim(400, 3, 0.5, 29);
+  const SocialGraph b = holme_kim(400, 3, 0.5, 29);
+  for (NodeId u = 0; u < 400; ++u) EXPECT_EQ(a.degree(u), b.degree(u));
+}
+
+TEST(HolmeKim, PowerlawExponentInRealisticRange) {
+  const SocialGraph g = holme_kim(4000, 5, 0.5, 31);
+  const double alpha = powerlaw_alpha(g, 6);
+  EXPECT_GT(alpha, 1.8);
+  EXPECT_LT(alpha, 4.5);
+}
+
+// Table II profiles: generated structure matches the published statistics.
+class ProfileSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSweep, AverageDegreeTracksTableII) {
+  const auto& profile = profile_by_name(GetParam());
+  const SocialGraph g = make_dataset_graph(profile, 2500, 3);
+  // Generated average degree ~ 2m; it should be within 40% of the paper's
+  // value (the generator trades exactness for structure).
+  EXPECT_NEAR(g.average_degree(), profile.paper_avg_degree,
+              profile.paper_avg_degree * 0.4);
+}
+
+TEST_P(ProfileSweep, GraphIsUsable) {
+  const auto& profile = profile_by_name(GetParam());
+  const SocialGraph g = make_dataset_graph(profile, 600, 5);
+  EXPECT_EQ(g.num_nodes(), 600u);
+  EXPECT_EQ(connected_components(g), 1u);
+  EXPECT_GT(clustering_coefficient(g, 300, 1), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ProfileSweep,
+                         ::testing::Values("facebook", "twitter", "slashdot",
+                                           "gplus"));
+
+TEST(Profiles, AllProfilesHaveFourEntries) {
+  EXPECT_EQ(all_profiles().size(), 4u);
+}
+
+TEST(Profiles, TinyGraphClampsM) {
+  const auto& gplus = profile_by_name("gplus");  // gen_m = 63
+  const SocialGraph g = make_dataset_graph(gplus, 40, 1);
+  EXPECT_EQ(g.num_nodes(), 40u);  // would abort without clamping
+}
+
+}  // namespace
+}  // namespace sel::graph

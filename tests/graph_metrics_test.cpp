@@ -1,0 +1,97 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace sel::graph {
+namespace {
+
+SocialGraph clique(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+TEST(DegreeSequence, MatchesDegrees) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const SocialGraph g = b.build();
+  const auto seq = degree_sequence(g);
+  EXPECT_EQ(seq, (std::vector<std::size_t>{2, 1, 1}));
+}
+
+TEST(DegreeDistribution, CountsSumToN) {
+  const SocialGraph g = erdos_renyi(300, 0.02, 3);
+  const auto dist = degree_distribution(g);
+  EXPECT_EQ(std::accumulate(dist.begin(), dist.end(), std::size_t{0}),
+            g.num_nodes());
+}
+
+TEST(DegreeDistribution, StarGraph) {
+  GraphBuilder b(5);
+  for (NodeId u = 1; u < 5; ++u) b.add_edge(0, u);
+  const auto dist = degree_distribution(b.build());
+  ASSERT_EQ(dist.size(), 5u);  // max degree 4
+  EXPECT_EQ(dist[1], 4u);
+  EXPECT_EQ(dist[4], 1u);
+}
+
+TEST(Clustering, CliqueIsOne) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(clique(6), 100, 1), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  GraphBuilder b(7);
+  for (NodeId u = 1; u < 7; ++u) b.add_edge(u / 2, u);  // binary tree
+  EXPECT_DOUBLE_EQ(clustering_coefficient(b.build(), 100, 1), 0.0);
+}
+
+TEST(Clustering, SampledEstimateNearExact) {
+  const SocialGraph g = holme_kim(800, 4, 0.7, 7);
+  const double exact = clustering_coefficient(g, g.num_nodes(), 1);
+  const double sampled = clustering_coefficient(g, 400, 99);
+  EXPECT_NEAR(sampled, exact, 0.08);
+}
+
+TEST(ConnectedComponents, CountsDisjointPieces) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  // 5, 6 isolated
+  const SocialGraph g = b.build();
+  EXPECT_EQ(connected_components(g), 4u);
+  EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const SocialGraph g = GraphBuilder(0).build();
+  EXPECT_EQ(connected_components(g), 0u);
+  EXPECT_EQ(largest_component_size(g), 0u);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  EXPECT_EQ(connected_components(clique(10)), 1u);
+  EXPECT_EQ(largest_component_size(clique(10)), 10u);
+}
+
+TEST(PowerlawAlpha, ReturnsZeroWithTooFewNodes) {
+  EXPECT_DOUBLE_EQ(powerlaw_alpha(clique(5), 100), 0.0);
+}
+
+TEST(PowerlawAlpha, BaGraphInExpectedRange) {
+  const SocialGraph g = barabasi_albert(5000, 4, 9);
+  const double alpha = powerlaw_alpha(g, 5);
+  // BA graphs have alpha ~ 3.
+  EXPECT_GT(alpha, 2.0);
+  EXPECT_LT(alpha, 4.0);
+}
+
+}  // namespace
+}  // namespace sel::graph

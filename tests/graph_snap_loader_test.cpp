@@ -1,0 +1,91 @@
+#include "graph/snap_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace sel::graph {
+namespace {
+
+TEST(SnapParser, ParsesSimpleEdgeList) {
+  const auto result = parse_snap_edge_list("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_nodes(), 3u);
+  EXPECT_EQ(result->graph.num_edges(), 3u);
+  EXPECT_EQ(result->lines_parsed, 3u);
+  EXPECT_EQ(result->lines_skipped, 0u);
+}
+
+TEST(SnapParser, SkipsComments) {
+  const auto result = parse_snap_edge_list(
+      "# SNAP header\n# Nodes: 2 Edges: 1\n10 20\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_nodes(), 2u);
+  EXPECT_EQ(result->graph.num_edges(), 1u);
+}
+
+TEST(SnapParser, HandlesTabsAndSpaces) {
+  const auto result = parse_snap_edge_list("0\t1\n2   3\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_edges(), 2u);
+}
+
+TEST(SnapParser, RemapsSparseIds) {
+  const auto result = parse_snap_edge_list("1000000 5\n5 99\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_nodes(), 3u);  // dense remap
+  EXPECT_EQ(result->graph.num_edges(), 2u);
+}
+
+TEST(SnapParser, SymmetrizesDirectedInput) {
+  // Both directions of the same pair collapse to one undirected edge.
+  const auto result = parse_snap_edge_list("0 1\n1 0\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_edges(), 1u);
+}
+
+TEST(SnapParser, SkipsMalformedLines) {
+  const auto result = parse_snap_edge_list("0 1\ngarbage\n2 3\nx y\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_edges(), 2u);
+  EXPECT_EQ(result->lines_skipped, 2u);
+}
+
+TEST(SnapParser, DropsSelfLoops) {
+  const auto result = parse_snap_edge_list("7 7\n7 8\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_edges(), 1u);
+}
+
+TEST(SnapParser, EmptyInputReturnsNullopt) {
+  EXPECT_FALSE(parse_snap_edge_list("").has_value());
+  EXPECT_FALSE(parse_snap_edge_list("# only comments\n").has_value());
+  EXPECT_FALSE(parse_snap_edge_list("5 5\n").has_value());  // only self-loop
+}
+
+TEST(SnapParser, NoTrailingNewline) {
+  const auto result = parse_snap_edge_list("0 1\n2 3");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_edges(), 2u);
+}
+
+TEST(SnapLoader, RoundTripsThroughFile) {
+  const std::string path = ::testing::TempDir() + "/select_snap_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# test graph\n0 1\n1 2\n3 0\n";
+  }
+  const auto result = load_snap_edge_list(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_nodes(), 4u);
+  EXPECT_EQ(result->graph.num_edges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapLoader, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_snap_edge_list("/no/such/file.txt").has_value());
+}
+
+}  // namespace
+}  // namespace sel::graph

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "net/network_model.hpp"
+
+namespace sel::net {
+namespace {
+
+TEST(GeoModel, DisabledByDefault) {
+  NetworkModel net(50, 1);
+  EXPECT_EQ(net.num_regions(), 0u);
+  for (std::size_t p = 0; p < 50; ++p) EXPECT_EQ(net.region_of(p), 0u);
+}
+
+TEST(GeoModel, AssignsAllRegions) {
+  NetworkModel net(600, 2, default_bandwidth_mix(), 40.0, 0.5,
+                   GeoParams{.regions = 4});
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t p = 0; p < 600; ++p) {
+    const std::size_t r = net.region_of(p);
+    ASSERT_LT(r, 4u);
+    ++counts[r];
+  }
+  for (const auto c : counts) EXPECT_GT(c, 80u);  // roughly balanced
+}
+
+TEST(GeoModel, InterRegionPairsPayExtraLatency) {
+  const GeoParams geo{.regions = 3, .inter_region_extra_ms = 100.0};
+  NetworkModel net(400, 3, default_bandwidth_mix(), 40.0, 0.5, geo);
+  double intra_total = 0.0;
+  std::size_t intra_n = 0;
+  double inter_total = 0.0;
+  std::size_t inter_n = 0;
+  for (std::size_t a = 0; a < 400; ++a) {
+    const std::size_t b = (a + 37) % 400;
+    if (a == b) continue;
+    if (net.region_of(a) == net.region_of(b)) {
+      intra_total += net.latency_s(a, b);
+      ++intra_n;
+    } else {
+      inter_total += net.latency_s(a, b);
+      ++inter_n;
+    }
+  }
+  ASSERT_GT(intra_n, 20u);
+  ASSERT_GT(inter_n, 20u);
+  EXPECT_GT(inter_total / inter_n, intra_total / intra_n + 0.05);
+}
+
+TEST(GeoModel, RegionAssignmentDeterministic) {
+  const GeoParams geo{.regions = 5};
+  NetworkModel a(100, 7, default_bandwidth_mix(), 40.0, 0.5, geo);
+  NetworkModel b(100, 7, default_bandwidth_mix(), 40.0, 0.5, geo);
+  for (std::size_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(a.region_of(p), b.region_of(p));
+  }
+}
+
+TEST(GeoModel, LatencyStillSymmetric) {
+  const GeoParams geo{.regions = 4};
+  NetworkModel net(100, 9, default_bandwidth_mix(), 40.0, 0.5, geo);
+  for (std::size_t a = 0; a < 100; a += 7) {
+    const std::size_t b = (a + 31) % 100;
+    EXPECT_DOUBLE_EQ(net.latency_s(a, b), net.latency_s(b, a));
+  }
+}
+
+}  // namespace
+}  // namespace sel::net

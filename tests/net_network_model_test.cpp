@@ -1,0 +1,115 @@
+#include "net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sel::net {
+namespace {
+
+TEST(NetworkModel, AssignsProfilesToEveryPeer) {
+  NetworkModel net(100, 1);
+  EXPECT_EQ(net.num_peers(), 100u);
+  for (std::size_t p = 0; p < 100; ++p) {
+    EXPECT_GT(net.profile(p).up_bps, 0.0);
+    EXPECT_GT(net.profile(p).down_bps, 0.0);
+  }
+}
+
+TEST(NetworkModel, DeterministicPerSeed) {
+  NetworkModel a(50, 7);
+  NetworkModel b(50, 7);
+  for (std::size_t p = 0; p < 50; ++p) {
+    EXPECT_DOUBLE_EQ(a.uplink_bps(p), b.uplink_bps(p));
+    EXPECT_DOUBLE_EQ(a.latency_s(p, (p + 1) % 50), b.latency_s(p, (p + 1) % 50));
+  }
+}
+
+TEST(NetworkModel, DifferentSeedsGiveDifferentAssignments) {
+  NetworkModel a(200, 1);
+  NetworkModel b(200, 2);
+  int diff = 0;
+  for (std::size_t p = 0; p < 200; ++p) {
+    if (a.uplink_bps(p) != b.uplink_bps(p)) ++diff;
+  }
+  EXPECT_GT(diff, 20);
+}
+
+TEST(NetworkModel, MixCoversAllClasses) {
+  NetworkModel net(2000, 3);
+  std::size_t adsl = 0;
+  std::size_t fiber = 0;
+  for (std::size_t p = 0; p < 2000; ++p) {
+    if (net.uplink_bps(p) == 1e6) ++adsl;
+    if (net.uplink_bps(p) == 100e6) ++fiber;
+  }
+  // 15% each in the default mix.
+  EXPECT_NEAR(static_cast<double>(adsl) / 2000.0, 0.15, 0.04);
+  EXPECT_NEAR(static_cast<double>(fiber) / 2000.0, 0.15, 0.04);
+}
+
+TEST(NetworkModel, SelfLatencyIsZero) {
+  NetworkModel net(10, 1);
+  EXPECT_DOUBLE_EQ(net.latency_s(3, 3), 0.0);
+}
+
+TEST(NetworkModel, LatencyIsSymmetricAndPositive) {
+  NetworkModel net(40, 5);
+  for (std::size_t a = 0; a < 40; ++a) {
+    for (std::size_t b = a + 1; b < 40; b += 7) {
+      EXPECT_GT(net.latency_s(a, b), 0.0);
+      EXPECT_DOUBLE_EQ(net.latency_s(a, b), net.latency_s(b, a));
+    }
+  }
+}
+
+TEST(NetworkModel, MedianLatencyNearConfigured) {
+  NetworkModel net(200, 9, default_bandwidth_mix(), 40.0, 0.5);
+  std::vector<double> lats;
+  for (std::size_t a = 0; a < 200; ++a) {
+    lats.push_back(net.latency_s(a, (a + 13) % 200));
+  }
+  std::nth_element(lats.begin(), lats.begin() + lats.size() / 2, lats.end());
+  EXPECT_NEAR(lats[lats.size() / 2], 0.040, 0.015);
+}
+
+TEST(NetworkModel, TransferTimeFollowsBottleneckFormula) {
+  NetworkModel net(10, 1);
+  const double lat = net.latency_s(0, 1);
+  const double up = net.profile(0).up_bps;
+  const double down = net.profile(1).down_bps;
+  const double bytes = 1.2e6;
+  const double expected = lat + bytes * 8.0 / std::min(up, down);
+  EXPECT_DOUBLE_EQ(net.transfer_time_s(0, 1, bytes), expected);
+}
+
+TEST(NetworkModel, ConcurrentSendsSplitUplink) {
+  NetworkModel net(10, 1);
+  const double t1 = net.transfer_time_s(0, 1, 1.2e6, 1);
+  const double t4 = net.transfer_time_s(0, 1, 1.2e6, 4);
+  EXPECT_GT(t4, t1);
+}
+
+TEST(NetworkModel, ZeroBytesIsPureLatency) {
+  NetworkModel net(10, 1);
+  EXPECT_DOUBLE_EQ(net.transfer_time_s(0, 1, 0.0), net.latency_s(0, 1));
+}
+
+TEST(NetworkModel, StarBroadcastGrowsWithFanout) {
+  // The Sec. IV-D experiment: total time grows roughly linearly in the
+  // number of simultaneous receivers once the uplink saturates.
+  NetworkModel net(200, 11);
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t r = 1; r <= 4; ++r) small.push_back(r);
+  for (std::size_t r = 1; r <= 64; ++r) large.push_back(r);
+  const double t_small = net.star_broadcast_time_s(0, small, 1.2e6);
+  const double t_large = net.star_broadcast_time_s(0, large, 1.2e6);
+  EXPECT_GT(t_large, t_small * 8.0);  // ~16x more receivers
+}
+
+TEST(NetworkModel, StarBroadcastEmptyIsZero) {
+  NetworkModel net(5, 1);
+  EXPECT_DOUBLE_EQ(net.star_broadcast_time_s(0, {}, 1.2e6), 0.0);
+}
+
+}  // namespace
+}  // namespace sel::net

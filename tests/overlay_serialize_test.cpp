@@ -1,0 +1,124 @@
+#include "overlay/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/profiles.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::overlay {
+namespace {
+
+Overlay sample_overlay() {
+  Overlay ov(6);
+  ov.join(0, net::OverlayId(0.1));
+  ov.join(1, net::OverlayId(0.3));
+  ov.join(3, net::OverlayId(0.7));  // 2 never joins
+  ov.join(5, net::OverlayId(0.9));
+  ov.set_online(1, false);
+  ov.rebuild_ring();
+  ov.add_long_link(0, 3);
+  ov.add_long_link(5, 1);
+  return ov;
+}
+
+TEST(OverlaySerialize, RoundTripPreservesEverything) {
+  const Overlay original = sample_overlay();
+  std::stringstream buffer;
+  ASSERT_TRUE(save_overlay(original, buffer));
+  const auto loaded = load_overlay(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_peers(), original.num_peers());
+  EXPECT_EQ(loaded->joined_count(), original.joined_count());
+  for (PeerId p = 0; p < original.num_peers(); ++p) {
+    ASSERT_EQ(loaded->joined(p), original.joined(p));
+    if (!original.joined(p)) continue;
+    EXPECT_DOUBLE_EQ(loaded->id(p).value(), original.id(p).value());
+    EXPECT_EQ(loaded->online(p), original.online(p));
+    EXPECT_EQ(loaded->successor(p), original.successor(p));
+    const auto a = loaded->out_links(p);
+    const auto b = original.out_links(p);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(OverlaySerialize, RejectsWrongMagic) {
+  std::stringstream buffer("wrongformat v1 4\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsWrongVersion) {
+  std::stringstream buffer("selectov v9 4\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsOutOfRangePeer) {
+  std::stringstream buffer("selectov v1 4\nP 9 0.5 1\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsOutOfRangeId) {
+  std::stringstream buffer("selectov v1 4\nP 1 1.5 1\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsLinkToUnjoinedPeer) {
+  std::stringstream buffer("selectov v1 4\nP 0 0.5 1\nL 0 2\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsUnknownRecord) {
+  std::stringstream buffer("selectov v1 4\nX what\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, RejectsTruncated) {
+  std::stringstream buffer("selectov v1 4\nP 0 0.5\n");
+  EXPECT_FALSE(load_overlay(buffer).has_value());
+}
+
+TEST(OverlaySerialize, EmptyOverlayRoundTrips) {
+  Overlay ov(0);
+  std::stringstream buffer;
+  ASSERT_TRUE(save_overlay(ov, buffer));
+  const auto loaded = load_overlay(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_peers(), 0u);
+}
+
+TEST(OverlaySerialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/select_overlay_test.ov";
+  const Overlay original = sample_overlay();
+  ASSERT_TRUE(save_overlay_file(original, path));
+  const auto loaded = load_overlay_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->joined_count(), original.joined_count());
+  std::remove(path.c_str());
+}
+
+TEST(OverlaySerialize, MissingFileFails) {
+  EXPECT_FALSE(load_overlay_file("/no/such/overlay.ov").has_value());
+}
+
+TEST(OverlaySerialize, BuiltSelectOverlayRoundTripsAndRoutes) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 300, 7);
+  core::SelectSystem sys(g, core::SelectParams{}, 7);
+  sys.build();
+  std::stringstream buffer;
+  ASSERT_TRUE(save_overlay(sys.overlay(), buffer));
+  const auto loaded = load_overlay(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  // The reloaded overlay routes exactly like the original (live lookahead).
+  RouteOptions opts;  // no cache on the reloaded side
+  for (PeerId p = 0; p < 30; ++p) {
+    const auto nbrs = g.neighbors(p);
+    if (nbrs.empty()) continue;
+    const auto r = loaded->greedy_route(p, nbrs[0], opts);
+    EXPECT_TRUE(r.success) << p;
+  }
+}
+
+}  // namespace
+}  // namespace sel::overlay

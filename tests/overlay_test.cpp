@@ -1,0 +1,186 @@
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sel::overlay {
+namespace {
+
+Overlay ring_of(std::size_t n) {
+  Overlay ov(n);
+  for (PeerId p = 0; p < n; ++p) {
+    ov.join(p, net::OverlayId(static_cast<double>(p) / static_cast<double>(n)));
+  }
+  ov.rebuild_ring();
+  return ov;
+}
+
+TEST(Overlay, JoinTracksCountAndState) {
+  Overlay ov(5);
+  EXPECT_EQ(ov.joined_count(), 0u);
+  ov.join(2, net::OverlayId(0.5));
+  EXPECT_TRUE(ov.joined(2));
+  EXPECT_FALSE(ov.joined(0));
+  EXPECT_EQ(ov.joined_count(), 1u);
+  EXPECT_DOUBLE_EQ(ov.id(2).value(), 0.5);
+  ov.join(2, net::OverlayId(0.6));  // rejoin updates id, not count
+  EXPECT_EQ(ov.joined_count(), 1u);
+  EXPECT_DOUBLE_EQ(ov.id(2).value(), 0.6);
+}
+
+TEST(Overlay, OnlineFlagToggles) {
+  Overlay ov(3);
+  ov.join(0, net::OverlayId(0.1));
+  EXPECT_TRUE(ov.online(0));
+  ov.set_online(0, false);
+  EXPECT_FALSE(ov.online(0));
+}
+
+TEST(Overlay, RingFollowsIdOrder) {
+  Overlay ov(4);
+  ov.join(0, net::OverlayId(0.8));
+  ov.join(1, net::OverlayId(0.2));
+  ov.join(2, net::OverlayId(0.5));
+  ov.join(3, net::OverlayId(0.9));
+  ov.rebuild_ring();
+  // Sorted: 1(0.2) -> 2(0.5) -> 0(0.8) -> 3(0.9) -> wraps to 1.
+  EXPECT_EQ(ov.successor(1), 2u);
+  EXPECT_EQ(ov.successor(2), 0u);
+  EXPECT_EQ(ov.successor(0), 3u);
+  EXPECT_EQ(ov.successor(3), 1u);
+  EXPECT_EQ(ov.predecessor(1), 3u);
+  EXPECT_EQ(ov.predecessor(3), 0u);
+}
+
+TEST(Overlay, RingWithSinglePeer) {
+  Overlay ov(3);
+  ov.join(1, net::OverlayId(0.4));
+  ov.rebuild_ring();
+  EXPECT_EQ(ov.successor(1), kInvalidPeer);
+  EXPECT_EQ(ov.predecessor(1), kInvalidPeer);
+}
+
+TEST(Overlay, OnlineOnlyRingSkipsOffline) {
+  Overlay ov = ring_of(5);
+  ov.set_online(2, false);
+  ov.rebuild_ring(/*online_only=*/true);
+  EXPECT_EQ(ov.successor(1), 3u);  // skips 2
+  EXPECT_EQ(ov.predecessor(3), 1u);
+  EXPECT_EQ(ov.successor(2), kInvalidPeer);
+  EXPECT_EQ(ov.predecessor(2), kInvalidPeer);
+}
+
+TEST(Overlay, EqualIdsBreakTiesByPeer) {
+  Overlay ov(3);
+  ov.join(0, net::OverlayId(0.5));
+  ov.join(1, net::OverlayId(0.5));
+  ov.join(2, net::OverlayId(0.5));
+  ov.rebuild_ring();
+  EXPECT_EQ(ov.successor(0), 1u);
+  EXPECT_EQ(ov.successor(1), 2u);
+  EXPECT_EQ(ov.successor(2), 0u);
+}
+
+TEST(Overlay, AddLongLinkMaintainsBothDirections) {
+  Overlay ov = ring_of(4);
+  EXPECT_TRUE(ov.add_long_link(0, 2));
+  EXPECT_EQ(ov.out_degree(0), 1u);
+  EXPECT_EQ(ov.in_degree(2), 1u);
+  EXPECT_TRUE(ov.linked(0, 2));
+  EXPECT_TRUE(ov.linked(2, 0));  // TCP is bidirectional
+}
+
+TEST(Overlay, AddLongLinkRejectsDuplicatesAndSelf) {
+  Overlay ov = ring_of(4);
+  EXPECT_TRUE(ov.add_long_link(0, 2));
+  EXPECT_FALSE(ov.add_long_link(0, 2));
+  EXPECT_FALSE(ov.add_long_link(1, 1));
+}
+
+TEST(Overlay, AddLongLinkRequiresJoinedEnds) {
+  Overlay ov(4);
+  ov.join(0, net::OverlayId(0.1));
+  EXPECT_FALSE(ov.add_long_link(0, 1));  // 1 not joined
+  EXPECT_FALSE(ov.add_long_link(1, 0));
+}
+
+TEST(Overlay, RemoveLongLinkCleansBothSides) {
+  Overlay ov = ring_of(4);
+  ov.add_long_link(0, 2);
+  EXPECT_TRUE(ov.remove_long_link(0, 2));
+  EXPECT_EQ(ov.out_degree(0), 0u);
+  EXPECT_EQ(ov.in_degree(2), 0u);
+  EXPECT_FALSE(ov.remove_long_link(0, 2));  // already gone
+}
+
+TEST(Overlay, ClearLongLinksDropsBothDirections) {
+  Overlay ov = ring_of(5);
+  ov.add_long_link(0, 2);
+  ov.add_long_link(0, 3);
+  ov.add_long_link(4, 0);
+  ov.clear_long_links(0);
+  EXPECT_EQ(ov.out_degree(0), 0u);
+  EXPECT_EQ(ov.in_degree(0), 0u);
+  EXPECT_EQ(ov.out_degree(4), 0u);
+  EXPECT_EQ(ov.in_degree(2), 0u);
+}
+
+TEST(Overlay, NeighborListDeduplicatesAndIncludesRing) {
+  Overlay ov = ring_of(5);
+  ov.add_long_link(0, 1);  // 1 is also succ of 0
+  ov.add_long_link(0, 3);
+  ov.add_long_link(2, 0);  // incoming
+  const auto nbrs = ov.neighbor_list(0);
+  // succ=1, pred=4, out={1,3}, in={2} -> {1,4,3,2}
+  EXPECT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(std::count(nbrs.begin(), nbrs.end(), 1u), 1);
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 4u), nbrs.end());
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 3u), nbrs.end());
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 2u), nbrs.end());
+}
+
+TEST(Overlay, NeighborsOfContainsChecksRingAndLinks) {
+  Overlay ov = ring_of(6);
+  EXPECT_TRUE(ov.neighbors_of_contains(0, 1));   // succ
+  EXPECT_TRUE(ov.neighbors_of_contains(0, 5));   // pred
+  EXPECT_FALSE(ov.neighbors_of_contains(0, 3));
+  ov.add_long_link(3, 0);
+  EXPECT_TRUE(ov.neighbors_of_contains(0, 3));  // incoming counts
+}
+
+TEST(Overlay, AverageLongDegree) {
+  Overlay ov = ring_of(4);
+  ov.add_long_link(0, 2);
+  ov.add_long_link(1, 3);
+  EXPECT_DOUBLE_EQ(ov.average_long_degree(), 0.5);
+}
+
+TEST(Overlay, InOutLinkSymmetryInvariant) {
+  // After arbitrary add/remove sequences, out-links and in-links remain
+  // mirror images.
+  Overlay ov = ring_of(10);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<PeerId>(rng.below(10));
+    const auto b = static_cast<PeerId>(rng.below(10));
+    if (rng.chance(0.6)) {
+      ov.add_long_link(a, b);
+    } else {
+      ov.remove_long_link(a, b);
+    }
+  }
+  for (PeerId p = 0; p < 10; ++p) {
+    for (const PeerId q : ov.out_links(p)) {
+      const auto ins = ov.in_links(q);
+      EXPECT_NE(std::find(ins.begin(), ins.end(), p), ins.end());
+    }
+    for (const PeerId q : ov.in_links(p)) {
+      const auto outs = ov.out_links(q);
+      EXPECT_NE(std::find(outs.begin(), outs.end(), p), outs.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sel::overlay

@@ -1,0 +1,144 @@
+#include "overlay/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay/system.hpp"
+
+namespace sel::overlay {
+namespace {
+
+TEST(DisseminationTree, StartsWithRootOnly) {
+  DisseminationTree t(5);
+  EXPECT_EQ(t.root(), 5u);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_EQ(t.parent(5), kInvalidPeer);
+}
+
+TEST(DisseminationTree, AddPathBuildsChain) {
+  DisseminationTree t(0);
+  const std::vector<PeerId> path{0, 1, 2, 3};
+  t.add_path(path);
+  EXPECT_EQ(t.node_count(), 4u);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 1u);
+  EXPECT_EQ(t.parent(3), 2u);
+  EXPECT_EQ(t.depth(3), 3u);
+}
+
+TEST(DisseminationTree, MergingPathsKeepsFirstParent) {
+  DisseminationTree t(0);
+  t.add_path(std::vector<PeerId>{0, 1, 2});
+  t.add_path(std::vector<PeerId>{0, 3, 2, 4});  // 2 already has parent 1
+  EXPECT_EQ(t.parent(2), 1u);  // unchanged
+  EXPECT_EQ(t.parent(4), 2u);  // new suffix attaches
+  EXPECT_EQ(t.node_count(), 5u);
+}
+
+TEST(DisseminationTree, EmptyPathIsNoop) {
+  DisseminationTree t(0);
+  t.add_path(std::span<const PeerId>{});
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(DisseminationTree, ChildrenAndForwardCounts) {
+  DisseminationTree t(0);
+  t.add_path(std::vector<PeerId>{0, 1});
+  t.add_path(std::vector<PeerId>{0, 2});
+  t.add_path(std::vector<PeerId>{0, 1, 3});
+  EXPECT_EQ(t.forward_count(0), 2u);
+  EXPECT_EQ(t.forward_count(1), 1u);
+  EXPECT_EQ(t.forward_count(3), 0u);
+  EXPECT_EQ(t.children(0).size(), 2u);
+}
+
+TEST(DisseminationTree, AddChildAttaches) {
+  DisseminationTree t(0);
+  t.add_child(0, 7);
+  t.add_child(7, 9);
+  EXPECT_EQ(t.parent(9), 7u);
+  EXPECT_EQ(t.depth(9), 2u);
+  t.add_child(0, 9);  // already present: no-op
+  EXPECT_EQ(t.parent(9), 7u);
+}
+
+TEST(DisseminationTree, NodesOrderParentsBeforeChildren) {
+  DisseminationTree t(0);
+  t.add_path(std::vector<PeerId>{0, 4, 2});
+  t.add_path(std::vector<PeerId>{0, 1, 3});
+  const auto& order = t.nodes();
+  ASSERT_EQ(order.front(), 0u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const PeerId parent = t.parent(order[i]);
+    const auto parent_pos =
+        std::find(order.begin(), order.end(), parent) - order.begin();
+    EXPECT_LT(static_cast<std::size_t>(parent_pos), i);
+  }
+}
+
+TEST(DisseminationTree, DepthOfMissingNodeIsMax) {
+  DisseminationTree t(0);
+  EXPECT_EQ(t.depth(3), static_cast<std::size_t>(-1));
+}
+
+TEST(DisseminationTree, RelayNodesExcludesRootAndSubscribers) {
+  DisseminationTree t(0);
+  t.add_path(std::vector<PeerId>{0, 9, 1});  // 9 is a relay
+  t.add_path(std::vector<PeerId>{0, 2});
+  const std::unordered_set<PeerId> subs{1, 2};
+  const auto relays = t.relay_nodes(subs);
+  ASSERT_EQ(relays.size(), 1u);
+  EXPECT_EQ(relays[0], 9u);
+}
+
+TEST(DisseminationTree, SubscriberRelaysNotCounted) {
+  // A subscriber that forwards is not a relay node (paper Sec. II-B).
+  DisseminationTree t(0);
+  t.add_path(std::vector<PeerId>{0, 1, 2});  // 1 forwards to 2, both subs
+  const std::unordered_set<PeerId> subs{1, 2};
+  EXPECT_TRUE(t.relay_nodes(subs).empty());
+}
+
+TEST(SubscriberFirstTree, ZeroRelaysOnConnectedSubscribers) {
+  // 0 (publisher) -- 1 -- 2 chain of subscriber links.
+  Overlay ov(4);
+  for (PeerId p = 0; p < 4; ++p) ov.join(p, net::OverlayId(p * 0.25));
+  ov.rebuild_ring();
+  ov.add_long_link(0, 1);
+  ov.add_long_link(1, 2);
+  const std::unordered_set<PeerId> subs{1, 2};
+  const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
+  EXPECT_TRUE(tree.contains(1));
+  EXPECT_TRUE(tree.contains(2));
+  EXPECT_TRUE(tree.relay_nodes(subs).empty());
+}
+
+TEST(SubscriberFirstTree, TwoHopAttachUsesSingleRelay) {
+  // Subscriber 3 is only reachable via non-subscriber 2: 0 -- 2 -- 3.
+  Overlay ov(5);
+  for (PeerId p = 0; p < 5; ++p) ov.join(p, net::OverlayId(p * 0.19));
+  ov.rebuild_ring();
+  // Disconnect ring effects by using far ids? ring links exist; subscriber
+  // 3's ring neighbours include 2 and 4 (non-subscribers), so phase 1 can't
+  // reach it; phase 2 attaches through one of them.
+  const std::unordered_set<PeerId> subs{3};
+  const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
+  EXPECT_TRUE(tree.contains(3));
+  const auto relays = tree.relay_nodes(subs);
+  EXPECT_LE(relays.size(), 1u);
+}
+
+TEST(SubscriberFirstTree, SkipsOfflineSubscribers) {
+  Overlay ov(3);
+  for (PeerId p = 0; p < 3; ++p) ov.join(p, net::OverlayId(p * 0.3));
+  ov.rebuild_ring();
+  ov.add_long_link(0, 1);
+  ov.set_online(1, false);
+  const std::unordered_set<PeerId> subs{1};
+  const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
+  EXPECT_FALSE(tree.contains(1));
+}
+
+}  // namespace
+}  // namespace sel::overlay

@@ -1,0 +1,124 @@
+#include "pubsub/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/profiles.hpp"
+#include "pubsub/metrics.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 300, 5);
+    net_ = std::make_unique<net::NetworkModel>(g_.num_nodes(), 5);
+    sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
+                                                net_.get());
+    sys_->build();
+    engine_ = std::make_unique<NotificationEngine>(*sys_, *net_);
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<net::NetworkModel> net_;
+  std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<NotificationEngine> engine_;
+};
+
+TEST_F(EngineTest, DeliversToAllWantedSubscribers) {
+  const auto id = engine_->publish(0, 0.0);
+  engine_->run_all();
+  const auto& rec = engine_->record(id);
+  EXPECT_GT(rec.wanted, 0u);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+  EXPECT_TRUE(rec.completed_at_s.has_value());
+}
+
+TEST_F(EngineTest, LatencyIsPositiveAndOrdered) {
+  const auto id = engine_->publish(3, 1.0);
+  engine_->run_all();
+  const auto& rec = engine_->record(id);
+  EXPECT_GT(rec.delivery_latency_s.min(), 0.0);
+  EXPECT_GE(*rec.completed_at_s, 1.0 + rec.delivery_latency_s.max());
+}
+
+TEST_F(EngineTest, MatchesStaticLatencyMetric) {
+  // The event-driven engine and the one-shot analytic metric walk the same
+  // tree with the same transfer model, so per-subscriber latencies agree.
+  const auto metrics = measure_latency(*sys_, *net_, {7});
+  const auto id = engine_->publish(7, 0.0);
+  engine_->run_all();
+  const auto& rec = engine_->record(id);
+  ASSERT_EQ(rec.delivery_latency_s.count(), metrics.per_subscriber_s.count());
+  EXPECT_NEAR(rec.delivery_latency_s.mean(), metrics.per_subscriber_s.mean(),
+              1e-9);
+  EXPECT_NEAR(rec.delivery_latency_s.max(), metrics.per_tree_s.mean(), 1e-9);
+}
+
+TEST_F(EngineTest, ConcurrentMessagesInterleave) {
+  const auto a = engine_->publish(0, 0.0);
+  const auto b = engine_->publish(1, 0.5);
+  const auto c = engine_->publish(2, 1.0);
+  engine_->run_all();
+  for (const auto id : {a, b, c}) {
+    const auto& rec = engine_->record(id);
+    EXPECT_EQ(rec.delivered, rec.wanted) << "message " << id;
+  }
+  EXPECT_EQ(engine_->stats().messages_published, 3u);
+}
+
+TEST_F(EngineTest, RunUntilDeliversPartially) {
+  const auto id = engine_->publish(0, 0.0);
+  engine_->run_until(0.05);  // much less than one payload transfer time
+  const auto& rec = engine_->record(id);
+  EXPECT_LT(rec.delivered, rec.wanted);
+  engine_->run_all();
+  EXPECT_EQ(rec.delivered, rec.wanted);
+}
+
+TEST_F(EngineTest, TreeCacheHitsOnRepeatPublisher) {
+  engine_->publish(0, 0.0);
+  engine_->publish(0, 1.0);
+  engine_->publish(0, 2.0);
+  engine_->run_all();
+  EXPECT_EQ(engine_->stats().tree_cache_misses, 1u);
+  EXPECT_EQ(engine_->stats().tree_cache_hits, 2u);
+  engine_->invalidate_trees();
+  engine_->publish(0, engine_->now_s());
+  engine_->run_all();
+  EXPECT_EQ(engine_->stats().tree_cache_misses, 2u);
+}
+
+TEST_F(EngineTest, OfflineSubscribersAreNotWanted) {
+  const auto subs = sys_->subscribers_of(0);
+  ASSERT_FALSE(subs.empty());
+  const PeerId victim = *subs.begin();
+  sys_->set_peer_online(victim, false);
+  engine_->invalidate_trees();
+  const auto id = engine_->publish(0, 0.0);
+  engine_->run_all();
+  const auto& rec = engine_->record(id);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+  EXPECT_LT(rec.wanted, subs.size());
+}
+
+TEST_F(EngineTest, SelectHasNearZeroRelayForwards) {
+  for (PeerId p = 0; p < 10; ++p) engine_->publish(p, 0.0);
+  engine_->run_all();
+  const auto& stats = engine_->stats();
+  EXPECT_GT(stats.deliveries, 100u);
+  // Relay forwards should be a tiny fraction of deliveries for SELECT.
+  EXPECT_LT(static_cast<double>(stats.relay_forwards),
+            0.2 * static_cast<double>(stats.deliveries));
+  EXPECT_GT(stats.delivery_rate(), 0.99);
+}
+
+TEST_F(EngineTest, RecordLookupOfUnknownIdAborts) {
+  EXPECT_DEATH((void)engine_->record(12345), "Precondition");
+}
+
+}  // namespace
+}  // namespace sel::pubsub

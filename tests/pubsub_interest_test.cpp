@@ -1,0 +1,92 @@
+#include "pubsub/interest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/profiles.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+TEST(InterestModel, ExtremesAreTotal) {
+  InterestModel all(1.0, 1);
+  InterestModel none(0.0, 1);
+  for (graph::NodeId s = 0; s < 50; ++s) {
+    EXPECT_TRUE(all.interested(s, s + 1));
+    EXPECT_FALSE(none.interested(s, s + 1));
+  }
+}
+
+TEST(InterestModel, DeterministicPerPairAndSeed) {
+  InterestModel a(0.5, 7);
+  InterestModel b(0.5, 7);
+  for (graph::NodeId s = 0; s < 200; ++s) {
+    EXPECT_EQ(a.interested(s, 1000 + s), b.interested(s, 1000 + s));
+  }
+}
+
+TEST(InterestModel, FrequencyMatchesProbability) {
+  InterestModel m(0.3, 11);
+  std::size_t yes = 0;
+  const std::size_t trials = 20'000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (m.interested(static_cast<graph::NodeId>(i),
+                     static_cast<graph::NodeId>(i * 31 + 7))) {
+      ++yes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / trials, 0.3, 0.02);
+}
+
+TEST(InterestModel, IsAsymmetric) {
+  InterestModel m(0.5, 13);
+  std::size_t asymmetric = 0;
+  for (graph::NodeId s = 0; s < 500; ++s) {
+    if (m.interested(s, s + 1) != m.interested(s + 1, s)) ++asymmetric;
+  }
+  EXPECT_GT(asymmetric, 100u);
+}
+
+TEST(InterestModel, FiltersSubscriberSets) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 300, 3);
+  core::SelectSystem sys(g, core::SelectParams{}, 3);
+  sys.build();
+  const auto full = sys.subscribers_of(0);
+  InterestModel m(0.5, 17);
+  sys.set_interest_function(&m);
+  const auto filtered = sys.subscribers_of(0);
+  EXPECT_LT(filtered.size(), full.size());
+  EXPECT_GT(filtered.size(), 0u);
+  for (const PeerId s : filtered) {
+    EXPECT_TRUE(full.contains(s));
+    EXPECT_TRUE(m.interested(s, 0));
+  }
+  sys.set_interest_function(nullptr);
+  EXPECT_EQ(sys.subscribers_of(0).size(), full.size());
+}
+
+TEST(InterestModel, TreesOnlyTargetInterestedSubscribers) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 300, 5);
+  core::SelectSystem sys(g, core::SelectParams{}, 5);
+  sys.build();
+  InterestModel m(0.4, 19);
+  sys.set_interest_function(&m);
+  const auto subs = sys.subscribers_of(7);
+  const auto tree = sys.build_tree(7);
+  std::size_t covered = 0;
+  for (const PeerId s : subs) {
+    if (tree.contains(s)) ++covered;
+  }
+  EXPECT_GT(covered, subs.size() * 9 / 10);
+  // Uninterested friends may still appear as relays but are not counted as
+  // subscribers: relays are measured against the filtered set.
+  const auto relays = tree.relay_nodes(subs);
+  for (const PeerId r : relays) EXPECT_FALSE(subs.contains(r));
+}
+
+}  // namespace
+}  // namespace sel::pubsub

@@ -1,0 +1,128 @@
+#include "pubsub/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/profiles.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+class MultipathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 400, 3);
+    sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 3);
+    sys_->build();
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<core::SelectSystem> sys_;
+};
+
+TEST_F(MultipathTest, PlanCoversMostSubscribers) {
+  const auto plan = plan_multipath(sys_->overlay(), g_, 0);
+  EXPECT_EQ(plan.publisher, 0u);
+  EXPECT_GE(plan.paths.size(), g_.degree(0) * 9 / 10);
+}
+
+TEST_F(MultipathTest, PrimaryPathsStartAtPublisherAndEndAtSubscriber) {
+  const auto plan = plan_multipath(sys_->overlay(), g_, 5);
+  for (const auto& entry : plan.paths) {
+    ASSERT_FALSE(entry.primary.empty());
+    EXPECT_EQ(entry.primary.front(), 5u);
+    EXPECT_EQ(entry.primary.back(), entry.subscriber);
+  }
+}
+
+TEST_F(MultipathTest, BackupIntermediatesAreDisjointFromPrimary) {
+  const auto plan = plan_multipath(sys_->overlay(), g_, 7);
+  for (const auto& entry : plan.paths) {
+    if (entry.backup.empty() || entry.backup == entry.primary) continue;
+    std::unordered_set<PeerId> primary_mid(entry.primary.begin() + 1,
+                                           entry.primary.end() - 1);
+    for (std::size_t i = 1; i + 1 < entry.backup.size(); ++i) {
+      EXPECT_FALSE(primary_mid.contains(entry.backup[i]))
+          << "backup reuses primary intermediate " << entry.backup[i];
+    }
+  }
+}
+
+TEST_F(MultipathTest, DirectLinksAreTheirOwnBackup) {
+  const auto plan = plan_multipath(sys_->overlay(), g_, 2);
+  for (const auto& entry : plan.paths) {
+    if (entry.primary.size() == 2) {
+      EXPECT_EQ(entry.backup, entry.primary);
+    }
+  }
+}
+
+TEST_F(MultipathTest, BackupCoverageIsHigh) {
+  const auto plan = plan_multipath(sys_->overlay(), g_, 0);
+  EXPECT_GT(plan.backup_coverage(), 0.7);
+}
+
+TEST_F(MultipathTest, FaultToleranceImprovesDelivery) {
+  std::vector<PeerId> publishers{0, 17, 42};
+  const auto result = measure_fault_tolerance(sys_->overlay(), g_,
+                                              publishers, 0.2, 40, 9);
+  // With 20% of peers failing, the backup path recovers a meaningful share
+  // of lost deliveries.
+  EXPECT_GT(result.multi_path_delivery, result.single_path_delivery + 0.02);
+  EXPECT_GT(result.multi_path_delivery, 0.85);
+  EXPECT_LE(result.multi_path_delivery, 1.0);
+}
+
+TEST_F(MultipathTest, NoFailuresMeansFullDelivery) {
+  const auto result =
+      measure_fault_tolerance(sys_->overlay(), g_, {0}, 0.0, 5, 9);
+  EXPECT_DOUBLE_EQ(result.single_path_delivery, 1.0);
+  EXPECT_DOUBLE_EQ(result.multi_path_delivery, 1.0);
+}
+
+TEST_F(MultipathTest, TotalFailureMeansDirectOnly) {
+  // With everyone failing, only direct (no-intermediate) paths deliver.
+  const auto result =
+      measure_fault_tolerance(sys_->overlay(), g_, {0}, 1.0, 3, 9);
+  EXPECT_DOUBLE_EQ(result.single_path_delivery, result.multi_path_delivery);
+}
+
+TEST(MultipathPlanStats, EmptyPlanDefaults) {
+  MultipathPlan plan;
+  EXPECT_DOUBLE_EQ(plan.backup_coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.backup_stretch(), 0.0);
+}
+
+TEST(RouteAvoidance, ExcludedPeersAreNotUsedAsRelays) {
+  overlay::Overlay ov(8);
+  for (PeerId p = 0; p < 8; ++p) {
+    ov.join(p, net::OverlayId(static_cast<double>(p) / 8.0));
+  }
+  ov.rebuild_ring();
+  // Route 0 -> 2 normally passes through 1; avoiding 1 forces the other
+  // direction around the ring.
+  std::unordered_set<PeerId> avoid{1};
+  overlay::RouteOptions opts;
+  opts.avoid = &avoid;
+  const auto r = ov.greedy_route(0, 2, opts);
+  ASSERT_TRUE(r.success);
+  for (const PeerId p : r.path) EXPECT_NE(p, 1u);
+}
+
+TEST(RouteAvoidance, AvoidingDestinationIsAllowed) {
+  overlay::Overlay ov(4);
+  for (PeerId p = 0; p < 4; ++p) {
+    ov.join(p, net::OverlayId(static_cast<double>(p) / 4.0));
+  }
+  ov.rebuild_ring();
+  std::unordered_set<PeerId> avoid{1};
+  overlay::RouteOptions opts;
+  opts.avoid = &avoid;
+  const auto r = ov.greedy_route(0, 1, opts);
+  EXPECT_TRUE(r.success);  // dst exempt from avoidance
+}
+
+}  // namespace
+}  // namespace sel::pubsub

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "graph/profiles.hpp"
+#include "pubsub/metrics.hpp"
+#include "select/cma.hpp"
+#include "select/protocol.hpp"
+#include "sim/churn.hpp"
+
+namespace sel::core {
+namespace {
+
+using overlay::PeerId;
+
+TEST(Cma, FreshPeerIsOptimistic) {
+  Cma cma;
+  EXPECT_DOUBLE_EQ(cma.value(), 1.0);
+  EXPECT_EQ(cma.samples(), 0u);
+}
+
+TEST(Cma, CumulativeAverageMath) {
+  Cma cma;
+  cma.update(true);
+  EXPECT_DOUBLE_EQ(cma.value(), 1.0);
+  cma.update(false);
+  EXPECT_DOUBLE_EQ(cma.value(), 0.5);
+  cma.update(false);
+  EXPECT_NEAR(cma.value(), 1.0 / 3.0, 1e-12);
+  cma.update(true);
+  EXPECT_DOUBLE_EQ(cma.value(), 0.5);
+  EXPECT_EQ(cma.samples(), 4u);
+}
+
+TEST(Cma, ConvergesToLongRunAvailability) {
+  Cma cma;
+  for (int i = 0; i < 1000; ++i) cma.update(i % 4 != 0);  // 75% online
+  EXPECT_NEAR(cma.value(), 0.75, 0.01);
+}
+
+class SelectRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 400, 21);
+    sys_ = std::make_unique<SelectSystem>(g_, SelectParams{}, 21);
+    sys_->build();
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<SelectSystem> sys_;
+};
+
+TEST_F(SelectRecoveryTest, MaintenanceSamplesCma) {
+  EXPECT_DOUBLE_EQ(sys_->cma_of(0), 1.0);  // no samples yet
+  sys_->set_peer_online(0, false);
+  sys_->maintenance_round();
+  EXPECT_LT(sys_->cma_of(0), 1.0);
+  sys_->set_peer_online(0, true);
+  sys_->maintenance_round();
+  EXPECT_DOUBLE_EQ(sys_->cma_of(0), 0.5);
+}
+
+TEST_F(SelectRecoveryTest, LowCmaOfflineLinksAreReplaced) {
+  // Make peer X chronically offline so its CMA sinks below the threshold.
+  PeerId victim = overlay::kInvalidPeer;
+  for (PeerId p = 0; p < g_.num_nodes(); ++p) {
+    if (sys_->overlay().in_degree(p) >= 2) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, overlay::kInvalidPeer);
+  sys_->set_peer_online(victim, false);
+  for (int round = 0; round < 6; ++round) sys_->maintenance_round();
+  EXPECT_LT(sys_->cma_of(victim), SelectParams{}.cma_keep_threshold);
+  // All links into the chronically offline peer have been reassigned.
+  EXPECT_EQ(sys_->overlay().in_degree(victim), 0u);
+}
+
+TEST_F(SelectRecoveryTest, HighCmaOfflineLinksAreKept) {
+  PeerId victim = overlay::kInvalidPeer;
+  for (PeerId p = 0; p < g_.num_nodes(); ++p) {
+    if (sys_->overlay().in_degree(p) >= 2) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, overlay::kInvalidPeer);
+  // Build a long online history first.
+  for (int round = 0; round < 20; ++round) sys_->maintenance_round();
+  const std::size_t before = sys_->overlay().in_degree(victim);
+  sys_->set_peer_online(victim, false);
+  sys_->maintenance_round();  // one transient failure
+  EXPECT_GE(sys_->cma_of(victim), SelectParams{}.cma_keep_threshold);
+  EXPECT_EQ(sys_->overlay().in_degree(victim), before)
+      << "transient failure should not trigger reassignment";
+}
+
+TEST_F(SelectRecoveryTest, AblationAlwaysReplaces) {
+  SelectParams params;
+  params.enable_cma_recovery = false;
+  SelectSystem sys(g_, params, 22);
+  sys.build();
+  for (int round = 0; round < 20; ++round) sys.maintenance_round();
+  PeerId victim = overlay::kInvalidPeer;
+  for (PeerId p = 0; p < g_.num_nodes(); ++p) {
+    if (sys.overlay().in_degree(p) >= 2) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, overlay::kInvalidPeer);
+  sys.set_peer_online(victim, false);
+  sys.maintenance_round();
+  // Even with a good history, links are replaced immediately.
+  EXPECT_EQ(sys.overlay().in_degree(victim), 0u);
+}
+
+TEST_F(SelectRecoveryTest, AvailabilityStaysHighUnderChurn) {
+  sim::SessionChurn::Params churn_params;
+  churn_params.session_median_s = 1200.0;
+  churn_params.offline_median_s = 900.0;
+  churn_params.min_online_fraction = 0.5;
+  sim::SessionChurn churn(g_.num_nodes(), churn_params, 23);
+
+  std::vector<PeerId> publishers;
+  for (PeerId p = 0; p < 20; ++p) publishers.push_back(p * 13 % 400);
+
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    churn.advance_to(epoch * 600.0);
+    for (PeerId p = 0; p < g_.num_nodes(); ++p) {
+      sys_->set_peer_online(p, churn.online(p));
+    }
+    sys_->maintenance_round();
+    const auto avail = pubsub::measure_availability(*sys_, publishers);
+    EXPECT_GT(avail.availability(), 0.98)
+        << "epoch " << epoch << " online=" << churn.online_fraction();
+  }
+}
+
+TEST_F(SelectRecoveryTest, RecoveredPeersRejoinRouting) {
+  sys_->set_peer_online(5, false);
+  for (int i = 0; i < 6; ++i) sys_->maintenance_round();
+  sys_->set_peer_online(5, true);
+  sys_->maintenance_round();
+  // Ring repair must restore short links for the returned peer.
+  EXPECT_NE(sys_->overlay().successor(5), overlay::kInvalidPeer);
+}
+
+}  // namespace
+}  // namespace sel::core

@@ -1,0 +1,117 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sel::sim {
+namespace {
+
+TEST(RoundChurn, OfflineSetRespectsCapAndUniqueness) {
+  RoundChurn churn(100, RoundChurn::Params{.mu = 3.0, .sigma = 1.0,
+                                           .max_fraction = 0.2},
+                   1);
+  for (int round = 0; round < 50; ++round) {
+    const auto offline = churn.draw_offline_set();
+    EXPECT_LE(offline.size(), 20u);
+    std::set<std::uint32_t> unique(offline.begin(), offline.end());
+    EXPECT_EQ(unique.size(), offline.size());
+    for (const auto p : offline) EXPECT_LT(p, 100u);
+    EXPECT_TRUE(std::is_sorted(offline.begin(), offline.end()));
+  }
+}
+
+TEST(RoundChurn, LognormalProducesVariedSizes) {
+  RoundChurn churn(10'000, RoundChurn::Params{.mu = 3.0, .sigma = 1.0,
+                                              .max_fraction = 0.5},
+                   2);
+  std::set<std::size_t> sizes;
+  for (int round = 0; round < 40; ++round) {
+    sizes.insert(churn.draw_offline_set().size());
+  }
+  EXPECT_GT(sizes.size(), 5u);
+}
+
+TEST(RoundChurn, Deterministic) {
+  RoundChurn a(500, {}, 7);
+  RoundChurn b(500, {}, 7);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(a.draw_offline_set(), b.draw_offline_set());
+  }
+}
+
+TEST(SessionChurn, StartsFullyOnline) {
+  SessionChurn churn(50, {}, 1);
+  EXPECT_EQ(churn.online_count(), 50u);
+  EXPECT_DOUBLE_EQ(churn.online_fraction(), 1.0);
+}
+
+TEST(SessionChurn, OnlineCountMatchesFlags) {
+  SessionChurn churn(200, {}, 3);
+  churn.advance_to(3600.0);
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < 200; ++p) {
+    if (churn.online(p)) ++count;
+  }
+  EXPECT_EQ(count, churn.online_count());
+}
+
+TEST(SessionChurn, RespectsAvailabilityFloor) {
+  SessionChurn::Params params;
+  params.session_median_s = 100.0;
+  params.offline_median_s = 1000.0;  // strong pull toward offline
+  params.min_online_fraction = 0.5;
+  SessionChurn churn(100, params, 5);
+  for (double t = 0.0; t <= 36'000.0; t += 600.0) {
+    churn.advance_to(t);
+    EXPECT_GE(churn.online_fraction(), 0.5)
+        << "floor violated at t=" << t;
+  }
+}
+
+TEST(SessionChurn, ProducesChurnOverTime) {
+  SessionChurn::Params params;
+  params.session_median_s = 600.0;
+  params.offline_median_s = 600.0;
+  SessionChurn churn(300, params, 7);
+  churn.advance_to(7200.0);
+  EXPECT_LT(churn.online_count(), 300u);  // someone went offline
+  EXPECT_GT(churn.online_count(), 0u);
+}
+
+TEST(SessionChurn, DeparturesAndArrivalsAreConsistent) {
+  SessionChurn churn(100, {}, 9);
+  std::vector<bool> prev(100);
+  for (std::size_t p = 0; p < 100; ++p) prev[p] = churn.online(p);
+  churn.advance_to(1800.0);
+  for (const auto p : churn.last_departures()) {
+    // A peer that departed and returned within the window appears in both
+    // lists; otherwise it must now be offline.
+    const bool returned =
+        std::find(churn.last_arrivals().begin(), churn.last_arrivals().end(),
+                  p) != churn.last_arrivals().end();
+    EXPECT_TRUE(returned || !churn.online(p));
+  }
+  for (const auto p : churn.last_arrivals()) {
+    // A peer that departed and came back in the same window appears in both
+    // lists; the end state decides.
+    EXPECT_TRUE(churn.online(p) ||
+                std::find(churn.last_departures().begin(),
+                          churn.last_departures().end(),
+                          p) != churn.last_departures().end());
+  }
+}
+
+TEST(SessionChurn, Deterministic) {
+  SessionChurn a(100, {}, 11);
+  SessionChurn b(100, {}, 11);
+  a.advance_to(3600.0);
+  b.advance_to(3600.0);
+  for (std::size_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(a.online(p), b.online(p));
+  }
+}
+
+}  // namespace
+}  // namespace sel::sim

@@ -1,0 +1,111 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sel::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&order](double) { order.push_back(3); });
+  q.schedule(1.0, [&order](double) { order.push_back(1); });
+  q.schedule(2.0, [&order](double) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i](double) { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(5.5, [&seen](double now) { seen = now; });
+  q.run_next();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.5);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(double)> chain = [&](double now) {
+    ++fired;
+    if (fired < 4) q.schedule(now + 1.0, chain);
+  };
+  q.schedule(1.0, chain);
+  const std::size_t count = q.run_all();
+  EXPECT_EQ(count, 4u);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilFiresOnlyDueEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&fired](double) { ++fired; });
+  q.schedule(2.0, [&fired](double) { ++fired; });
+  q.schedule(5.0, [&fired](double) { ++fired; });
+  EXPECT_EQ(q.run_until(2.5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(10.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeDelay) {
+  EventQueue q;
+  q.run_until(3.0);
+  double seen = 0.0;
+  q.schedule_in(2.0, [&seen](double now) { seen = now; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, NextTimePeeksEarliest) {
+  EventQueue q;
+  EXPECT_TRUE(std::isinf(q.next_time()));
+  q.schedule(7.0, [](double) {});
+  q.schedule(4.0, [](double) {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+}
+
+TEST(EventQueue, RunAllRespectsBackstop) {
+  EventQueue q;
+  std::function<void(double)> forever = [&](double now) {
+    q.schedule(now + 1.0, forever);
+  };
+  q.schedule(0.0, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+}
+
+TEST(EventQueue, PastSchedulingAborts) {
+  EventQueue q;
+  q.run_until(5.0);
+  EXPECT_DEATH(q.schedule(1.0, [](double) {}), "Precondition");
+}
+
+}  // namespace
+}  // namespace sel::sim

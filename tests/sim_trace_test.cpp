@@ -1,0 +1,106 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sel::sim {
+namespace {
+
+TEST(ChurnTrace, RecordCapturesTransitions) {
+  SessionChurn::Params params;
+  params.session_median_s = 600.0;
+  params.offline_median_s = 600.0;
+  SessionChurn churn(100, params, 1);
+  const auto trace = ChurnTrace::record(churn, 7200.0, 300.0);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_LE(trace.duration_s(), 7200.0);
+  // Events sorted by time.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].time_s, trace.events()[i].time_s);
+  }
+}
+
+TEST(ChurnTrace, ReplayMatchesOriginalProcess) {
+  SessionChurn::Params params;
+  params.session_median_s = 600.0;
+  params.offline_median_s = 600.0;
+  SessionChurn recorder(80, params, 3);
+  const auto trace = ChurnTrace::record(recorder, 3600.0, 300.0);
+
+  SessionChurn original(80, params, 3);
+  TraceReplayer replay(trace, 80);
+  for (double t = 300.0; t <= 3600.0; t += 300.0) {
+    original.advance_to(t);
+    replay.advance_to(t);
+    for (std::size_t p = 0; p < 80; ++p) {
+      ASSERT_EQ(replay.online(p), original.online(p))
+          << "peer " << p << " at t=" << t;
+    }
+    EXPECT_EQ(replay.online_count(), original.online_count());
+  }
+}
+
+TEST(ChurnTrace, SaveLoadRoundTrip) {
+  SessionChurn::Params params;
+  params.session_median_s = 400.0;
+  params.offline_median_s = 400.0;
+  SessionChurn churn(50, params, 5);
+  const auto trace = ChurnTrace::record(churn, 2400.0, 200.0);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(trace.save(buffer));
+  const auto loaded = ChurnTrace::load(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->events().size(), trace.events().size());
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->events()[i].time_s, trace.events()[i].time_s);
+    EXPECT_EQ(loaded->events()[i].peer, trace.events()[i].peer);
+    EXPECT_EQ(loaded->events()[i].online, trace.events()[i].online);
+  }
+}
+
+TEST(ChurnTrace, LoadRejectsGarbage) {
+  std::stringstream bad("1.0 5 2\n");  // online flag must be 0/1
+  EXPECT_FALSE(ChurnTrace::load(bad).has_value());
+  std::stringstream unordered("5.0 1 0\n1.0 2 1\n");
+  EXPECT_FALSE(ChurnTrace::load(unordered).has_value());
+  std::stringstream truncated("1.0 5\n");
+  EXPECT_FALSE(ChurnTrace::load(truncated).has_value());
+}
+
+TEST(ChurnTrace, LoadEmptyIsValid) {
+  std::stringstream empty("");
+  const auto trace = ChurnTrace::load(empty);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_TRUE(trace->empty());
+  EXPECT_DOUBLE_EQ(trace->duration_s(), 0.0);
+}
+
+TEST(TraceReplayer, PartialAdvanceAppliesPrefix) {
+  std::vector<ChurnEvent> events{
+      {1.0, 0, false}, {2.0, 1, false}, {3.0, 0, true}};
+  ChurnTrace trace(events);
+  TraceReplayer replay(trace, 4);
+  EXPECT_EQ(replay.online_count(), 4u);
+  const auto first = replay.advance_to(1.5);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_FALSE(replay.online(0));
+  EXPECT_EQ(replay.online_count(), 3u);
+  EXPECT_FALSE(replay.finished());
+  replay.advance_to(10.0);
+  EXPECT_TRUE(replay.online(0));
+  EXPECT_FALSE(replay.online(1));
+  EXPECT_TRUE(replay.finished());
+}
+
+TEST(TraceReplayer, DuplicateTransitionsAreIdempotent) {
+  std::vector<ChurnEvent> events{{1.0, 0, false}, {2.0, 0, false}};
+  ChurnTrace trace(events);
+  TraceReplayer replay(trace, 2);
+  replay.advance_to(5.0);
+  EXPECT_EQ(replay.online_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sel::sim
