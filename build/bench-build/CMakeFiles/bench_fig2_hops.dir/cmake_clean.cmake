@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_hops"
+  "../bench/bench_fig2_hops.pdb"
+  "CMakeFiles/bench_fig2_hops.dir/bench_fig2_hops.cpp.o"
+  "CMakeFiles/bench_fig2_hops.dir/bench_fig2_hops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_relays"
+  "../bench/bench_fig3_relays.pdb"
+  "CMakeFiles/bench_fig3_relays.dir/bench_fig3_relays.cpp.o"
+  "CMakeFiles/bench_fig3_relays.dir/bench_fig3_relays.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_relays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_load"
+  "../bench/bench_fig4_load.pdb"
+  "CMakeFiles/bench_fig4_load.dir/bench_fig4_load.cpp.o"
+  "CMakeFiles/bench_fig4_load.dir/bench_fig4_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_convergence"
+  "../bench/bench_fig5_convergence.pdb"
+  "CMakeFiles/bench_fig5_convergence.dir/bench_fig5_convergence.cpp.o"
+  "CMakeFiles/bench_fig5_convergence.dir/bench_fig5_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

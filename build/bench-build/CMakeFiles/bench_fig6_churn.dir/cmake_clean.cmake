@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_churn"
+  "../bench/bench_fig6_churn.pdb"
+  "CMakeFiles/bench_fig6_churn.dir/bench_fig6_churn.cpp.o"
+  "CMakeFiles/bench_fig6_churn.dir/bench_fig6_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

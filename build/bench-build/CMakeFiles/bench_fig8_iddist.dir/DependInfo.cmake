@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_iddist.cpp" "bench-build/CMakeFiles/bench_fig8_iddist.dir/bench_fig8_iddist.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig8_iddist.dir/bench_fig8_iddist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/select_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/select_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/select_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/select_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/select_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/select_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/select_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_iddist"
+  "../bench/bench_fig8_iddist.pdb"
+  "CMakeFiles/bench_fig8_iddist.dir/bench_fig8_iddist.cpp.o"
+  "CMakeFiles/bench_fig8_iddist.dir/bench_fig8_iddist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_iddist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

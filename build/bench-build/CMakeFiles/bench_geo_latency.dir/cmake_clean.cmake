@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_geo_latency"
+  "../bench/bench_geo_latency.pdb"
+  "CMakeFiles/bench_geo_latency.dir/bench_geo_latency.cpp.o"
+  "CMakeFiles/bench_geo_latency.dir/bench_geo_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

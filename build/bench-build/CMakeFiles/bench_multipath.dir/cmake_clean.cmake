@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multipath"
+  "../bench/bench_multipath.pdb"
+  "CMakeFiles/bench_multipath.dir/bench_multipath.cpp.o"
+  "CMakeFiles/bench_multipath.dir/bench_multipath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

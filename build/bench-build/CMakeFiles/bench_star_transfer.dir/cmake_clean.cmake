@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_star_transfer"
+  "../bench/bench_star_transfer.pdb"
+  "CMakeFiles/bench_star_transfer.dir/bench_star_transfer.cpp.o"
+  "CMakeFiles/bench_star_transfer.dir/bench_star_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

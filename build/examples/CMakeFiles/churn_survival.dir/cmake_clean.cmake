@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_survival.dir/churn_survival.cpp.o"
+  "CMakeFiles/churn_survival.dir/churn_survival.cpp.o.d"
+  "churn_survival"
+  "churn_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_runner.dir/dataset_runner.cpp.o"
+  "CMakeFiles/dataset_runner.dir/dataset_runner.cpp.o.d"
+  "dataset_runner"
+  "dataset_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notification_feed.dir/notification_feed.cpp.o"
+  "CMakeFiles/notification_feed.dir/notification_feed.cpp.o.d"
+  "notification_feed"
+  "notification_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notification_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

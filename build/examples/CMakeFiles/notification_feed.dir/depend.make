@@ -1,0 +1,2 @@
+# Empty dependencies file for notification_feed.
+# This may be replaced when dependencies are built.

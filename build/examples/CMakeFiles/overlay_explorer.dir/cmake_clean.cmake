@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_explorer.dir/overlay_explorer.cpp.o"
+  "CMakeFiles/overlay_explorer.dir/overlay_explorer.cpp.o.d"
+  "overlay_explorer"
+  "overlay_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bayeux.cpp" "src/baselines/CMakeFiles/select_baselines.dir/bayeux.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/bayeux.cpp.o.d"
+  "/root/repo/src/baselines/factory.cpp" "src/baselines/CMakeFiles/select_baselines.dir/factory.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/factory.cpp.o.d"
+  "/root/repo/src/baselines/omen.cpp" "src/baselines/CMakeFiles/select_baselines.dir/omen.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/omen.cpp.o.d"
+  "/root/repo/src/baselines/random_mesh.cpp" "src/baselines/CMakeFiles/select_baselines.dir/random_mesh.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/random_mesh.cpp.o.d"
+  "/root/repo/src/baselines/symphony.cpp" "src/baselines/CMakeFiles/select_baselines.dir/symphony.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/symphony.cpp.o.d"
+  "/root/repo/src/baselines/vitis.cpp" "src/baselines/CMakeFiles/select_baselines.dir/vitis.cpp.o" "gcc" "src/baselines/CMakeFiles/select_baselines.dir/vitis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/select_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/select_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/select_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/select_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/select_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

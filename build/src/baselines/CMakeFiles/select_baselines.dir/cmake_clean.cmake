@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_baselines.dir/bayeux.cpp.o"
+  "CMakeFiles/select_baselines.dir/bayeux.cpp.o.d"
+  "CMakeFiles/select_baselines.dir/factory.cpp.o"
+  "CMakeFiles/select_baselines.dir/factory.cpp.o.d"
+  "CMakeFiles/select_baselines.dir/omen.cpp.o"
+  "CMakeFiles/select_baselines.dir/omen.cpp.o.d"
+  "CMakeFiles/select_baselines.dir/random_mesh.cpp.o"
+  "CMakeFiles/select_baselines.dir/random_mesh.cpp.o.d"
+  "CMakeFiles/select_baselines.dir/symphony.cpp.o"
+  "CMakeFiles/select_baselines.dir/symphony.cpp.o.d"
+  "CMakeFiles/select_baselines.dir/vitis.cpp.o"
+  "CMakeFiles/select_baselines.dir/vitis.cpp.o.d"
+  "libselect_baselines.a"
+  "libselect_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

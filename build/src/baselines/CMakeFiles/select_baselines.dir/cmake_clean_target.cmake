@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselect_baselines.a"
+)

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_common.dir/bitset.cpp.o"
+  "CMakeFiles/select_common.dir/bitset.cpp.o.d"
+  "CMakeFiles/select_common.dir/csv.cpp.o"
+  "CMakeFiles/select_common.dir/csv.cpp.o.d"
+  "CMakeFiles/select_common.dir/env.cpp.o"
+  "CMakeFiles/select_common.dir/env.cpp.o.d"
+  "CMakeFiles/select_common.dir/histogram.cpp.o"
+  "CMakeFiles/select_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/select_common.dir/log.cpp.o"
+  "CMakeFiles/select_common.dir/log.cpp.o.d"
+  "CMakeFiles/select_common.dir/rng.cpp.o"
+  "CMakeFiles/select_common.dir/rng.cpp.o.d"
+  "CMakeFiles/select_common.dir/stats.cpp.o"
+  "CMakeFiles/select_common.dir/stats.cpp.o.d"
+  "CMakeFiles/select_common.dir/table.cpp.o"
+  "CMakeFiles/select_common.dir/table.cpp.o.d"
+  "CMakeFiles/select_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/select_common.dir/thread_pool.cpp.o.d"
+  "libselect_common.a"
+  "libselect_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/select_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/select_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/select_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/select_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/profiles.cpp" "src/graph/CMakeFiles/select_graph.dir/profiles.cpp.o" "gcc" "src/graph/CMakeFiles/select_graph.dir/profiles.cpp.o.d"
+  "/root/repo/src/graph/snap_loader.cpp" "src/graph/CMakeFiles/select_graph.dir/snap_loader.cpp.o" "gcc" "src/graph/CMakeFiles/select_graph.dir/snap_loader.cpp.o.d"
+  "/root/repo/src/graph/social_graph.cpp" "src/graph/CMakeFiles/select_graph.dir/social_graph.cpp.o" "gcc" "src/graph/CMakeFiles/select_graph.dir/social_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_graph.dir/generators.cpp.o"
+  "CMakeFiles/select_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/select_graph.dir/metrics.cpp.o"
+  "CMakeFiles/select_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/select_graph.dir/profiles.cpp.o"
+  "CMakeFiles/select_graph.dir/profiles.cpp.o.d"
+  "CMakeFiles/select_graph.dir/snap_loader.cpp.o"
+  "CMakeFiles/select_graph.dir/snap_loader.cpp.o.d"
+  "CMakeFiles/select_graph.dir/social_graph.cpp.o"
+  "CMakeFiles/select_graph.dir/social_graph.cpp.o.d"
+  "libselect_graph.a"
+  "libselect_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_lsh.dir/lsh.cpp.o"
+  "CMakeFiles/select_lsh.dir/lsh.cpp.o.d"
+  "libselect_lsh.a"
+  "libselect_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

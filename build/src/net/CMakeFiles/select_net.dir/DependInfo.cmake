@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/id_space.cpp" "src/net/CMakeFiles/select_net.dir/id_space.cpp.o" "gcc" "src/net/CMakeFiles/select_net.dir/id_space.cpp.o.d"
+  "/root/repo/src/net/network_model.cpp" "src/net/CMakeFiles/select_net.dir/network_model.cpp.o" "gcc" "src/net/CMakeFiles/select_net.dir/network_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

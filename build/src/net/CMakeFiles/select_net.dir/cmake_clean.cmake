@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_net.dir/id_space.cpp.o"
+  "CMakeFiles/select_net.dir/id_space.cpp.o.d"
+  "CMakeFiles/select_net.dir/network_model.cpp.o"
+  "CMakeFiles/select_net.dir/network_model.cpp.o.d"
+  "libselect_net.a"
+  "libselect_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/overlay.cpp" "src/overlay/CMakeFiles/select_overlay.dir/overlay.cpp.o" "gcc" "src/overlay/CMakeFiles/select_overlay.dir/overlay.cpp.o.d"
+  "/root/repo/src/overlay/serialize.cpp" "src/overlay/CMakeFiles/select_overlay.dir/serialize.cpp.o" "gcc" "src/overlay/CMakeFiles/select_overlay.dir/serialize.cpp.o.d"
+  "/root/repo/src/overlay/system.cpp" "src/overlay/CMakeFiles/select_overlay.dir/system.cpp.o" "gcc" "src/overlay/CMakeFiles/select_overlay.dir/system.cpp.o.d"
+  "/root/repo/src/overlay/tree.cpp" "src/overlay/CMakeFiles/select_overlay.dir/tree.cpp.o" "gcc" "src/overlay/CMakeFiles/select_overlay.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/select_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

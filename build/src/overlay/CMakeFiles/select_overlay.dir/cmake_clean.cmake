@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/select_overlay.dir/overlay.cpp.o.d"
+  "CMakeFiles/select_overlay.dir/serialize.cpp.o"
+  "CMakeFiles/select_overlay.dir/serialize.cpp.o.d"
+  "CMakeFiles/select_overlay.dir/system.cpp.o"
+  "CMakeFiles/select_overlay.dir/system.cpp.o.d"
+  "CMakeFiles/select_overlay.dir/tree.cpp.o"
+  "CMakeFiles/select_overlay.dir/tree.cpp.o.d"
+  "libselect_overlay.a"
+  "libselect_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

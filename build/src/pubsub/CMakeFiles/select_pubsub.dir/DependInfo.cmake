@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/engine.cpp" "src/pubsub/CMakeFiles/select_pubsub.dir/engine.cpp.o" "gcc" "src/pubsub/CMakeFiles/select_pubsub.dir/engine.cpp.o.d"
+  "/root/repo/src/pubsub/metrics.cpp" "src/pubsub/CMakeFiles/select_pubsub.dir/metrics.cpp.o" "gcc" "src/pubsub/CMakeFiles/select_pubsub.dir/metrics.cpp.o.d"
+  "/root/repo/src/pubsub/multipath.cpp" "src/pubsub/CMakeFiles/select_pubsub.dir/multipath.cpp.o" "gcc" "src/pubsub/CMakeFiles/select_pubsub.dir/multipath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/select_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/select_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/select_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

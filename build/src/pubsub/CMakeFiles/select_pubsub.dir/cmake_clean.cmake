@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_pubsub.dir/engine.cpp.o"
+  "CMakeFiles/select_pubsub.dir/engine.cpp.o.d"
+  "CMakeFiles/select_pubsub.dir/metrics.cpp.o"
+  "CMakeFiles/select_pubsub.dir/metrics.cpp.o.d"
+  "CMakeFiles/select_pubsub.dir/multipath.cpp.o"
+  "CMakeFiles/select_pubsub.dir/multipath.cpp.o.d"
+  "libselect_pubsub.a"
+  "libselect_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

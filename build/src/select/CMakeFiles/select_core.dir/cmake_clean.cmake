@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_core.dir/analysis.cpp.o"
+  "CMakeFiles/select_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/select_core.dir/protocol.cpp.o"
+  "CMakeFiles/select_core.dir/protocol.cpp.o.d"
+  "libselect_core.a"
+  "libselect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

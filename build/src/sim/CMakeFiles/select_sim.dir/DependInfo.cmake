@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/churn.cpp" "src/sim/CMakeFiles/select_sim.dir/churn.cpp.o" "gcc" "src/sim/CMakeFiles/select_sim.dir/churn.cpp.o.d"
+  "/root/repo/src/sim/growth.cpp" "src/sim/CMakeFiles/select_sim.dir/growth.cpp.o" "gcc" "src/sim/CMakeFiles/select_sim.dir/growth.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/select_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/select_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trial.cpp" "src/sim/CMakeFiles/select_sim.dir/trial.cpp.o" "gcc" "src/sim/CMakeFiles/select_sim.dir/trial.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/select_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/select_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

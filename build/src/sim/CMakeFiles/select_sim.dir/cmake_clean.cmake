@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_sim.dir/churn.cpp.o"
+  "CMakeFiles/select_sim.dir/churn.cpp.o.d"
+  "CMakeFiles/select_sim.dir/growth.cpp.o"
+  "CMakeFiles/select_sim.dir/growth.cpp.o.d"
+  "CMakeFiles/select_sim.dir/trace.cpp.o"
+  "CMakeFiles/select_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/select_sim.dir/trial.cpp.o"
+  "CMakeFiles/select_sim.dir/trial.cpp.o.d"
+  "CMakeFiles/select_sim.dir/workload.cpp.o"
+  "CMakeFiles/select_sim.dir/workload.cpp.o.d"
+  "libselect_sim.a"
+  "libselect_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

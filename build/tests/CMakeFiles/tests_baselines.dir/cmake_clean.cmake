@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_baselines.dir/baselines_bayeux_test.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines_bayeux_test.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines_factory_test.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines_factory_test.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines_omen_test.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines_omen_test.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines_symphony_test.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines_symphony_test.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines_vitis_test.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines_vitis_test.cpp.o.d"
+  "tests_baselines"
+  "tests_baselines.pdb"
+  "tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common_bitset_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_bitset_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common_csv_table_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_csv_table_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common_histogram_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_histogram_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common_rng_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_rng_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common_stats_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_stats_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common_thread_pool_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common_thread_pool_test.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_graph.dir/graph_generators_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph_generators_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph_metrics_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph_metrics_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph_snap_loader_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph_snap_loader_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph_social_graph_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph_social_graph_test.cpp.o.d"
+  "tests_graph"
+  "tests_graph.pdb"
+  "tests_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net_sim.dir/net_geo_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/net_geo_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/net_id_space_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/net_id_space_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/net_network_model_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/net_network_model_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_churn_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_churn_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_event_queue_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_event_queue_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_growth_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_growth_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_superstep_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_superstep_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_trace_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_trace_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_trial_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_trial_test.cpp.o.d"
+  "CMakeFiles/tests_net_sim.dir/sim_workload_test.cpp.o"
+  "CMakeFiles/tests_net_sim.dir/sim_workload_test.cpp.o.d"
+  "tests_net_sim"
+  "tests_net_sim.pdb"
+  "tests_net_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_overlay.dir/lsh_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/lsh_test.cpp.o.d"
+  "CMakeFiles/tests_overlay.dir/overlay_lookahead_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/overlay_lookahead_test.cpp.o.d"
+  "CMakeFiles/tests_overlay.dir/overlay_route_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/overlay_route_test.cpp.o.d"
+  "CMakeFiles/tests_overlay.dir/overlay_serialize_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/overlay_serialize_test.cpp.o.d"
+  "CMakeFiles/tests_overlay.dir/overlay_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/overlay_test.cpp.o.d"
+  "CMakeFiles/tests_overlay.dir/overlay_tree_test.cpp.o"
+  "CMakeFiles/tests_overlay.dir/overlay_tree_test.cpp.o.d"
+  "tests_overlay"
+  "tests_overlay.pdb"
+  "tests_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

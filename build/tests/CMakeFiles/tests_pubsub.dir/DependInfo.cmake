@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/property_test.cpp.o.d"
+  "/root/repo/tests/pubsub_engine_baselines_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_baselines_test.cpp.o.d"
+  "/root/repo/tests/pubsub_engine_churn_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_churn_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_churn_test.cpp.o.d"
+  "/root/repo/tests/pubsub_engine_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_engine_test.cpp.o.d"
+  "/root/repo/tests/pubsub_interest_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_interest_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_interest_test.cpp.o.d"
+  "/root/repo/tests/pubsub_metrics_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_metrics_test.cpp.o.d"
+  "/root/repo/tests/pubsub_multipath_test.cpp" "tests/CMakeFiles/tests_pubsub.dir/pubsub_multipath_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pubsub.dir/pubsub_multipath_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/select_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/select_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/select_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/select_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/select_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/select_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/select_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/select_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/select_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

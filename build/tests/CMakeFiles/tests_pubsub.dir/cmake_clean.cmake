@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pubsub.dir/integration_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/integration_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/property_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/property_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_baselines_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_baselines_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_churn_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_churn_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_engine_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_interest_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_interest_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_metrics_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_metrics_test.cpp.o.d"
+  "CMakeFiles/tests_pubsub.dir/pubsub_multipath_test.cpp.o"
+  "CMakeFiles/tests_pubsub.dir/pubsub_multipath_test.cpp.o.d"
+  "tests_pubsub"
+  "tests_pubsub.pdb"
+  "tests_pubsub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

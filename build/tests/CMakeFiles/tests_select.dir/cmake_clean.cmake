@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_select.dir/select_analysis_test.cpp.o"
+  "CMakeFiles/tests_select.dir/select_analysis_test.cpp.o.d"
+  "CMakeFiles/tests_select.dir/select_param_sweep_test.cpp.o"
+  "CMakeFiles/tests_select.dir/select_param_sweep_test.cpp.o.d"
+  "CMakeFiles/tests_select.dir/select_protocol_test.cpp.o"
+  "CMakeFiles/tests_select.dir/select_protocol_test.cpp.o.d"
+  "CMakeFiles/tests_select.dir/select_recovery_test.cpp.o"
+  "CMakeFiles/tests_select.dir/select_recovery_test.cpp.o.d"
+  "tests_select"
+  "tests_select.pdb"
+  "tests_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

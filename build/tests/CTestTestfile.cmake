@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_graph[1]_include.cmake")
+include("/root/repo/build/tests/tests_net_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_overlay[1]_include.cmake")
+include("/root/repo/build/tests/tests_select[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_pubsub[1]_include.cmake")
