@@ -104,5 +104,6 @@ int main() {
   }
   table.print();
   std::printf("\nwrote ablation.csv\n");
+  bench::write_run_report("ablation", csv.path());
   return 0;
 }

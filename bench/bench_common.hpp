@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "graph/profiles.hpp"
+#include "obs/report.hpp"
 #include "overlay/system.hpp"
 #include "sim/workload.hpp"
 
@@ -40,6 +42,39 @@ inline void print_banner(const char* experiment, const char* paper_ref,
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("expected shape: %s\n", expectation);
   std::printf("scale=%.2f trials=%zu\n\n", bench_scale(), trial_count());
+}
+
+/// Emits `<csv stem>.report.json` next to the harness CSV: run metadata
+/// (scale, trials, git describe, extras like seed/N) plus a full snapshot of
+/// the global metrics registry — counters, spans and per-round telemetry
+/// accumulated over the whole run. `scripts/compare_reports.py` diffs two.
+inline void write_run_report(
+    const std::string& experiment, const std::string& csv_path,
+    std::map<std::string, std::string> extra = {}) {
+  // Touch the canonical protocol/message-plane counters so every report
+  // carries them (as 0) even when the harness never exercised a subsystem —
+  // report diffs stay schema-stable across experiments.
+  auto& reg = obs::MetricsRegistry::global();
+  for (const char* name :
+       {"select.gossip_exchanges", "select.id_reassignments",
+        "select.link_reassignments", "select.link_establishments",
+        "select.rounds", "pubsub.publishes", "pubsub.deliveries",
+        "pubsub.relay_forwards", "sim.superstep.rounds",
+        "sim.superstep.messages", "sim.trials_run"}) {
+    reg.counter(name);
+  }
+  obs::RunReport report;
+  report.experiment = experiment;
+  report.git_describe = obs::git_describe();
+  report.metadata = std::move(extra);
+  report.metadata.emplace("scale", fmt(bench_scale(), 2));
+  report.metadata.emplace("trials", std::to_string(trial_count()));
+  report.metadata.emplace("obs", obs::enabled() ? "on" : "off");
+  report.snapshot = reg.snapshot();
+  const std::string path = obs::report_path_for_csv(csv_path);
+  if (report.write(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
 }
 
 }  // namespace sel::bench

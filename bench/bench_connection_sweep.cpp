@@ -44,5 +44,6 @@ int main() {
   std::printf("\nlog2(N) = %zu for N = %zu — the paper's chosen operating "
               "point\nwrote connection_sweep.csv\n",
               log2n, n);
+  bench::write_run_report("connection_sweep", csv.path());
   return 0;
 }

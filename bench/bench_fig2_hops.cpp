@@ -53,5 +53,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig2_hops.csv\n");
+  bench::write_run_report("fig2_hops", csv.path());
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig3_relays.csv\n");
+  bench::write_run_report("fig3_relays", csv.path());
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig4_load.csv\n");
+  bench::write_run_report("fig4_load", csv.path());
   return 0;
 }

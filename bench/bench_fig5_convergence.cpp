@@ -47,5 +47,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig5_convergence.csv\n");
+  bench::write_run_report("fig5_convergence", csv.path());
   return 0;
 }

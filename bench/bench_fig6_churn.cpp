@@ -73,5 +73,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig6_churn.csv\n");
+  bench::write_run_report("fig6_churn", csv.path());
   return 0;
 }

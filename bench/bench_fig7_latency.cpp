@@ -60,5 +60,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("wrote fig7_latency.csv\n");
+  bench::write_run_report("fig7_latency", csv.path());
   return 0;
 }

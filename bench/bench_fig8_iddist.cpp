@@ -72,5 +72,6 @@ int main() {
                 final_hist.render(48).c_str());
   }
   std::printf("wrote fig8_iddist.csv\n");
+  bench::write_run_report("fig8_iddist", csv.path());
   return 0;
 }

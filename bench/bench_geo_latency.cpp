@@ -73,5 +73,6 @@ int main() {
   }
   table.print();
   std::printf("\nwrote geo_latency.csv\n");
+  bench::write_run_report("geo_latency", csv.path());
   return 0;
 }

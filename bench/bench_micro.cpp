@@ -9,6 +9,8 @@
 #include "graph/profiles.hpp"
 #include "lsh/lsh.hpp"
 #include "net/id_space.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "select/protocol.hpp"
 
 namespace {
@@ -109,6 +111,35 @@ void BM_SymphonyGreedyRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymphonyGreedyRoute);
+
+// Observability hot-path cost (run with SEL_OBS=off to see the disabled
+// fast path — a single cached-flag branch).
+void BM_ObsCounterAdd(benchmark::State& state) {
+  auto& c = obs::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  auto& h = obs::MetricsRegistry::global().histogram("bench.histogram");
+  double x = 0.0;
+  for (auto _ : state) {
+    h.observe(x);
+    x += 0.1;
+    if (x > 1000.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    SEL_TRACE_SCOPE("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsScopedSpan);
 
 void BM_SelectGossipRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

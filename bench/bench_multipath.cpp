@@ -58,5 +58,6 @@ int main() {
   }
   table.print();
   std::printf("\nwrote multipath.csv\n");
+  bench::write_run_report("multipath", csv.path());
   return 0;
 }

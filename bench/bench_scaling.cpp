@@ -73,5 +73,6 @@ int main() {
   table.print();
   std::printf("\nidentical checksums across rows confirm determinism is "
               "independent of thread count\nwrote scaling.csv\n");
+  bench::write_run_report("scaling", csv.path());
   return 0;
 }

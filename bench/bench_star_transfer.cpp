@@ -34,5 +34,6 @@ int main() {
   }
   table.print();
   std::printf("\nwrote star_transfer.csv\n");
+  bench::write_run_report("star_transfer", csv.path());
   return 0;
 }

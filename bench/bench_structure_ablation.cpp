@@ -65,5 +65,6 @@ int main() {
   }
   table.print();
   std::printf("\nwrote structure_ablation.csv\n");
+  bench::write_run_report("structure_ablation", csv.path());
   return 0;
 }

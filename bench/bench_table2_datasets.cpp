@@ -39,5 +39,6 @@ int main() {
   std::printf("\npaper reference (full scale): facebook 63,731 users "
               "deg 25.6 | twitter 3,990,418 deg 73.9 | slashdot 82,168 "
               "deg 11.5 | gplus 107,614 deg 127\n");
+  bench::write_run_report("table2_datasets", csv.path());
   return 0;
 }

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff two SELECT run reports (*.report.json).
+
+Usage:
+    scripts/compare_reports.py baseline.report.json candidate.report.json
+    scripts/compare_reports.py a.json b.json --min-rel 0.05   # hide <5% deltas
+
+Prints metric-by-metric deltas for counters, gauges and spans, plus aggregate
+round-telemetry comparisons (total/mean phase times, message volume). Exit
+code is always 0 — this is a reporting tool, not a gate; pipe into your own
+thresholds for regression checks.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON ({e})")
+    if "metrics" not in doc:
+        sys.exit(f"{path}: not a run report (missing 'metrics')")
+    return doc
+
+
+def fmt_num(x):
+    if isinstance(x, float) and not x.is_integer():
+        return f"{x:.6g}"
+    return f"{int(x):,}"
+
+
+def fmt_delta(a, b):
+    delta = b - a
+    sign = "+" if delta >= 0 else ""
+    rel = f" ({sign}{100.0 * delta / a:.1f}%)" if a else ""
+    return f"{sign}{fmt_num(delta)}{rel}"
+
+
+def rel_change(a, b):
+    if a == b:
+        return 0.0
+    if a == 0:
+        return float("inf")
+    return abs(b - a) / abs(a)
+
+
+def diff_section(title, a, b, min_rel, transform=None):
+    keys = sorted(set(a) | set(b))
+    rows = []
+    for k in keys:
+        va, vb = a.get(k), b.get(k)
+        if transform:
+            va = transform(va) if va is not None else None
+            vb = transform(vb) if vb is not None else None
+        if va is None:
+            rows.append((k, "—", fmt_num(vb), "added"))
+        elif vb is None:
+            rows.append((k, fmt_num(va), "—", "removed"))
+        elif rel_change(va, vb) >= min_rel:
+            rows.append((k, fmt_num(va), fmt_num(vb), fmt_delta(va, vb)))
+    if not rows:
+        return
+    print(f"\n## {title}")
+    width = max(len(r[0]) for r in rows)
+    wa = max(len(r[1]) for r in rows)
+    wb = max(len(r[2]) for r in rows)
+    for name, va, vb, delta in rows:
+        print(f"  {name:<{width}}  {va:>{wa}}  ->  {vb:>{wb}}  {delta}")
+
+
+def round_aggregates(rounds):
+    agg = {}
+    for r in rounds:
+        label = r.get("label", "?")
+        a = agg.setdefault(
+            label,
+            {"rounds": 0, "compute_ms": 0.0, "barrier_ms": 0.0,
+             "deliver_ms": 0.0, "messages": 0},
+        )
+        a["rounds"] += 1
+        a["compute_ms"] += r.get("compute_ms", 0.0)
+        a["barrier_ms"] += r.get("barrier_ms", 0.0)
+        a["deliver_ms"] += r.get("deliver_ms", 0.0)
+        a["messages"] += r.get("messages", 0)
+    flat = {}
+    for label, a in agg.items():
+        for key, val in a.items():
+            flat[f"{label}.{key}"] = round(val, 3) if isinstance(val, float) else val
+        if a["rounds"]:
+            flat[f"{label}.compute_ms_per_round"] = round(
+                a["compute_ms"] / a["rounds"], 4)
+    return flat
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--min-rel", type=float, default=0.0,
+                    help="hide metrics whose relative change is below this "
+                         "fraction (default: show everything that changed)")
+    args = ap.parse_args()
+
+    a, b = load(args.baseline), load(args.candidate)
+
+    print(f"baseline : {args.baseline}  "
+          f"[{a.get('experiment', '?')} @ {a.get('git_describe', '?')}]")
+    print(f"candidate: {args.candidate}  "
+          f"[{b.get('experiment', '?')} @ {b.get('git_describe', '?')}]")
+
+    ma, mb = a["metrics"], b["metrics"]
+    diff_section("counters", ma.get("counters", {}), mb.get("counters", {}),
+                 args.min_rel)
+    diff_section("gauges", ma.get("gauges", {}), mb.get("gauges", {}),
+                 args.min_rel)
+    diff_section("spans (total ms)",
+                 {k: v["total_ns"] for k, v in ma.get("spans", {}).items()},
+                 {k: v["total_ns"] for k, v in mb.get("spans", {}).items()},
+                 args.min_rel, transform=lambda ns: round(ns / 1e6, 3))
+    diff_section("round telemetry (aggregated per label)",
+                 round_aggregates(ma.get("rounds", [])),
+                 round_aggregates(mb.get("rounds", [])), args.min_rel)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/env.hpp"
 
@@ -66,8 +67,19 @@ void ThreadPool::parallel_for_chunks(
     if (lo >= hi) break;
     futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
   }
-  // get() propagates the first exception thrown by a chunk.
-  for (auto& f : futures) f.get();
+  // Wait for EVERY chunk before rethrowing: bailing out on the first
+  // exceptional future would destroy `body` (and the caller's captures)
+  // while later-queued chunks still reference them — a use-after-free that
+  // intermittently crashed ExceptionPropagatesFromBody.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 ThreadPool& ThreadPool::global() {

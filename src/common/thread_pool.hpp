@@ -44,8 +44,9 @@ class ThreadPool {
   }
 
   /// Runs body(i) for i in [begin, end), split into contiguous chunks across
-  /// the pool. Blocks until every index ran. Exceptions from the body
-  /// propagate (the first one observed is rethrown).
+  /// the pool. Blocks until every chunk finished — even when one throws —
+  /// then rethrows the first exception observed (in chunk order), so `body`
+  /// never dangles while a worker still runs it.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,44 @@
+// RunReport: a JSON artifact describing one run — metadata (experiment name,
+// profile, N, seed, rounds, git describe, scale/trials/threads) plus a full
+// metrics snapshot (counters, gauges, histograms, spans, per-round
+// telemetry). Bench harnesses emit `<experiment>.report.json` next to every
+// CSV; `scripts/compare_reports.py` diffs two of them.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sel::obs {
+
+struct RunReport {
+  /// Schema version for tooling; bump when the layout changes.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string experiment;  ///< e.g. "fig5_convergence"
+  /// Free-form run metadata (profile, n, seed, rounds, scale, trials, ...).
+  /// String-valued to keep the schema simple; numbers go through fmt.
+  std::map<std::string, std::string> metadata;
+  std::string git_describe;  ///< `git describe --always --dirty` or "unknown"
+  Snapshot snapshot;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static RunReport from_json(const json::Value& v);
+
+  /// Serializes to `path` (pretty-printed). Returns false when the file
+  /// could not be opened (read-only working dir) — callers degrade like
+  /// CsvWriter does.
+  bool write(const std::string& path) const;
+};
+
+/// `git describe --always --dirty` for the current working tree, cached for
+/// the process. "unknown" when git or the repo is unavailable.
+[[nodiscard]] const std::string& git_describe();
+
+/// `<csv_path minus .csv>.report.json` (plain `path + ".report.json"` when
+/// the extension is absent).
+[[nodiscard]] std::string report_path_for_csv(const std::string& csv_path);
+
+}  // namespace sel::obs

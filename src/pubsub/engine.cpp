@@ -1,9 +1,42 @@
 #include "pubsub/engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sel::pubsub {
 
 using overlay::DisseminationTree;
 using overlay::PeerId;
+
+namespace {
+
+// Message-plane telemetry (naming: `pubsub.*`). Aggregated across every
+// engine instance in the process, unlike the per-engine EngineStats.
+obs::Counter& publishes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.publishes");
+  return c;
+}
+
+obs::Counter& deliveries_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.deliveries");
+  return c;
+}
+
+obs::Counter& relay_forwards_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.relay_forwards");
+  return c;
+}
+
+obs::Counter& tree_builds_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.tree_builds");
+  return c;
+}
+
+}  // namespace
 
 NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
                                        const net::NetworkModel& net,
@@ -16,10 +49,13 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   SEL_EXPECTS(time_s >= queue_.now());
   const MessageId id = next_id_++;
 
+  publishes_counter().add(1);
   // Tree: cached per publisher until invalidate_trees().
   auto cached = tree_cache_.find(publisher);
   if (cached == tree_cache_.end()) {
+    SEL_TRACE_SCOPE("pubsub.build_tree");
     ++stats_.tree_cache_misses;
+    tree_builds_counter().add(1);
     cached = tree_cache_.emplace(publisher, sys_->build_tree(publisher)).first;
   } else {
     ++stats_.tree_cache_hits;
@@ -68,6 +104,7 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
   if (node != rec.publisher && !flight.subscribers.contains(node)) {
     ++rec.relay_forwards;
     ++stats_.relay_forwards;
+    relay_forwards_counter().add(1);
   }
   // Simultaneous sends split the uplink across all children.
   flight.pending_events += kids.size();
@@ -82,7 +119,12 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
       if (f->second.subscribers.contains(child) && sys_->peer_online(child)) {
         ++r.delivered;
         ++stats_.deliveries;
+        deliveries_counter().add(1);
+        static obs::Histogram& latency_hist =
+            obs::MetricsRegistry::global().histogram(
+                "pubsub.delivery_latency_s");
         const double latency = now - r.publish_time_s;
+        latency_hist.observe(latency);
         r.delivery_latency_s.add(latency);
         stats_.delivery_latency_s.add(latency);
         if (r.delivered >= r.wanted) r.completed_at_s = now;

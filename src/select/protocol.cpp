@@ -1,8 +1,12 @@
 #include "select/protocol.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sel::core {
 
@@ -14,6 +18,38 @@ namespace {
 std::size_t default_k(std::size_t n) {
   if (n < 4) return 2;
   return static_cast<std::size_t>(std::log2(static_cast<double>(n)));
+}
+
+/// Protocol telemetry (naming: `select.*`). Handles resolve once; increments
+/// are relaxed sharded adds, no-ops under SEL_OBS=off.
+obs::Counter& gossip_exchanges_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("select.gossip_exchanges");
+  return c;
+}
+
+obs::Counter& id_reassignments_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("select.id_reassignments");
+  return c;
+}
+
+obs::Counter& link_establishments_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("select.link_establishments");
+  return c;
+}
+
+obs::Counter& link_reassignments_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("select.link_reassignments");
+  return c;
+}
+
+obs::Counter& rounds_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("select.rounds");
+  return c;
 }
 
 }  // namespace
@@ -118,8 +154,17 @@ void SelectSystem::join_all() {
 }
 
 void SelectSystem::build() {
+  SEL_TRACE_SCOPE("select.build");
   join_all();
   rounds_run_ = run_to_convergence();
+  if (obs::enabled()) {
+    // Last-write-wins run descriptors (the final trial of a sweep).
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("select.run.n").set(static_cast<double>(graph_->num_nodes()));
+    reg.gauge("select.run.seed").set(static_cast<double>(seed_));
+    reg.gauge("select.run.k").set(static_cast<double>(k_));
+    reg.gauge("select.run.rounds").set(static_cast<double>(rounds_run_));
+  }
 }
 
 std::size_t SelectSystem::run_to_convergence() {
@@ -133,9 +178,16 @@ std::size_t SelectSystem::run_to_convergence() {
 }
 
 bool SelectSystem::run_round() {
+  SEL_TRACE_SCOPE("select.round");
+  using Clock = std::chrono::steady_clock;
+  const bool obs_on = obs::enabled();
+  Clock::time_point t_start{};
+  if (obs_on) t_start = Clock::now();
+
   double movement = 0.0;
   std::size_t relocations = 0;
   std::size_t link_changes = 0;
+  std::size_t exchanges = 0;
 
   for (PeerId p = 0; p < graph_->num_nodes(); ++p) {
     if (!overlay_.joined(p) || !overlay_.online(p)) continue;
@@ -153,12 +205,16 @@ bool SelectSystem::run_round() {
           break;
         }
       }
-      if (partner != overlay::kInvalidPeer) exchange(p, partner);
+      if (partner != overlay::kInvalidPeer) {
+        exchange(p, partner);
+        ++exchanges;
+      }
     }
 
     if (params_.enable_id_reassignment) {
       const double step = evaluate_position(p);
       movement += step;
+      if (step > 0.0) id_reassignments_counter().add(1);
       if (step > params_.settle_radius / 2.0) ++relocations;
     }
     const std::size_t changed = create_links(p);
@@ -166,7 +222,28 @@ bool SelectSystem::run_round() {
     link_changes += changed;
   }
 
+  Clock::time_point t_compute{};
+  if (obs_on) t_compute = Clock::now();
+
   overlay_.rebuild_ring();
+
+  if (obs_on) {
+    const auto ms = [](auto d) {
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                     .count()) /
+             1e6;
+    };
+    rounds_counter().add(1);
+    link_reassignments_counter().add(static_cast<std::int64_t>(link_changes));
+    // Round telemetry: the gossip/relink peer loop is the compute phase; the
+    // ring rebuild is the delivery/synchronization phase (no barrier — the
+    // loop is sequential). One gossip exchange moves two routing tables.
+    obs::MetricsRegistry::global().add_round(obs::RoundSample{
+        "select.round", static_cast<std::uint64_t>(telemetry_round_++),
+        ms(t_compute - t_start), 0.0, ms(Clock::now() - t_compute),
+        static_cast<std::uint64_t>(exchanges * 2)});
+  }
 
   last_movement_ = movement;
   last_link_changes_ = link_changes;
@@ -183,6 +260,7 @@ bool SelectSystem::run_round() {
 }
 
 void SelectSystem::exchange(PeerId p, PeerId u) {
+  gossip_exchanges_counter().add(1);
   // Both sides learn the mutual-friend count (Alg. 4 line 3) and each
   // other's routing table (friendship bitmaps, Alg. 4 lines 5-8).
   const auto common =
@@ -334,7 +412,9 @@ bool SelectSystem::try_connect(PeerId p, PeerId u) {
     if (net_->uplink_bps(p) <= weakest_bw) return false;
     overlay_.remove_long_link(weakest, u);
   }
-  return overlay_.add_long_link(p, u);
+  const bool linked = overlay_.add_long_link(p, u);
+  if (linked) link_establishments_counter().add(1);
+  return linked;
 }
 
 std::size_t SelectSystem::create_links(PeerId p) {
@@ -537,6 +617,7 @@ void SelectSystem::set_peer_online(PeerId p, bool online) {
 }
 
 void SelectSystem::maintenance_round() {
+  SEL_TRACE_SCOPE("select.maintenance");
   const std::size_t n = graph_->num_nodes();
   // Peers poll their routing-table friends for their state (Sec. III-F);
   // in the simulation every peer's availability gets one CMA sample per
@@ -563,6 +644,7 @@ void SelectSystem::maintenance_round() {
       // The peer is chronically offline: drop the dead link, then try to
       // fill the slot with a same-bucket peer from the LSH index.
       overlay_.remove_long_link(p, u);
+      link_reassignments_counter().add(1);
       if (!st.index.has_value()) continue;
       PeerId replacement = overlay::kInvalidPeer;
       for (const PeerId cand : st.index->same_bucket_peers(u)) {

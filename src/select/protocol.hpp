@@ -161,6 +161,9 @@ class SelectSystem final : public overlay::RingBasedSystem {
 
   std::size_t rounds_run_ = 0;
   std::size_t quiet_streak_ = 0;
+  /// Monotonic gossip-round index for obs round telemetry (never resets, so
+  /// repeated run_to_convergence() calls stay distinguishable).
+  std::size_t telemetry_round_ = 0;
   double last_movement_ = 0.0;
   std::size_t last_link_changes_ = 0;
 };

@@ -14,12 +14,15 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace sel::sim {
 
@@ -71,14 +74,29 @@ class SuperstepEngine {
 
   /// Runs one superstep; returns the number of messages delivered for the
   /// *next* round (0 means the system went quiet).
+  ///
+  /// When observability is on (SEL_OBS, default on), each round records
+  /// compute time (slowest busy chunk), barrier time (wall-clock compute
+  /// minus that — i.e. idle waiting on stragglers), delivery time (merge +
+  /// sort + offset build) and the message count into the global registry.
   std::size_t step() {
+    using Clock = std::chrono::steady_clock;
+    const bool obs_on = obs::enabled();
+    Clock::time_point t_start{};
+    if (obs_on) t_start = Clock::now();
+    // Slowest chunk's busy nanoseconds; the gap to compute wall-time is the
+    // barrier wait.
+    std::atomic<std::int64_t> busy_max_ns{0};
+
     // Per-chunk outboxes avoid contention; merged and sorted afterwards.
     const std::size_t chunk_count =
         pool_ != nullptr ? std::max<std::size_t>(pool_->size(), 1) : 1;
     std::vector<std::vector<Envelope<TPayload>>> outboxes(chunk_count);
 
-    auto run_chunk = [this, &outboxes, chunk_count](std::size_t lo,
-                                                    std::size_t hi) {
+    auto run_chunk = [this, &outboxes, chunk_count, obs_on,
+                      &busy_max_ns](std::size_t lo, std::size_t hi) {
+      Clock::time_point chunk_start{};
+      if (obs_on) chunk_start = Clock::now();
       // Identify the chunk by its start; chunks are contiguous so this is
       // collision-free.
       const std::size_t per =
@@ -95,6 +113,16 @@ class SuperstepEngine {
                 inbox_offsets_[v + 1] - inbox_offsets_[v]),
             mailbox);
       }
+      if (obs_on) {
+        const auto busy =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - chunk_start)
+                .count();
+        std::int64_t cur = busy_max_ns.load(std::memory_order_relaxed);
+        while (busy > cur && !busy_max_ns.compare_exchange_weak(
+                                 cur, busy, std::memory_order_relaxed)) {
+        }
+      }
     };
 
     if (pool_ != nullptr && num_vertices_ > 1) {
@@ -102,6 +130,9 @@ class SuperstepEngine {
     } else {
       run_chunk(0, num_vertices_);
     }
+
+    Clock::time_point t_compute{};
+    if (obs_on) t_compute = Clock::now();
 
     // Merge, then impose the deterministic delivery order.
     std::vector<Envelope<TPayload>> merged;
@@ -126,6 +157,28 @@ class SuperstepEngine {
     }
     for (std::size_t v = 1; v <= num_vertices_; ++v) {
       inbox_offsets_[v] += inbox_offsets_[v - 1];
+    }
+
+    if (obs_on) {
+      const auto t_end = Clock::now();
+      const auto ns = [](auto d) {
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+      };
+      const double compute_wall_ms = ns(t_compute - t_start) / 1e6;
+      const double compute_ms =
+          static_cast<double>(busy_max_ns.load(std::memory_order_relaxed)) /
+          1e6;
+      auto& reg = obs::MetricsRegistry::global();
+      static obs::Counter& rounds_c = reg.counter("sim.superstep.rounds");
+      static obs::Counter& messages_c = reg.counter("sim.superstep.messages");
+      rounds_c.add(1);
+      messages_c.add(static_cast<std::int64_t>(inbox_.size()));
+      reg.add_round(obs::RoundSample{
+          "sim.superstep", static_cast<std::uint64_t>(round_), compute_ms,
+          std::max(0.0, compute_wall_ms - compute_ms),
+          ns(t_end - t_compute) / 1e6,
+          static_cast<std::uint64_t>(inbox_.size())});
     }
     ++round_;
     return inbox_.size();

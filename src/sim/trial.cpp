@@ -3,6 +3,8 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sel::sim {
 
@@ -25,7 +27,14 @@ TrialSummary run_trials(std::size_t trials, std::uint64_t root_seed,
   TrialSummary summary;
   for (std::size_t t = 0; t < trials; ++t) {
     const std::uint64_t trial_seed = derive_seed(root_seed, t);
-    const MetricMap result = body(trial_seed);
+    MetricMap result;
+    {
+      SEL_TRACE_SCOPE("sim.trial");
+      result = body(trial_seed);
+    }
+    static obs::Counter& trials_c =
+        obs::MetricsRegistry::global().counter("sim.trials_run");
+    trials_c.add(1);
     for (const auto& [name, value] : result) {
       summary.metrics[name].add(value);
     }
