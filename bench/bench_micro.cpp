@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/symphony.hpp"
+#include "check/check.hpp"
 #include "common/bitset.hpp"
 #include "graph/generators.hpp"
 #include "graph/profiles.hpp"
@@ -140,6 +141,38 @@ void BM_ObsScopedSpan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsScopedSpan);
+
+// Invariant-checker cost by level: kOff is the single-branch contract
+// (check.hpp), kCheap the sampled default, kFull the complete ring walk —
+// measured on the wired rebuild_ring() call site.
+void BM_CheckRebuildRing(benchmark::State& state) {
+  const check::ScopedLevel level(
+      static_cast<check::Level>(state.range(1)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  overlay::Overlay ov(n);
+  Rng rng(3);
+  for (overlay::PeerId p = 0; p < n; ++p) {
+    ov.join(p, net::OverlayId(rng.uniform()));
+  }
+  for (auto _ : state) {
+    ov.rebuild_ring();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CheckRebuildRing)
+    ->ArgsProduct({{512, 2048}, {0, 1, 2}})
+    ->ArgNames({"n", "sel_check"});
+
+// Pure gate cost when disabled: what every wired call site pays at
+// SEL_CHECK=off.
+void BM_CheckEnabledOff(benchmark::State& state) {
+  const check::ScopedLevel off(check::Level::kOff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check::enabled());
+  }
+}
+BENCHMARK(BM_CheckEnabledOff);
 
 void BM_SelectGossipRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

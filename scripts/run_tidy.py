@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a tracked zero-new-warnings baseline.
+
+Runs clang-tidy (config: /.clang-tidy) over every translation unit in
+compile_commands.json that lives under src/, normalizes the findings to
+``path: check: message`` lines (line numbers dropped so unrelated edits do
+not churn the baseline), and compares them against the tracked baseline
+``scripts/tidy_baseline.txt``:
+
+  * findings absent from the baseline  -> NEW, exit 1 (the gate)
+  * baseline entries no longer emitted -> reported as fixable debt, exit 0
+
+Typical use:
+
+  scripts/run_tidy.py                      # gate against the baseline
+  scripts/run_tidy.py --update-baseline    # rewrite the baseline in place
+  scripts/run_tidy.py --strict             # missing clang-tidy = failure (CI)
+
+Without --strict a missing clang-tidy binary is a skip (exit 0) so that
+developer machines without LLVM can still run the repo's check pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "scripts", "tidy_baseline.txt")
+
+# clang-tidy diagnostic: file:line:col: warning: message [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<kind>warning|error): (?P<msg>.*?) \[(?P<check>[^\]]+)\]$"
+)
+
+
+def find_clang_tidy() -> str | None:
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def source_files(build_dir: str, src_prefix: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"error: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    files = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if os.path.normpath(src_prefix) in path.split(os.sep) or path.startswith(
+            os.path.join(REPO_ROOT, src_prefix) + os.sep
+        ):
+            files.add(path)
+    return sorted(files)
+
+
+def normalize(raw_output: str) -> set[str]:
+    """Folds diagnostics to stable `relpath: check: message` lines."""
+    findings = set()
+    for line in raw_output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        path = os.path.normpath(m.group("file"))
+        if os.path.isabs(path):
+            path = os.path.relpath(path, REPO_ROOT)
+        if path.startswith(".."):
+            continue  # system/third-party header
+        findings.add(f"{path}: {m.group('check')}: {m.group('msg')}")
+    return findings
+
+
+def run_one(tidy: str, build_dir: str, path: str) -> str:
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    return proc.stdout
+
+
+def load_baseline(path: str) -> set[str]:
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as fh:
+        return {
+            line.rstrip("\n")
+            for line in fh
+            if line.strip() and not line.startswith("#")
+        }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--src", default="src", help="source prefix to gate")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) when clang-tidy is not installed",
+    )
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        msg = "run_tidy: clang-tidy not found"
+        if args.strict:
+            print(f"{msg} (strict mode)", file=sys.stderr)
+            return 2
+        print(f"{msg}; skipping the static-analysis gate", file=sys.stderr)
+        return 0
+
+    files = source_files(args.build_dir, args.src)
+    if not files:
+        sys.exit(f"error: no {args.src}/ translation units in the build")
+    print(f"run_tidy: {tidy} over {len(files)} TUs "
+          f"({args.jobs} jobs)", file=sys.stderr)
+
+    findings: set[str] = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for out in pool.map(
+            lambda p: run_one(tidy, args.build_dir, p), files
+        ):
+            findings |= normalize(out)
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write(
+                "# clang-tidy suppression baseline (scripts/run_tidy.py).\n"
+                "# One `path: check: message` per line; regenerate with\n"
+                "#   scripts/run_tidy.py --update-baseline\n"
+                "# Shrink it when you fix debt; never grow it silently.\n"
+            )
+            for line in sorted(findings):
+                fh.write(line + "\n")
+        print(f"run_tidy: baseline updated with {len(findings)} findings")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    if fixed:
+        print(
+            f"run_tidy: {len(fixed)} baseline entries no longer fire; "
+            "consider --update-baseline to shrink the debt:",
+            file=sys.stderr,
+        )
+        for line in fixed[:20]:
+            print(f"  stale: {line}", file=sys.stderr)
+    if new:
+        print(f"run_tidy: {len(new)} NEW finding(s):")
+        for line in new:
+            print(f"  {line}")
+        return 1
+    print(f"run_tidy: OK ({len(findings)} findings, all in baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

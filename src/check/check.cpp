@@ -1,0 +1,101 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+
+namespace sel::check {
+
+namespace detail {
+
+std::atomic<int> g_level{-1};
+
+int init_level_from_env() noexcept {
+  std::string v = env_or("SEL_CHECK", std::string("cheap"));
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  int parsed = static_cast<int>(Level::kCheap);
+  if (v == "off" || v == "0" || v == "false" || v == "no") {
+    parsed = static_cast<int>(Level::kOff);
+  } else if (v == "full" || v == "2") {
+    parsed = static_cast<int>(Level::kFull);
+  }
+  // Racing first readers parse the same env value; last store wins with the
+  // identical result.
+  g_level.store(parsed, std::memory_order_relaxed);
+  return parsed;
+}
+
+}  // namespace detail
+
+void set_level(Level l) noexcept {
+  detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+namespace {
+
+std::mutex& handler_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+FailureHandler& handler_slot() {
+  static FailureHandler h;  // empty = default abort handler
+  return h;
+}
+
+[[noreturn]] void abort_on(const Violation& v) {
+  std::fprintf(stderr, "Invariant violation [%s]: %s\n", v.invariant.c_str(),
+               v.detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler h) {
+  const std::lock_guard<std::mutex> lock(handler_mu());
+  FailureHandler prev = std::move(handler_slot());
+  handler_slot() = std::move(h);
+  return prev;
+}
+
+void fail(Violation v) {
+  obs::MetricsRegistry::global().counter("check.violations").add(1);
+  FailureHandler h;
+  {
+    const std::lock_guard<std::mutex> lock(handler_mu());
+    h = handler_slot();
+  }
+  if (h) {
+    h(v);
+  } else {
+    abort_on(v);
+  }
+}
+
+bool enforce(Result r) {
+  static obs::Counter& validations =
+      obs::MetricsRegistry::global().counter("check.validations");
+  validations.add(1);
+  if (!r.has_value()) return true;
+  fail(*std::move(r));
+  return false;
+}
+
+ScopedFailureCapture::ScopedFailureCapture() {
+  prev_ = set_failure_handler(
+      [this](const Violation& v) { violations_.push_back(v); });
+}
+
+ScopedFailureCapture::~ScopedFailureCapture() {
+  set_failure_handler(std::move(prev_));
+}
+
+}  // namespace sel::check

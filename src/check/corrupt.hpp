@@ -1,0 +1,64 @@
+// Test support: seeded corruption of overlay and tree structures.
+//
+// The invariant-checker tests (tests/check_invariants_test.cpp) must prove
+// each validator detects a real violation, but the production API is
+// deliberately unable to create one (add_long_link keeps both tables in
+// step, DisseminationTree::add_child refuses duplicates). Corruptor is a
+// friend of the two structures and breaks them on purpose. It must never be
+// used outside tests.
+#pragma once
+
+#include <algorithm>
+
+#include "overlay/overlay.hpp"
+#include "overlay/tree.hpp"
+
+namespace sel::check::testing {
+
+struct Corruptor {
+  /// Seeds an asymmetric routing link: removes `from` from to's in_links
+  /// while leaving from's out_link in place.
+  static void drop_in_link(overlay::Overlay& ov, overlay::PeerId from,
+                           overlay::PeerId to) {
+    auto& ins = ov.peer(to).in_links;
+    ins.erase(std::remove(ins.begin(), ins.end(), from), ins.end());
+  }
+
+  /// Corrupts the ring by rewiring p's successor pointer.
+  static void set_successor(overlay::Overlay& ov, overlay::PeerId p,
+                            overlay::PeerId succ) {
+    ov.peer(p).succ = succ;
+  }
+
+  /// Seeds a duplicate delivery: appends `child` to parent's child list and
+  /// the delivery order again, as a buggy tree merge would.
+  static void add_duplicate_child(overlay::DisseminationTree& tree,
+                                  overlay::PeerId parent,
+                                  overlay::PeerId child) {
+    tree.children_[parent].push_back(child);
+    tree.order_.push_back(child);
+  }
+
+  /// Seeds a parent-chain cycle between two non-root nodes.
+  static void make_cycle(overlay::DisseminationTree& tree, overlay::PeerId a,
+                         overlay::PeerId b) {
+    tree.parent_[a] = b;
+    tree.parent_[b] = a;
+  }
+
+  /// Moves `node` under `new_parent`, keeping parent and children tables
+  /// mutually consistent — the corruption a naive tree-repair pass would
+  /// produce. Reparenting a node onto one of its own descendants yields a
+  /// cycle that only the bounded root-walk can see.
+  static void reparent(overlay::DisseminationTree& tree, overlay::PeerId node,
+                       overlay::PeerId new_parent) {
+    auto& old_siblings = tree.children_[tree.parent_[node]];
+    old_siblings.erase(
+        std::remove(old_siblings.begin(), old_siblings.end(), node),
+        old_siblings.end());
+    tree.parent_[node] = new_parent;
+    tree.children_[new_parent].push_back(node);
+  }
+};
+
+}  // namespace sel::check::testing

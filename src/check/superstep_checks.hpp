@@ -1,0 +1,63 @@
+// Validator for the superstep engine's delivery invariant: after the
+// barrier, the merged inbox is sorted by (dst, src, seq) and the per-vertex
+// offset table partitions it exactly — the property that makes rounds
+// deterministic regardless of thread count (sim/superstep.hpp).
+//
+// Templated on the message type (any struct with dst/src/seq members) so
+// this header does not depend on sim/superstep.hpp, which includes it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace sel::check {
+
+template <typename Msg>
+inline Result validate_superstep_inbox(
+    const std::vector<Msg>& inbox, const std::vector<std::size_t>& offsets,
+    std::size_t num_vertices) {
+  if (offsets.size() != num_vertices + 1 || offsets.front() != 0 ||
+      offsets.back() != inbox.size()) {
+    return Violation{"superstep.offsets.shape",
+                     "offset table does not span the inbox (" +
+                         std::to_string(offsets.size()) + " entries, last " +
+                         (offsets.empty() ? std::string("-")
+                                          : std::to_string(offsets.back())) +
+                         ", inbox " + std::to_string(inbox.size()) + ")"};
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Violation{"superstep.offsets.monotone",
+                       "offsets decrease at vertex " + std::to_string(v)};
+    }
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (inbox[i].dst != v) {
+        return Violation{"superstep.offsets.partition",
+                         "message at index " + std::to_string(i) +
+                             " (dst=" + std::to_string(inbox[i].dst) +
+                             ") filed under vertex " + std::to_string(v)};
+      }
+    }
+  }
+  for (std::size_t i = 1; i < inbox.size(); ++i) {
+    const auto& a = inbox[i - 1];
+    const auto& b = inbox[i];
+    const bool ordered =
+        a.dst < b.dst ||
+        (a.dst == b.dst &&
+         (a.src < b.src || (a.src == b.src && a.seq < b.seq)));
+    if (!ordered) {
+      // Strict ordering: an equal (dst, src, seq) triple means the same
+      // emission was delivered twice.
+      return Violation{"superstep.inbox.sorted",
+                       "inbox not sorted by strict (dst, src, seq) at index " +
+                           std::to_string(i)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sel::check

@@ -1,0 +1,112 @@
+// Validators for dissemination trees and message delivery accounting:
+// acyclicity, one-parent-per-node (the structural guarantee behind
+// exactly-once delivery, paper Sec. II-B) and per-message delivery counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "check/check.hpp"
+#include "overlay/tree.hpp"
+
+namespace sel::check {
+
+/// Full tree validation: nodes are unique (each peer receives the message
+/// exactly once), every non-root node's parent is in the tree, parent and
+/// children tables mirror each other, and every parent chain reaches the
+/// root within node_count() steps (acyclicity).
+inline Result validate_tree(const overlay::DisseminationTree& tree) {
+  const auto& nodes = tree.nodes();
+  std::unordered_set<overlay::PeerId> seen;
+  seen.reserve(nodes.size());
+  for (const overlay::PeerId p : nodes) {
+    if (!seen.insert(p).second) {
+      return Violation{"tree.unique_nodes",
+                       "peer " + std::to_string(p) +
+                           " appears twice in the delivery order (duplicate "
+                           "delivery)"};
+    }
+  }
+  if (nodes.empty() || nodes.front() != tree.root()) {
+    return Violation{"tree.root",
+                     "delivery order does not start at the root"};
+  }
+  if (seen.size() != tree.node_count()) {
+    return Violation{"tree.node_count",
+                     "node_count() = " + std::to_string(tree.node_count()) +
+                         " but delivery order holds " +
+                         std::to_string(seen.size()) + " distinct nodes"};
+  }
+  for (const overlay::PeerId p : nodes) {
+    // Children must point back via parent().
+    for (const overlay::PeerId c : tree.children(p)) {
+      if (tree.parent(c) != p) {
+        return Violation{"tree.parent_child",
+                         "child " + std::to_string(c) + " of " +
+                             std::to_string(p) +
+                             " records a different parent (" +
+                             std::to_string(tree.parent(c)) + ")"};
+      }
+    }
+    if (p == tree.root()) continue;
+    const overlay::PeerId parent = tree.parent(p);
+    if (parent == overlay::kInvalidPeer || !seen.contains(parent)) {
+      return Violation{"tree.orphan",
+                       "node " + std::to_string(p) +
+                           " has a parent outside the tree"};
+    }
+    // Parent must list p as a child exactly once.
+    std::size_t listed = 0;
+    for (const overlay::PeerId c : tree.children(parent)) {
+      if (c == p) ++listed;
+    }
+    if (listed != 1) {
+      return Violation{"tree.child_listing",
+                       "node " + std::to_string(p) + " listed " +
+                           std::to_string(listed) +
+                           " times under its parent " +
+                           std::to_string(parent) +
+                           " (duplicate forwarding)"};
+    }
+    // Bounded walk to the root: a cycle would exceed node_count() steps.
+    overlay::PeerId cur = p;
+    std::size_t steps = 0;
+    while (cur != tree.root()) {
+      cur = tree.parent(cur);
+      if (cur == overlay::kInvalidPeer || ++steps > tree.node_count()) {
+        return Violation{"tree.acyclic",
+                         "parent chain from node " + std::to_string(p) +
+                             " does not reach the root (cycle or broken "
+                             "link)"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Exactly-once delivery accounting. `max_deliveries` is the number of
+/// subscribers present in the tree — each has exactly one arrival event, so
+/// exceeding it means a duplicate delivery. `wanted` (online subscribers at
+/// publish time) can be lower when churn revives a subscriber mid-flight,
+/// so it only bounds completion, not the running count.
+inline Result validate_delivery_count(std::size_t delivered,
+                                      std::size_t max_deliveries,
+                                      std::size_t wanted, bool completed) {
+  if (delivered > max_deliveries) {
+    return Violation{"pubsub.exactly_once",
+                     "message delivered " + std::to_string(delivered) +
+                         " times for " + std::to_string(max_deliveries) +
+                         " subscribers in its tree (duplicate delivery)"};
+  }
+  if (completed && delivered < wanted) {
+    return Violation{"pubsub.completion",
+                     "message marked complete with " +
+                         std::to_string(delivered) + "/" +
+                         std::to_string(wanted) + " wanted deliveries"};
+  }
+  return std::nullopt;
+}
+
+}  // namespace sel::check

@@ -122,7 +122,8 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   if (it == counters_.end()) {
     it = counters_
              .emplace(std::string(name),
-                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+                      std::unique_ptr<Counter>(  // NOLINT(modernize-make-unique): private ctor
+                          new Counter(std::string(name))))
              .first;
   }
   return *it->second;
@@ -134,7 +135,8 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   if (it == gauges_.end()) {
     it = gauges_
              .emplace(std::string(name),
-                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+                      std::unique_ptr<Gauge>(  // NOLINT(modernize-make-unique): private ctor
+                          new Gauge(std::string(name))))
              .first;
   }
   return *it->second;
@@ -147,7 +149,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   if (it == histograms_.end()) {
     it = histograms_
              .emplace(std::string(name),
-                      std::unique_ptr<Histogram>(
+                      std::unique_ptr<Histogram>(  // NOLINT(modernize-make-unique)
                           new Histogram(std::string(name), std::move(bounds))))
              .first;
   }
@@ -160,7 +162,8 @@ Span& MetricsRegistry::span(std::string_view name) {
   if (it == spans_.end()) {
     it = spans_
              .emplace(std::string(name),
-                      std::unique_ptr<Span>(new Span(std::string(name))))
+                      std::unique_ptr<Span>(  // NOLINT(modernize-make-unique): private ctor
+                          new Span(std::string(name))))
              .first;
   }
   return *it->second;
@@ -173,7 +176,7 @@ void MetricsRegistry::add_round(RoundSample sample) {
     if (it == counters_.end()) {
       it = counters_
                .emplace("obs.rounds_dropped",
-                        std::unique_ptr<Counter>(
+                        std::unique_ptr<Counter>(  // NOLINT(modernize-make-unique)
                             new Counter("obs.rounds_dropped")))
                .first;
     }

@@ -8,6 +8,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "check/overlay_checks.hpp"
+
 namespace sel::overlay {
 
 Overlay::Overlay(std::size_t num_peers) : peers_(num_peers) {}
@@ -56,6 +58,11 @@ void Overlay::rebuild_ring(bool online_only) {
       peers_[p].pred = order[(i + n - 1) % n];
     }
   }
+  if (check::enabled()) {
+    check::enforce(check::enabled(check::Level::kFull)
+                       ? check::validate_ring(*this, online_only)
+                       : check::validate_ring_sample(*this, online_only));
+  }
 }
 
 bool Overlay::add_long_link(PeerId from, PeerId to) {
@@ -69,6 +76,10 @@ bool Overlay::add_long_link(PeerId from, PeerId to) {
   }
   f.out_links.push_back(to);
   t.in_links.push_back(from);
+  if (check::enabled(check::Level::kFull)) {
+    check::enforce(check::validate_peer_links(*this, from));
+    check::enforce(check::validate_peer_links(*this, to));
+  }
   return true;
 }
 
@@ -81,6 +92,10 @@ bool Overlay::remove_long_link(PeerId from, PeerId to) {
   const auto rit = std::find(t.in_links.begin(), t.in_links.end(), from);
   SEL_ASSERT(rit != t.in_links.end());
   t.in_links.erase(rit);
+  if (check::enabled(check::Level::kFull)) {
+    check::enforce(check::validate_peer_links(*this, from));
+    check::enforce(check::validate_peer_links(*this, to));
+  }
   return true;
 }
 

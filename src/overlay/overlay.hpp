@@ -22,6 +22,10 @@
 
 #include "net/id_space.hpp"
 
+namespace sel::check::testing {
+struct Corruptor;
+}
+
 namespace sel::overlay {
 
 using PeerId = std::uint32_t;
@@ -138,6 +142,10 @@ class Overlay {
   [[nodiscard]] double average_long_degree() const;
 
  private:
+  // Test backdoor: check_invariants_test seeds violations the public API
+  // refuses to create (see check/corrupt.hpp).
+  friend struct ::sel::check::testing::Corruptor;
+
   struct Peer {
     net::OverlayId id;
     bool joined = false;

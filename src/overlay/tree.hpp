@@ -14,6 +14,10 @@
 
 #include "overlay/overlay.hpp"
 
+namespace sel::check::testing {
+struct Corruptor;
+}
+
 namespace sel::overlay {
 
 class DisseminationTree {
@@ -60,6 +64,9 @@ class DisseminationTree {
       const std::unordered_set<PeerId>& subscribers) const;
 
  private:
+  // Test backdoor for seeding invariant violations (check/corrupt.hpp).
+  friend struct ::sel::check::testing::Corruptor;
+
   PeerId root_;
   std::unordered_map<PeerId, PeerId> parent_;
   std::unordered_map<PeerId, std::vector<PeerId>> children_;

@@ -1,5 +1,6 @@
 #include "pubsub/engine.hpp"
 
+#include "check/tree_checks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -57,6 +58,11 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
     ++stats_.tree_cache_misses;
     tree_builds_counter().add(1);
     cached = tree_cache_.emplace(publisher, sys_->build_tree(publisher)).first;
+    // Every freshly built dissemination tree must be acyclic with one
+    // parent per node — the structure exactly-once delivery rides on.
+    if (check::enabled(check::Level::kFull)) {
+      check::enforce(check::validate_tree(cached->second));
+    }
   } else {
     ++stats_.tree_cache_hits;
   }
@@ -67,8 +73,13 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   rec.id = id;
   rec.publisher = publisher;
   rec.publish_time_s = time_s;
+  // max_deliveries is maintained even with SEL_CHECK off (one increment in
+  // a loop that runs anyway) so flipping the level mid-flight cannot seed a
+  // stale bound.
   for (const PeerId s : flight.subscribers) {
-    if (sys_->peer_online(s) && flight.tree.contains(s)) ++rec.wanted;
+    if (!flight.tree.contains(s)) continue;
+    ++flight.max_deliveries;
+    if (sys_->peer_online(s)) ++rec.wanted;
   }
   stats_.wanted += rec.wanted;
   ++stats_.messages_published;
@@ -128,6 +139,11 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
         r.delivery_latency_s.add(latency);
         stats_.delivery_latency_s.add(latency);
         if (r.delivered >= r.wanted) r.completed_at_s = now;
+        if (check::enabled()) {
+          check::enforce(check::validate_delivery_count(
+              r.delivered, f->second.max_deliveries, r.wanted,
+              r.completed_at_s.has_value()));
+        }
       }
       forward(id, child, now);
       finish_event(id);

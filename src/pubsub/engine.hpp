@@ -99,6 +99,10 @@ class NotificationEngine {
     overlay::DisseminationTree tree;
     std::unordered_set<overlay::PeerId> subscribers;
     std::size_t pending_events = 0;
+    /// Subscribers present in the tree — the exactly-once delivery bound
+    /// (always maintained so SEL_CHECK can be enabled mid-flight; see
+    /// check/tree_checks.hpp).
+    std::size_t max_deliveries = 0;
   };
 
   /// Decrements the pending-event count; frees the in-flight state when the

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <map>
 
+#include "check/overlay_checks.hpp"
+#include "check/protocol_checks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -227,6 +229,13 @@ bool SelectSystem::run_round() {
 
   overlay_.rebuild_ring();
 
+  // Post-round structural invariants (Algs. 2, 5-6): the ring itself is
+  // validated inside rebuild_ring; full level additionally sweeps routing
+  // table symmetry across every peer once per round.
+  if (check::enabled(check::Level::kFull)) {
+    check::enforce(check::validate_link_symmetry(overlay_));
+  }
+
   if (obs_on) {
     const auto ms = [](auto d) {
       return static_cast<double>(
@@ -366,6 +375,12 @@ double SelectSystem::evaluate_position(PeerId p) {
   const double delta = cw <= 0.5 ? cw : cw - 1.0;
   const double step = delta * params_.id_damping;
   const net::OverlayId next = net::advance(cur, step);
+  if (check::enabled(check::Level::kFull)) {
+    // Alg. 2 geometry: the damped move heads toward the centroid of the two
+    // strongest ties and never overshoots.
+    check::enforce(
+        check::validate_id_step(cur, target, next, params_.id_damping));
+  }
   overlay_.set_id(p, next);
   return std::fabs(step);
 }
@@ -578,6 +593,15 @@ std::size_t SelectSystem::create_links(PeerId p) {
   for (const PeerId v : outs) {
     if (!in_final(v)) {
       if (overlay_.remove_long_link(p, v)) ++changes;
+    }
+  }
+  if (check::enabled()) {
+    // Alg. 5 bucket bound |H| = K is O(1); the full index walk and the
+    // link-budget check run only at full level.
+    check::enforce(check::validate_lsh_bucket_bound(*st.index, k_));
+    if (check::enabled(check::Level::kFull)) {
+      check::enforce(check::validate_lsh_index(*st.index, k_));
+      check::enforce(check::validate_link_budget(overlay_, p, k_));
     }
   }
   return changes;

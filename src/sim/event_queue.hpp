@@ -6,10 +6,10 @@
 // deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -23,7 +23,8 @@ class EventQueue {
   /// Schedules `cb` at absolute time `time_s` (must not be in the past).
   void schedule(double time_s, Callback cb) {
     SEL_EXPECTS(time_s >= now_);
-    heap_.push(Entry{time_s, next_seq_++, std::move(cb)});
+    heap_.push_back(Entry{time_s, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   /// Schedules `cb` at now + delay.
@@ -39,15 +40,20 @@ class EventQueue {
   /// Time of the next pending event; infinity when empty.
   [[nodiscard]] double next_time() const {
     return heap_.empty() ? std::numeric_limits<double>::infinity()
-                         : heap_.top().time;
+                         : heap_.front().time;
   }
 
   /// Fires the earliest event. Returns false when the queue is empty.
   bool run_next() {
     if (heap_.empty()) return false;
-    // Move the entry out before invoking: the callback may schedule more.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    // pop_heap rotates the earliest entry to the back, where it is mutable
+    // and can be moved out before invoking (the callback may schedule
+    // more). An earlier version const_cast-moved out of
+    // priority_queue::top(), which mutates the const heap top in place —
+    // UB-adjacent and flagged by clang-tidy/UBSan builds.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
     now_ = entry.time;
     entry.callback(now_);
     return true;
@@ -58,7 +64,7 @@ class EventQueue {
   std::size_t run_until(double t_s) {
     SEL_EXPECTS(t_s >= now_);
     std::size_t fired = 0;
-    while (!heap_.empty() && heap_.top().time <= t_s) {
+    while (!heap_.empty() && heap_.front().time <= t_s) {
       run_next();
       ++fired;
     }
@@ -79,14 +85,18 @@ class EventQueue {
     double time;
     std::uint64_t seq;
     Callback callback;
+  };
 
-    bool operator>(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Max-heap comparator that puts the earliest (time, seq) at the front.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  /// Binary heap ordered by Later{} (std::push_heap/std::pop_heap).
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 };

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "check/superstep_checks.hpp"
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -157,6 +158,23 @@ class SuperstepEngine {
     }
     for (std::size_t v = 1; v <= num_vertices_; ++v) {
       inbox_offsets_[v] += inbox_offsets_[v - 1];
+    }
+
+    // Determinism invariant: the delivered inbox is strictly ordered by
+    // (dst, src, seq) and the offset table partitions it. Cheap level
+    // verifies the O(1) shape; full level walks the whole inbox.
+    if (check::enabled()) {
+      if (check::enabled(check::Level::kFull)) {
+        check::enforce(check::validate_superstep_inbox(inbox_, inbox_offsets_,
+                                                       num_vertices_));
+      } else if (inbox_offsets_.front() != 0 ||
+                 inbox_offsets_.back() != inbox_.size()) {
+        check::enforce(check::Violation{
+            "superstep.offsets.shape",
+            "offset table does not span the inbox after delivery"});
+      } else {
+        check::enforce(std::nullopt);
+      }
     }
 
     if (obs_on) {

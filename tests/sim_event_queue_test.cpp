@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 namespace sel::sim {
@@ -99,6 +101,39 @@ TEST(EventQueue, RunAllRespectsBackstop) {
   };
   q.schedule(0.0, forever);
   EXPECT_EQ(q.run_all(100), 100u);
+}
+
+TEST(EventQueue, CallbackStateSurvivesInterleavedPopsAndPushes) {
+  // Regression for the const_cast-move out of priority_queue::top(): the
+  // callback was moved from the (const) heap top in place, so a pop
+  // interleaved with pushes could sift a hollowed-out entry and invoke it.
+  // Each callback owns its payload through a shared_ptr; a hollow
+  // invocation shows up as a null payload or a missing value.
+  EventQueue q;
+  std::vector<int> fired;
+  constexpr int kEvents = 50;
+  for (int i = 0; i < kEvents; ++i) {
+    auto payload = std::make_shared<int>(i);
+    q.schedule(static_cast<double>(i % 7),
+               [&q, &fired, payload](double now) {
+                 ASSERT_NE(payload, nullptr);
+                 fired.push_back(*payload);
+                 if (*payload % 3 == 0) {
+                   q.schedule(now + 0.25,
+                              [&fired](double) { fired.push_back(-1); });
+                 }
+               });
+  }
+  q.run_all();
+  std::vector<int> primary;
+  for (const int v : fired) {
+    if (v >= 0) primary.push_back(v);
+  }
+  std::sort(primary.begin(), primary.end());
+  ASSERT_EQ(primary.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(primary[i], i);
+  EXPECT_EQ(fired.size() - primary.size(),
+            static_cast<std::size_t>((kEvents + 2) / 3));
 }
 
 TEST(EventQueue, PastSchedulingAborts) {

@@ -24,7 +24,7 @@ TEST(TrialRunner, AggregatesMetricsAcrossTrials) {
 
 TEST(TrialRunner, TrialSeedsAreDistinct) {
   std::set<std::uint64_t> seeds;
-  run_trials(20, 7, [&seeds](std::uint64_t seed) {
+  (void)run_trials(20, 7, [&seeds](std::uint64_t seed) {
     seeds.insert(seed);
     return MetricMap{};
   });
@@ -34,11 +34,11 @@ TEST(TrialRunner, TrialSeedsAreDistinct) {
 TEST(TrialRunner, SeedsDeterministicPerRootSeed) {
   std::vector<std::uint64_t> first;
   std::vector<std::uint64_t> second;
-  run_trials(5, 3, [&first](std::uint64_t s) {
+  (void)run_trials(5, 3, [&first](std::uint64_t s) {
     first.push_back(s);
     return MetricMap{};
   });
-  run_trials(5, 3, [&second](std::uint64_t s) {
+  (void)run_trials(5, 3, [&second](std::uint64_t s) {
     second.push_back(s);
     return MetricMap{};
   });
@@ -48,11 +48,11 @@ TEST(TrialRunner, SeedsDeterministicPerRootSeed) {
 TEST(TrialRunner, DifferentRootSeedsGiveDifferentTrialSeeds) {
   std::vector<std::uint64_t> a;
   std::vector<std::uint64_t> b;
-  run_trials(5, 1, [&a](std::uint64_t s) {
+  (void)run_trials(5, 1, [&a](std::uint64_t s) {
     a.push_back(s);
     return MetricMap{};
   });
-  run_trials(5, 2, [&b](std::uint64_t s) {
+  (void)run_trials(5, 2, [&b](std::uint64_t s) {
     b.push_back(s);
     return MetricMap{};
   });

@@ -35,7 +35,9 @@ TEST(Workload, PostsSortedAndWithinHorizon) {
   for (std::size_t i = 0; i < posts.size(); ++i) {
     EXPECT_GE(posts[i].time_s, 0.0);
     EXPECT_LT(posts[i].time_s, 3600.0);
-    if (i > 0) EXPECT_LE(posts[i - 1].time_s, posts[i].time_s);
+    if (i > 0) {
+      EXPECT_LE(posts[i - 1].time_s, posts[i].time_s);
+    }
     EXPECT_LT(posts[i].publisher, g.num_nodes());
   }
 }
