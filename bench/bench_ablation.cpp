@@ -54,7 +54,7 @@ int main() {
     variants.push_back({"no-invite-projection", p});
   }
 
-  CsvWriter csv("ablation.csv",
+  CsvWriter csv(bench::output_path("ablation.csv"),
                 {"variant", "hops", "relays_per_path", "iterations",
                  "availability_under_churn"});
   TablePrinter table({"variant", "hops", "relays/path", "iterations",
@@ -103,7 +103,7 @@ int main() {
         fmt(summary.mean("avail"), 4)});
   }
   table.print();
-  std::printf("\nwrote ablation.csv\n");
+  std::printf("\nwrote %s\n", csv.path().c_str());
   bench::write_run_report("ablation", csv.path());
   return 0;
 }

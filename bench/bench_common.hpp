@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -16,11 +18,35 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "graph/profiles.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "overlay/system.hpp"
 #include "sim/workload.hpp"
 
 namespace sel::bench {
+
+/// Directory all bench artifacts (CSV, report, trace) land in. Defaults to
+/// `results/` under the working directory (gitignored); override with
+/// SELECT_RESULTS_DIR. Created on first use; falls back to "." when the
+/// directory cannot be created (read-only working dir).
+inline const std::string& results_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("SELECT_RESULTS_DIR");
+    std::string d = (env != nullptr && *env != '\0') ? env : "results";
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    if (ec) return std::string(".");
+    return d;
+  }();
+  return dir;
+}
+
+/// `results_dir()/filename` — pass to CsvWriter so artifacts stay out of
+/// the source tree.
+inline std::string output_path(const std::string& filename) {
+  return results_dir() + "/" + filename;
+}
 
 /// Network-size sweep used by the N-sweep figures.
 inline std::vector<std::size_t> default_sizes() {
@@ -71,9 +97,16 @@ inline void write_run_report(
   report.metadata.emplace("trials", std::to_string(trial_count()));
   report.metadata.emplace("obs", obs::enabled() ? "on" : "off");
   report.snapshot = reg.snapshot();
+  report.timeseries = obs::RoundSampler::global().snapshot();
   const std::string path = obs::report_path_for_csv(csv_path);
   if (report.write(path)) {
     std::printf("wrote %s\n", path.c_str());
+  }
+  if (obs::enabled()) {
+    const std::string trace_path = obs::trace_path_for_csv(csv_path);
+    if (obs::write_trace_file(trace_path)) {
+      std::printf("wrote %s (open in ui.perfetto.dev)\n", trace_path.c_str());
+    }
   }
 }
 

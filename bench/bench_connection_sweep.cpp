@@ -18,7 +18,7 @@ int main() {
   const auto log2n = static_cast<std::size_t>(
       std::log2(static_cast<double>(n)));
   const std::size_t trials = trial_count(2);
-  CsvWriter csv("connection_sweep.csv", {"k_links", "hops", "success"});
+  CsvWriter csv(bench::output_path("connection_sweep.csv"), {"k_links", "hops", "success"});
 
   const auto& profile = graph::profile_by_name("facebook");
   TablePrinter table({"K", "hops", "delivered%"});
@@ -42,8 +42,8 @@ int main() {
   }
   table.print();
   std::printf("\nlog2(N) = %zu for N = %zu — the paper's chosen operating "
-              "point\nwrote connection_sweep.csv\n",
-              log2n, n);
+              "point\nwrote %s\n",
+              log2n, n, csv.path().c_str());
   bench::write_run_report("connection_sweep", csv.path());
   return 0;
 }

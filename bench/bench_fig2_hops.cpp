@@ -16,7 +16,7 @@ int main() {
 
   const auto sizes = bench::default_sizes();
   const std::size_t trials = trial_count(2);
-  CsvWriter csv("fig2_hops.csv",
+  CsvWriter csv(bench::output_path("fig2_hops.csv"),
                 {"dataset", "n", "system", "hops", "ci95", "success_rate"});
 
   for (const auto& profile : graph::all_profiles()) {
@@ -52,7 +52,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig2_hops.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig2_hops", csv.path());
   return 0;
 }

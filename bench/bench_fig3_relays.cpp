@@ -15,7 +15,7 @@ int main() {
 
   const auto sizes = bench::default_sizes();
   const std::size_t trials = trial_count(2);
-  CsvWriter csv("fig3_relays.csv",
+  CsvWriter csv(bench::output_path("fig3_relays.csv"),
                 {"dataset", "n", "system", "relays_per_path",
                  "relays_per_tree", "coverage"});
 
@@ -56,7 +56,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig3_relays.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig3_relays", csv.path());
   return 0;
 }

@@ -23,7 +23,7 @@ int main() {
 
   const std::size_t n = scaled(1000, 200);
   const std::size_t trials = trial_count(2);
-  CsvWriter csv("fig4_load.csv",
+  CsvWriter csv(bench::output_path("fig4_load.csv"),
                 {"dataset", "system", "top_decile_share_pct", "gini",
                  "relay_forward_share", "forwards_per_delivery",
                  "decile0", "decile9"});
@@ -65,7 +65,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig4_load.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig4_load", csv.path());
   return 0;
 }

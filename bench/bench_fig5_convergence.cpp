@@ -18,7 +18,7 @@ int main() {
   sizes.push_back(scaled(2000));
   const std::size_t trials = trial_count(2);
   const char* systems[] = {"select", "vitis", "omen"};
-  CsvWriter csv("fig5_convergence.csv",
+  CsvWriter csv(bench::output_path("fig5_convergence.csv"),
                 {"dataset", "n", "system", "iterations", "ci95"});
 
   for (const auto& profile : graph::all_profiles()) {
@@ -46,7 +46,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig5_convergence.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig5_convergence", csv.path());
   return 0;
 }

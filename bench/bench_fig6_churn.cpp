@@ -23,7 +23,7 @@ int main() {
   const std::size_t n = scaled(600, 128);
   const std::size_t epochs = 20;
   const double epoch_s = 1800.0;  // 20 x 30min = 10 hours
-  CsvWriter csv("fig6_churn.csv",
+  CsvWriter csv(bench::output_path("fig6_churn.csv"),
                 {"dataset", "time_s", "online_fraction", "availability",
                  "availability_no_recovery"});
 
@@ -72,7 +72,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig6_churn.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig6_churn", csv.path());
   return 0;
 }

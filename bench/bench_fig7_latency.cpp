@@ -21,7 +21,7 @@ int main() {
   const std::size_t trials = trial_count(2);
   const char* systems[] = {"random", "select", "symphony", "bayeux", "vitis",
                            "omen"};
-  CsvWriter csv("fig7_latency.csv",
+  CsvWriter csv(bench::output_path("fig7_latency.csv"),
                 {"dataset", "n", "system", "tree_latency_s",
                  "subscriber_latency_s"});
 
@@ -59,7 +59,7 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  std::printf("wrote fig7_latency.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig7_latency", csv.path());
   return 0;
 }

@@ -20,7 +20,7 @@ int main() {
 
   const std::size_t n = scaled(1000, 200);
   const std::size_t bins = 64;
-  CsvWriter csv("fig8_iddist.csv",
+  CsvWriter csv(bench::output_path("fig8_iddist.csv"),
                 {"dataset", "stage", "clumpiness", "entropy_bits",
                  "coverage", "avg_friend_ring_distance"});
 
@@ -71,7 +71,7 @@ int main() {
                 std::string(profile.name).c_str(),
                 final_hist.render(48).c_str());
   }
-  std::printf("wrote fig8_iddist.csv\n");
+  std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report("fig8_iddist", csv.path());
   return 0;
 }

@@ -21,7 +21,7 @@ int main() {
   const std::size_t n = scaled(600, 150);
   const std::size_t trials = trial_count(2);
   const auto& profile = graph::profile_by_name("facebook");
-  CsvWriter csv("geo_latency.csv",
+  CsvWriter csv(bench::output_path("geo_latency.csv"),
                 {"inter_region_ms", "system", "tree_latency_s",
                  "inter_region_edge_fraction"});
   TablePrinter table({"extra ms", "system", "tree latency (s)",
@@ -72,7 +72,7 @@ int main() {
     }
   }
   table.print();
-  std::printf("\nwrote geo_latency.csv\n");
+  std::printf("\nwrote %s\n", csv.path().c_str());
   bench::write_run_report("geo_latency", csv.path());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "lsh/lsh.hpp"
 #include "net/id_space.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "select/protocol.hpp"
 
@@ -141,6 +142,57 @@ void BM_ObsScopedSpan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsScopedSpan);
+
+// Provenance tracer cost on the publish path. With SEL_OBS=off this is the
+// disabled fast path — a single cached-flag branch returning trace id 0.
+// With SEL_OBS=on it pays the 1-in-N sampling decision (default N=64).
+void BM_TraceBeginPublish(benchmark::State& state) {
+  auto& tracer = obs::ProvenanceTracer::global();
+  std::uint64_t msg = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.begin_publish(++msg, 7, 0.0));
+  }
+  tracer.reset();
+}
+BENCHMARK(BM_TraceBeginPublish);
+
+// Same, with sampling effectively off (1-in-2^31): the sampled-out branch
+// every non-traced publish takes under SEL_OBS=on.
+void BM_TraceBeginPublishUnsampled(benchmark::State& state) {
+  auto& tracer = obs::ProvenanceTracer::global();
+  const std::size_t prev = tracer.sample_every();
+  tracer.set_sample_every(1u << 31);
+  std::uint64_t msg = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.begin_publish(++msg, 7, 0.0));
+  }
+  tracer.set_sample_every(prev);
+  tracer.reset();
+}
+BENCHMARK(BM_TraceBeginPublishUnsampled);
+
+// Hop recording for a sampled message (the per-edge cost of a traced
+// dissemination); a no-op branch when tracing is disabled.
+void BM_TraceRecordHop(benchmark::State& state) {
+  auto& tracer = obs::ProvenanceTracer::global();
+  tracer.reset();
+  tracer.set_sample_every(1);
+  const obs::TraceId trace = tracer.begin_publish(1, 7, 0.0);
+  obs::HopRecord hop;
+  hop.trace = trace == 0 ? 1 : trace;  // keep the hot path under SEL_OBS=off
+  hop.msg = 1;
+  hop.from = 7;
+  hop.to = 8;
+  hop.depth = 1;
+  hop.send_s = 0.0;
+  hop.arrive_s = 0.001;
+  for (auto _ : state) {
+    tracer.record_hop(hop);
+  }
+  tracer.set_sample_every(0);  // back to the SEL_TRACE_SAMPLE default
+  tracer.reset();
+}
+BENCHMARK(BM_TraceRecordHop);
 
 // Invariant-checker cost by level: kOff is the single-branch contract
 // (check.hpp), kCheap the sampled default, kFull the complete ring walk —

@@ -22,7 +22,7 @@ int main() {
   const std::size_t n = scaled(800, 200);
   const std::size_t trials = trial_count(2);
   const auto& profile = graph::profile_by_name("facebook");
-  CsvWriter csv("multipath.csv",
+  CsvWriter csv(bench::output_path("multipath.csv"),
                 {"fail_probability", "single_path_delivery",
                  "multi_path_delivery", "backup_coverage", "backup_stretch"});
   TablePrinter table({"P(fail)", "delivery (1 path)", "delivery (2 paths)",
@@ -57,7 +57,7 @@ int main() {
              summary.mean("coverage"), summary.mean("stretch")});
   }
   table.print();
-  std::printf("\nwrote multipath.csv\n");
+  std::printf("\nwrote %s\n", csv.path().c_str());
   bench::write_run_report("multipath", csv.path());
   return 0;
 }

@@ -49,7 +49,7 @@ int main() {
   const unsigned max_threads =
       std::max(1u, std::thread::hardware_concurrency());
 
-  CsvWriter csv("scaling.csv", {"threads", "seconds_per_round", "speedup"});
+  CsvWriter csv(bench::output_path("scaling.csv"), {"threads", "seconds_per_round", "speedup"});
   TablePrinter table({"threads", "s/round", "speedup", "checksum"});
   double baseline = 0.0;
 
@@ -72,7 +72,8 @@ int main() {
   }
   table.print();
   std::printf("\nidentical checksums across rows confirm determinism is "
-              "independent of thread count\nwrote scaling.csv\n");
+              "independent of thread count\nwrote %s\n",
+              csv.path().c_str());
   bench::write_run_report("scaling", csv.path());
   return 0;
 }

@@ -16,7 +16,7 @@ int main() {
 
   const std::size_t n = scaled(512, 128);
   net::NetworkModel net(n, 7);
-  CsvWriter csv("star_transfer.csv",
+  CsvWriter csv(bench::output_path("star_transfer.csv"),
                 {"connections", "total_time_s", "time_per_receiver_s"});
   TablePrinter table({"connections", "total time (s)", "s/receiver"});
 
@@ -33,7 +33,7 @@ int main() {
              total / static_cast<double>(fanout)});
   }
   table.print();
-  std::printf("\nwrote star_transfer.csv\n");
+  std::printf("\nwrote %s\n", csv.path().c_str());
   bench::write_run_report("star_transfer", csv.path());
   return 0;
 }

@@ -26,7 +26,7 @@ int main() {
   const std::size_t n = scaled(800, 200);
   const std::size_t trials = trial_count(2);
   const auto& profile = graph::profile_by_name("facebook");
-  CsvWriter csv("structure_ablation.csv",
+  CsvWriter csv(bench::output_path("structure_ablation.csv"),
                 {"graph", "system", "clustering", "hops", "relays_per_path"});
   TablePrinter table(
       {"graph", "system", "clustering", "hops", "relays/path"});
@@ -64,7 +64,7 @@ int main() {
     }
   }
   table.print();
-  std::printf("\nwrote structure_ablation.csv\n");
+  std::printf("\nwrote %s\n", csv.path().c_str());
   bench::write_run_report("structure_ablation", csv.path());
   return 0;
 }

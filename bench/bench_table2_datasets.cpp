@@ -16,7 +16,7 @@ int main() {
   const std::size_t n = scaled(2000, 256);
   TablePrinter table({"dataset", "paper avg deg", "users", "connections",
                       "avg degree", "max degree", "clustering", "alpha"});
-  CsvWriter csv("table2_datasets.csv",
+  CsvWriter csv(bench::output_path("table2_datasets.csv"),
                 {"dataset", "users", "connections", "avg_degree",
                  "max_degree", "clustering", "powerlaw_alpha"});
 

@@ -4,11 +4,20 @@
 Usage:
     scripts/compare_reports.py baseline.report.json candidate.report.json
     scripts/compare_reports.py a.json b.json --min-rel 0.05   # hide <5% deltas
+    scripts/compare_reports.py a.json b.json \\
+        --fail-on pubsub.deliveries=0 \\
+        --fail-on select.round.compute_ms_per_round=0.25
 
 Prints metric-by-metric deltas for counters, gauges and spans, plus aggregate
-round-telemetry comparisons (total/mean phase times, message volume). Exit
-code is always 0 — this is a reporting tool, not a gate; pipe into your own
-thresholds for regression checks.
+round-telemetry comparisons (total/mean phase times, message volume).
+
+Without --fail-on the exit code is always 0 (reporting mode). Each
+--fail-on METRIC=TOLERANCE names a flat metric (counter, gauge, span as
+"span.<name>.total_ms", or round aggregate like "select.round.rounds") and
+the maximum allowed relative change, as a fraction (0.25 = 25%; 0 = must be
+identical). Any named metric whose change exceeds its tolerance — or which
+is missing from either report — makes the script exit 1, so CI can gate on
+it. Run scripts/test_compare_reports.py for the self-test.
 """
 
 import argparse
@@ -98,6 +107,52 @@ def round_aggregates(rounds):
     return flat
 
 
+def flat_metrics(doc):
+    """Flattens one report into {metric_name: number} for --fail-on."""
+    m = doc["metrics"]
+    flat = {}
+    flat.update(m.get("counters", {}))
+    flat.update(m.get("gauges", {}))
+    for name, span in m.get("spans", {}).items():
+        flat[f"span.{name}.total_ms"] = span.get("total_ns", 0) / 1e6
+        flat[f"span.{name}.count"] = span.get("count", 0)
+    flat.update(round_aggregates(m.get("rounds", [])))
+    return flat
+
+
+def parse_fail_on(specs):
+    thresholds = []
+    for spec in specs:
+        metric, sep, tol = spec.partition("=")
+        if not sep or not metric:
+            sys.exit(f"--fail-on {spec!r}: expected METRIC=TOLERANCE")
+        try:
+            tol_val = float(tol)
+        except ValueError:
+            sys.exit(f"--fail-on {spec!r}: tolerance {tol!r} is not a number")
+        if tol_val < 0:
+            sys.exit(f"--fail-on {spec!r}: tolerance must be >= 0")
+        thresholds.append((metric, tol_val))
+    return thresholds
+
+
+def check_thresholds(thresholds, flat_a, flat_b):
+    """Returns a list of violation strings (empty = all within tolerance)."""
+    violations = []
+    for metric, tol in thresholds:
+        va, vb = flat_a.get(metric), flat_b.get(metric)
+        if va is None or vb is None:
+            where = "baseline" if va is None else "candidate"
+            violations.append(f"{metric}: missing from {where} report")
+            continue
+        rel = rel_change(va, vb)
+        if rel > tol:
+            violations.append(
+                f"{metric}: {fmt_num(va)} -> {fmt_num(vb)} "
+                f"(changed {100.0 * rel:.1f}%, tolerance {100.0 * tol:.1f}%)")
+    return violations
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -105,7 +160,12 @@ def main():
     ap.add_argument("--min-rel", type=float, default=0.0,
                     help="hide metrics whose relative change is below this "
                          "fraction (default: show everything that changed)")
+    ap.add_argument("--fail-on", action="append", default=[],
+                    metavar="METRIC=TOLERANCE",
+                    help="exit 1 when METRIC's relative change exceeds "
+                         "TOLERANCE (a fraction; repeatable)")
     args = ap.parse_args()
+    thresholds = parse_fail_on(args.fail_on)
 
     a, b = load(args.baseline), load(args.candidate)
 
@@ -127,6 +187,16 @@ def main():
                  round_aggregates(ma.get("rounds", [])),
                  round_aggregates(mb.get("rounds", [])), args.min_rel)
     print()
+
+    if thresholds:
+        violations = check_thresholds(thresholds, flat_metrics(a),
+                                      flat_metrics(b))
+        if violations:
+            print("## threshold violations")
+            for v in violations:
+                print(f"  FAIL {v}")
+            sys.exit(1)
+        print(f"all {len(thresholds)} threshold(s) within tolerance")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Self-test for compare_reports.py --fail-on gating (stdlib only).
+
+Builds two synthetic run reports, then asserts the exit codes:
+  * no --fail-on            -> 0 (reporting mode never gates)
+  * within tolerance        -> 0
+  * beyond tolerance        -> 1
+  * metric missing          -> 1
+  * malformed spec          -> nonzero usage error
+
+Run directly (CI does): python3 scripts/test_compare_reports.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_reports.py")
+
+
+def make_report(deliveries, compute_ms):
+    return {
+        "schema_version": 2,
+        "experiment": "selftest",
+        "git_describe": "test",
+        "metadata": {},
+        "metrics": {
+            "counters": {"pubsub.deliveries": deliveries,
+                         "select.rounds": 10},
+            "gauges": {"select.rounds_to_stable_ids": 7.0},
+            "histograms": {},
+            "spans": {"select.round": {"count": 10, "total_ns": 5000000}},
+            "rounds": [
+                {"label": "select.round", "round": r,
+                 "compute_ms": compute_ms, "barrier_ms": 0.0,
+                 "deliver_ms": 0.1, "messages": 20}
+                for r in range(10)
+            ],
+        },
+        "timeseries": [],
+    }
+
+
+def run(args):
+    proc = subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+
+    def check(name, got, want, output):
+        if got != want:
+            failures.append(f"{name}: exit {got}, expected {want}\n{output}")
+        else:
+            print(f"ok: {name}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.report.json")
+        cand = os.path.join(tmp, "cand.report.json")
+        with open(base, "w") as f:
+            json.dump(make_report(deliveries=1000, compute_ms=1.0), f)
+        with open(cand, "w") as f:
+            json.dump(make_report(deliveries=900, compute_ms=1.3), f)
+
+        code, out = run([base, cand])
+        check("no --fail-on always exits 0", code, 0, out)
+
+        code, out = run([base, cand, "--fail-on", "pubsub.deliveries=0.2"])
+        check("10% drop within 20% tolerance", code, 0, out)
+
+        code, out = run([base, cand, "--fail-on", "pubsub.deliveries=0.05"])
+        check("10% drop beyond 5% tolerance", code, 1, out)
+
+        code, out = run([base, cand, "--fail-on", "select.rounds=0"])
+        check("unchanged metric with zero tolerance", code, 0, out)
+
+        code, out = run(
+            [base, cand,
+             "--fail-on", "select.round.compute_ms_per_round=0.1"])
+        check("round aggregate regression gates", code, 1, out)
+
+        code, out = run([base, cand, "--fail-on", "no.such.metric=0.5"])
+        check("missing metric gates", code, 1, out)
+
+        code, out = run([base, cand, "--fail-on", "pubsub.deliveries"])
+        if code == 0:
+            failures.append(f"malformed spec accepted\n{out}")
+        else:
+            print("ok: malformed spec rejected")
+
+    if failures:
+        print("\n".join(f"FAIL {f}" for f in failures), file=sys.stderr)
+        sys.exit(1)
+    print("test_compare_reports: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

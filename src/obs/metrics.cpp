@@ -211,6 +211,16 @@ Snapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+std::vector<CounterSnapshot> MetricsRegistry::counters_snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, c->value()});
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

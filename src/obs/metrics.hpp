@@ -269,6 +269,10 @@ class MetricsRegistry {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Counter-only snapshot: what the per-round sampler (obs/sampler.hpp)
+  /// needs each round, without copying histograms or round telemetry.
+  [[nodiscard]] std::vector<CounterSnapshot> counters_snapshot() const;
+
   /// Zeroes every instrument and clears round telemetry (instrument handles
   /// stay valid). Benches call this between independent runs.
   void reset();

@@ -1,0 +1,148 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+
+namespace sel::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Oldest-first copy of a ring that has wrapped `total` insertions.
+template <typename T>
+std::vector<T> unroll_ring(const std::vector<T>& ring, std::size_t capacity,
+                           std::int64_t total) {
+  if (static_cast<std::size_t>(total) <= capacity) return ring;
+  std::vector<T> out;
+  out.reserve(capacity);
+  const std::size_t head = static_cast<std::size_t>(total) % capacity;
+  out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(head),
+             ring.end());
+  out.insert(out.end(), ring.begin(),
+             ring.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+template <typename T>
+void ring_push(std::vector<T>& ring, std::size_t capacity, std::int64_t total,
+               T value) {
+  if (static_cast<std::size_t>(total) < capacity) {
+    ring.push_back(std::move(value));
+  } else {
+    ring[static_cast<std::size_t>(total) % capacity] = std::move(value);
+  }
+}
+
+}  // namespace
+
+std::int64_t wall_us(std::chrono::steady_clock::time_point tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp -
+                                                               trace_epoch())
+      .count();
+}
+
+std::int64_t wall_now_us() noexcept {
+  return wall_us(std::chrono::steady_clock::now());
+}
+
+// -- ProvenanceTracer --------------------------------------------------------
+
+TraceId ProvenanceTracer::begin_publish(std::uint64_t msg,
+                                        std::uint32_t publisher, double time_s,
+                                        TraceKind kind) {
+  if (!enabled()) return 0;
+  std::lock_guard lock(mu_);
+  if (sample_every_ == 0) {
+    const auto n = env_or("SEL_TRACE_SAMPLE", std::int64_t{64});
+    sample_every_ = n > 0 ? static_cast<std::size_t>(n) : 1;
+  }
+  const auto seen = publishes_seen_++;
+  if (static_cast<std::size_t>(seen) % sample_every_ != 0) return 0;
+  const TraceId id = next_trace_++;
+  ring_push(publishes_, kMaxPublishes, publishes_sampled_,
+            PublishRecord{id, msg, publisher, kind, time_s, wall_now_us()});
+  ++publishes_sampled_;
+  return id;
+}
+
+void ProvenanceTracer::record_hop(HopRecord hop) {
+  if (!enabled()) return;
+  hop.wall_ts_us = wall_now_us();
+  std::lock_guard lock(mu_);
+  ring_push(hops_, kMaxHops, hops_recorded_, hop);
+  ++hops_recorded_;
+}
+
+ProvenanceTracer::Snapshot ProvenanceTracer::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.publishes = unroll_ring(publishes_, kMaxPublishes, publishes_sampled_);
+  snap.hops = unroll_ring(hops_, kMaxHops, hops_recorded_);
+  snap.publishes_seen = publishes_seen_;
+  snap.publishes_sampled = publishes_sampled_;
+  snap.hops_recorded = hops_recorded_;
+  return snap;
+}
+
+void ProvenanceTracer::reset() {
+  std::lock_guard lock(mu_);
+  publishes_.clear();
+  hops_.clear();
+  publishes_seen_ = 0;
+  publishes_sampled_ = 0;
+  hops_recorded_ = 0;
+  next_trace_ = 1;
+}
+
+std::size_t ProvenanceTracer::sample_every() const noexcept {
+  std::lock_guard lock(mu_);
+  return sample_every_;
+}
+
+void ProvenanceTracer::set_sample_every(std::size_t n) {
+  std::lock_guard lock(mu_);
+  sample_every_ = n;
+  publishes_seen_ = 0;
+}
+
+ProvenanceTracer& ProvenanceTracer::global() {
+  static ProvenanceTracer tracer;
+  return tracer;
+}
+
+// -- TraceBuffer -------------------------------------------------------------
+
+void TraceBuffer::add(const PhaseEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  ring_push(events_, kMaxEvents, recorded_, event);
+  ++recorded_;
+}
+
+std::vector<PhaseEvent> TraceBuffer::events() const {
+  std::lock_guard lock(mu_);
+  return unroll_ring(events_, kMaxEvents, recorded_);
+}
+
+std::int64_t TraceBuffer::recorded() const noexcept {
+  std::lock_guard lock(mu_);
+  return recorded_;
+}
+
+void TraceBuffer::reset() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+  recorded_ = 0;
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+}  // namespace sel::obs

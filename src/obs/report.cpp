@@ -109,6 +109,18 @@ json::Value RunReport::to_json() const {
   for (const auto& [k, v] : metadata) meta.emplace(k, json::Value(v));
   out.emplace("metadata", std::move(meta));
   out.emplace("metrics", snapshot_to_json(snapshot));
+  json::Value::Array series;
+  for (const auto& point : timeseries) {
+    json::Value::Object p;
+    p.emplace("label", point.label);
+    p.emplace("round", point.round);
+    p.emplace("ts_us", point.ts_us);
+    json::Value::Object values;
+    for (const auto& [k, v] : point.values) values.emplace(k, v);
+    p.emplace("values", std::move(values));
+    series.emplace_back(std::move(p));
+  }
+  out.emplace("timeseries", std::move(series));
   return json::Value(std::move(out));
 }
 
@@ -120,6 +132,19 @@ RunReport RunReport::from_json(const json::Value& v) {
     rep.metadata.emplace(k, val.as_string());
   }
   rep.snapshot = snapshot_from_json(v.at("metrics"));
+  // Optional since schema v2 — v1 reports stay readable.
+  if (v.contains("timeseries")) {
+    for (const auto& p : v.at("timeseries").as_array()) {
+      TimeSeriesPoint point;
+      point.label = p.at("label").as_string();
+      point.round = static_cast<std::uint64_t>(p.at("round").as_int64());
+      point.ts_us = p.at("ts_us").as_int64();
+      for (const auto& [k, val] : p.at("values").as_object()) {
+        point.values.emplace(k, val.as_double());
+      }
+      rep.timeseries.push_back(std::move(point));
+    }
+  }
   return rep;
 }
 

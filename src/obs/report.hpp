@@ -10,12 +10,15 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace sel::obs {
 
 struct RunReport {
   /// Schema version for tooling; bump when the layout changes.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: adds the `timeseries` section (per-round counter deltas + gauges
+  /// from obs/sampler.hpp). v1 reports parse fine (section optional).
+  static constexpr int kSchemaVersion = 2;
 
   std::string experiment;  ///< e.g. "fig5_convergence"
   /// Free-form run metadata (profile, n, seed, rounds, scale, trials, ...).
@@ -23,6 +26,8 @@ struct RunReport {
   std::map<std::string, std::string> metadata;
   std::string git_describe;  ///< `git describe --always --dirty` or "unknown"
   Snapshot snapshot;
+  /// Per-round time-series (one point per sampled protocol round).
+  std::vector<TimeSeriesPoint> timeseries;
 
   [[nodiscard]] json::Value to_json() const;
   [[nodiscard]] static RunReport from_json(const json::Value& v);

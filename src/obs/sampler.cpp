@@ -1,0 +1,89 @@
+#include "obs/sampler.hpp"
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+
+namespace sel::obs {
+
+void RoundSampler::sample(std::string_view label, std::uint64_t round,
+                          std::map<std::string, double> gauges) {
+  if (!enabled()) return;
+  // Counter totals first (registry lock), then our own state.
+  auto& reg = MetricsRegistry::global();
+  const auto counters = reg.counters_snapshot();
+
+  std::lock_guard lock(mu_);
+  if (epsilon_ < 0.0) epsilon_ = env_or("SEL_STABLE_EPS", 1e-3);
+
+  TimeSeriesPoint point;
+  point.label = std::string(label);
+  point.round = round;
+  point.ts_us = wall_now_us();
+  point.values = std::move(gauges);
+
+  double deliveries = 0.0;
+  double relay_forwards = 0.0;
+  double delivery_hops = 0.0;
+  for (const auto& c : counters) {
+    auto [it, inserted] = prev_counters_.try_emplace(c.name, 0);
+    const auto delta = c.value - it->second;
+    it->second = c.value;
+    if (delta == 0) continue;
+    const auto d = static_cast<double>(delta);
+    point.values.emplace(c.name, d);
+    if (c.name == "pubsub.deliveries") deliveries = d;
+    if (c.name == "pubsub.relay_forwards") relay_forwards = d;
+    if (c.name == "pubsub.delivery_hops") delivery_hops = d;
+  }
+  if (deliveries > 0.0) {
+    point.values.emplace("relay_ratio", relay_forwards / deliveries);
+    point.values.emplace("avg_route_hops", delivery_hops / deliveries);
+  }
+
+  // Alg. 2 stability: the gauge tracks how many movement-carrying rounds
+  // passed until the last one whose movement reached epsilon.
+  const auto movement = point.values.find("id_movement");
+  if (movement != point.values.end()) {
+    ++movement_samples_;
+    if (movement->second >= epsilon_) stable_after_ = movement_samples_;
+    reg.gauge("select.rounds_to_stable_ids")
+        .set(static_cast<double>(stable_after_));
+  }
+
+  if (points_.size() >= kMaxPoints) {
+    reg.counter("obs.timeseries_dropped").add(1);
+    return;
+  }
+  points_.push_back(std::move(point));
+}
+
+std::vector<TimeSeriesPoint> RoundSampler::snapshot() const {
+  std::lock_guard lock(mu_);
+  return points_;
+}
+
+std::uint64_t RoundSampler::rounds_to_stable_ids() const {
+  std::lock_guard lock(mu_);
+  return stable_after_;
+}
+
+double RoundSampler::stable_epsilon() const {
+  std::lock_guard lock(mu_);
+  return epsilon_ < 0.0 ? env_or("SEL_STABLE_EPS", 1e-3) : epsilon_;
+}
+
+void RoundSampler::reset() {
+  std::lock_guard lock(mu_);
+  prev_counters_.clear();
+  points_.clear();
+  movement_samples_ = 0;
+  stable_after_ = 0;
+}
+
+RoundSampler& RoundSampler::global() {
+  static RoundSampler sampler;
+  return sampler;
+}
+
+}  // namespace sel::obs

@@ -1,0 +1,75 @@
+// Per-round time-series: one registry snapshot per protocol round.
+//
+// The metrics registry answers "how much over the whole run"; the sampler
+// answers "how did it evolve round by round". At each sample point it
+// snapshots every counter, stores the *delta* since the previous sample
+// (zero deltas are elided), merges in caller-provided gauges (id movement,
+// link changes, ...) and derives round-level ratios:
+//
+//   relay_ratio     Δpubsub.relay_forwards / Δpubsub.deliveries
+//   avg_route_hops  Δpubsub.delivery_hops  / Δpubsub.deliveries
+//
+// The series is attached to the RunReport as its `timeseries` section and
+// rendered by scripts/trace_report.py.
+//
+// It also derives `select.rounds_to_stable_ids` — the number of rounds
+// until Alg. 2 identifier movement falls (and stays) below epsilon
+// (SEL_STABLE_EPS, default 1e-3) — published as a registry gauge after
+// every sample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sel::obs {
+
+struct TimeSeriesPoint {
+  std::string label;       ///< producer, e.g. "select.round"
+  std::uint64_t round = 0; ///< producer's monotonic round index
+  std::int64_t ts_us = 0;  ///< wall clock at sample time (trace epoch)
+  /// Counter deltas since the previous sample (by counter name), caller
+  /// gauges, and derived ratios. Ordered map: deterministic serialization.
+  std::map<std::string, double> values;
+};
+
+class RoundSampler {
+ public:
+  /// Same bound as MetricsRegistry::kMaxRounds; later samples are counted
+  /// in `obs.timeseries_dropped` instead of stored.
+  static constexpr std::size_t kMaxPoints = 20'000;
+
+  /// Snapshots the global registry and appends one point. `gauges` are
+  /// stored as-is; the key "id_movement" additionally feeds the
+  /// rounds-to-stable-ids derivation. SEL_OBS=off: a single branch.
+  void sample(std::string_view label, std::uint64_t round,
+              std::map<std::string, double> gauges = {});
+
+  [[nodiscard]] std::vector<TimeSeriesPoint> snapshot() const;
+
+  /// Rounds until id movement stayed below epsilon: 0 when every sampled
+  /// round was already stable, N when round N-1 (0-based sample index) was
+  /// the last unstable one. Also published as the registry gauge
+  /// `select.rounds_to_stable_ids`.
+  [[nodiscard]] std::uint64_t rounds_to_stable_ids() const;
+
+  [[nodiscard]] double stable_epsilon() const;
+
+  /// Clears the series and the delta baseline.
+  void reset();
+
+  static RoundSampler& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> prev_counters_;
+  std::vector<TimeSeriesPoint> points_;
+  std::uint64_t movement_samples_ = 0;  ///< samples carrying "id_movement"
+  std::uint64_t stable_after_ = 0;      ///< rounds until movement stayed < eps
+  double epsilon_ = -1.0;               ///< < 0 = read env on first use
+};
+
+}  // namespace sel::obs

@@ -2,6 +2,7 @@
 
 #include "check/tree_checks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace sel::pubsub {
@@ -34,6 +35,15 @@ obs::Counter& relay_forwards_counter() {
 obs::Counter& tree_builds_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::global().counter("pubsub.tree_builds");
+  return c;
+}
+
+// Sum of tree depths at which deliveries land; divided by
+// `pubsub.deliveries` this yields the average route length per round in
+// the sampler (obs/sampler.cpp).
+obs::Counter& delivery_hops_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.delivery_hops");
   return c;
 }
 
@@ -72,6 +82,8 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   MessageRecord rec;
   rec.id = id;
   rec.publisher = publisher;
+  rec.trace = obs::ProvenanceTracer::global().begin_publish(id, publisher,
+                                                            time_s);
   rec.publish_time_s = time_s;
   // max_deliveries is maintained even with SEL_CHECK off (one increment in
   // a loop that runs anyway) so flipping the level mid-flight cannot seed a
@@ -88,7 +100,7 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   auto& stored = in_flight_.emplace(id, std::move(flight)).first->second;
   stored.pending_events = 1;  // the initial forward below
   queue_.schedule(time_s, [this, id, publisher](double now) {
-    forward(id, publisher, now);
+    forward(id, publisher, now, 0);
     finish_event(id);
   });
   return id;
@@ -103,7 +115,8 @@ void NotificationEngine::finish_event(MessageId id) {
   }
 }
 
-void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
+void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
+                                 std::uint32_t depth) {
   const auto flight_it = in_flight_.find(id);
   SEL_ASSERT(flight_it != in_flight_.end());
   auto& flight = flight_it->second;
@@ -123,7 +136,25 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
     const double arrival =
         start_s +
         net_->transfer_time_s(node, child, payload_bytes_, kids.size());
-    queue_.schedule(arrival, [this, id, child](double now) {
+    if (rec.trace != 0) {
+      obs::HopRecord hop;
+      hop.trace = rec.trace;
+      hop.msg = id;
+      hop.from = node;
+      hop.to = child;
+      hop.depth = depth + 1;
+      // Relay status of the *receiver*: a non-subscriber that will forward
+      // onward (non-subscriber leaves do not occur in subscriber-first
+      // trees, so this matches tree.relay_nodes()).
+      hop.relay = !flight.subscribers.contains(child) &&
+                  !flight.tree.children(child).empty();
+      hop.delivered =
+          flight.subscribers.contains(child) && sys_->peer_online(child);
+      hop.send_s = start_s;
+      hop.arrive_s = arrival;
+      obs::ProvenanceTracer::global().record_hop(hop);
+    }
+    queue_.schedule(arrival, [this, id, child, depth](double now) {
       auto& r = records_.at(id);
       const auto f = in_flight_.find(id);
       SEL_ASSERT(f != in_flight_.end());
@@ -131,6 +162,7 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
         ++r.delivered;
         ++stats_.deliveries;
         deliveries_counter().add(1);
+        delivery_hops_counter().add(static_cast<std::int64_t>(depth) + 1);
         static obs::Histogram& latency_hist =
             obs::MetricsRegistry::global().histogram(
                 "pubsub.delivery_latency_s");
@@ -145,7 +177,7 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s) {
               r.completed_at_s.has_value()));
         }
       }
-      forward(id, child, now);
+      forward(id, child, now, depth + 1);
       finish_event(id);
     });
   }

@@ -19,6 +19,7 @@
 
 #include "common/stats.hpp"
 #include "net/network_model.hpp"
+#include "obs/provenance.hpp"
 #include "overlay/system.hpp"
 #include "sim/event_queue.hpp"
 
@@ -29,6 +30,9 @@ using MessageId = std::uint64_t;
 struct MessageRecord {
   MessageId id = 0;
   overlay::PeerId publisher = overlay::kInvalidPeer;
+  /// Non-zero when this publish was sampled by the provenance tracer
+  /// (obs/provenance.hpp); every hop of its dissemination is recorded.
+  obs::TraceId trace = 0;
   double publish_time_s = 0.0;
   std::size_t wanted = 0;     ///< online subscribers at publish time
   std::size_t delivered = 0;  ///< subscribers reached so far
@@ -85,8 +89,10 @@ class NotificationEngine {
   }
 
  private:
-  /// Schedules the sends from `node` for message `id` down its cached tree.
-  void forward(MessageId id, overlay::PeerId node, double start_s);
+  /// Schedules the sends from `node` (at tree depth `depth`) for message
+  /// `id` down its cached tree.
+  void forward(MessageId id, overlay::PeerId node, double start_s,
+               std::uint32_t depth);
 
   const overlay::PubSubSystem* sys_;
   const net::NetworkModel* net_;

@@ -1,8 +1,10 @@
 #include "pubsub/multipath.hpp"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/rng.hpp"
+#include "obs/provenance.hpp"
 
 namespace sel::pubsub {
 
@@ -29,10 +31,41 @@ double MultipathPlan::backup_stretch() const {
   return count == 0 ? 0.0 : total / static_cast<double>(count);
 }
 
+namespace {
+
+/// Records one routed path as a hop chain under `trace`. Planning has no
+/// simulated timeline, so hops get logical one-µs ticks; depth is the hop
+/// index along the path.
+void trace_path(obs::TraceId trace, std::uint64_t plan_id,
+                const std::vector<PeerId>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    obs::HopRecord hop;
+    hop.trace = trace;
+    hop.msg = plan_id;
+    hop.from = path[i];
+    hop.to = path[i + 1];
+    hop.depth = static_cast<std::uint32_t>(i + 1);
+    hop.relay = i + 2 < path.size();  // intermediates relay, endpoint delivers
+    hop.delivered = i + 2 >= path.size();
+    hop.send_s = static_cast<double>(i) * 1e-6;
+    hop.arrive_s = static_cast<double>(i + 1) * 1e-6;
+    obs::ProvenanceTracer::global().record_hop(hop);
+  }
+}
+
+}  // namespace
+
 MultipathPlan plan_multipath(const overlay::Overlay& ov,
                              const graph::SocialGraph& g, PeerId publisher) {
   MultipathPlan plan;
   plan.publisher = publisher;
+  // Plans have no MessageId of their own; a process-wide counter keeps
+  // their provenance records distinguishable in a merged trace.
+  static std::atomic<std::uint64_t> next_plan_id{1};
+  const std::uint64_t plan_id =
+      next_plan_id.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceId trace = obs::ProvenanceTracer::global().begin_publish(
+      plan_id, publisher, 0.0, obs::TraceKind::kPlan);
   for (const graph::NodeId s : g.neighbors(publisher)) {
     const overlay::RouteResult primary = ov.greedy_route(publisher, s);
     if (!primary.success) continue;
@@ -53,6 +86,7 @@ MultipathPlan plan_multipath(const overlay::Overlay& ov,
       // avoiding nothing. Mark the direct path as its own backup.
       entry.backup = entry.primary;
     }
+    if (trace != 0) trace_path(trace, plan_id, entry.primary);
     plan.paths.push_back(std::move(entry));
   }
   return plan;

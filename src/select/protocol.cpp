@@ -8,6 +8,8 @@
 #include "check/overlay_checks.hpp"
 #include "check/protocol_checks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace sel::core {
@@ -248,10 +250,25 @@ bool SelectSystem::run_round() {
     // Round telemetry: the gossip/relink peer loop is the compute phase; the
     // ring rebuild is the delivery/synchronization phase (no barrier — the
     // loop is sequential). One gossip exchange moves two routing tables.
+    const std::uint64_t tel_round = telemetry_round_++;
+    const auto t_end = Clock::now();
     obs::MetricsRegistry::global().add_round(obs::RoundSample{
-        "select.round", static_cast<std::uint64_t>(telemetry_round_++),
-        ms(t_compute - t_start), 0.0, ms(Clock::now() - t_compute),
-        static_cast<std::uint64_t>(exchanges * 2)});
+        "select.round", tel_round, ms(t_compute - t_start), 0.0,
+        ms(t_end - t_compute), static_cast<std::uint64_t>(exchanges * 2)});
+    // Phase timeline for the Perfetto exporter.
+    auto& buf = obs::TraceBuffer::global();
+    buf.add({"select.round", "compute", tel_round, obs::wall_us(t_start),
+             obs::wall_us(t_compute) - obs::wall_us(t_start)});
+    buf.add({"select.round", "deliver", tel_round, obs::wall_us(t_compute),
+             obs::wall_us(t_end) - obs::wall_us(t_compute)});
+    // Per-round time-series point: counter deltas plus protocol gauges.
+    // `id_movement` also drives the rounds-to-stable-ids metric.
+    obs::RoundSampler::global().sample(
+        "select.round", tel_round,
+        {{"id_movement", movement},
+         {"relocations", static_cast<double>(relocations)},
+         {"link_changes", static_cast<double>(link_changes)},
+         {"exchanges", static_cast<double>(exchanges)}});
   }
 
   last_movement_ = movement;
@@ -696,6 +713,13 @@ void SelectSystem::maintenance_round() {
   }
   // Ring repair: short-range links skip offline peers.
   overlay_.rebuild_ring(/*online_only=*/true);
+  if (obs::enabled()) {
+    // Maintenance points carry only counter deltas (link repairs, CMA
+    // recoveries) — no movement gauge, so they never touch stability
+    // tracking in the sampler.
+    obs::RoundSampler::global().sample("select.maintenance",
+                                       maintenance_rounds_++);
+  }
 }
 
 double SelectSystem::known_strength(PeerId p, PeerId friend_peer) const {

@@ -164,6 +164,8 @@ class SelectSystem final : public overlay::RingBasedSystem {
   /// Monotonic gossip-round index for obs round telemetry (never resets, so
   /// repeated run_to_convergence() calls stay distinguishable).
   std::size_t telemetry_round_ = 0;
+  /// Same, for maintenance rounds (their time-series label is separate).
+  std::size_t maintenance_rounds_ = 0;
   double last_movement_ = 0.0;
   std::size_t last_link_changes_ = 0;
 };

@@ -24,6 +24,7 @@
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 
 namespace sel::sim {
 
@@ -197,6 +198,22 @@ class SuperstepEngine {
           std::max(0.0, compute_wall_ms - compute_ms),
           ns(t_end - t_compute) / 1e6,
           static_cast<std::uint64_t>(inbox_.size())});
+      // Phase timeline for the Perfetto exporter: compute / barrier /
+      // deliver slices per round, on wall-clock µs.
+      const std::uint64_t rd = static_cast<std::uint64_t>(round_);
+      const std::int64_t start_us = obs::wall_us(t_start);
+      const std::int64_t compute_us = obs::wall_us(t_compute);
+      const std::int64_t end_us = obs::wall_us(t_end);
+      const auto busy_us = static_cast<std::int64_t>(
+          busy_max_ns.load(std::memory_order_relaxed) / 1000);
+      auto& buf = obs::TraceBuffer::global();
+      buf.add({"sim.superstep", "compute", rd, start_us,
+               std::min(busy_us, compute_us - start_us)});
+      buf.add({"sim.superstep", "barrier", rd,
+               start_us + std::min(busy_us, compute_us - start_us),
+               std::max<std::int64_t>(0, compute_us - start_us - busy_us)});
+      buf.add({"sim.superstep", "deliver", rd, compute_us,
+               end_us - compute_us});
     }
     ++round_;
     return inbox_.size();

@@ -4,6 +4,8 @@
 
 #include "graph/generators.hpp"
 #include "graph/profiles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "pubsub/metrics.hpp"
 
 namespace sel::core {
@@ -63,6 +65,33 @@ TEST(SelectBuild, ConvergesBeforeRoundCap) {
   sys.build();
   EXPECT_LT(sys.build_iterations(), SelectParams{}.max_rounds);
   EXPECT_TRUE(sys.converged());
+}
+
+TEST(SelectBuild, RoundsToStableIdsTracksMovement) {
+  auto& sampler = obs::RoundSampler::global();
+  sampler.reset();
+  const auto g = fb_graph(300, 9);
+  SelectSystem sys(g, SelectParams{}, 9);
+  sys.build();
+
+  // One time-series point per protocol round was sampled during build.
+  std::size_t select_points = 0;
+  for (const auto& p : sampler.snapshot()) {
+    if (p.label == "select.round") ++select_points;
+  }
+  EXPECT_EQ(select_points, sys.build_iterations());
+
+  // Identifier movement (Alg. 2) decays as the overlay stabilizes: the
+  // first rounds move ids (stable_after > 0) and the metric can never
+  // exceed the number of movement-carrying rounds.
+  const auto stable_after = sampler.rounds_to_stable_ids();
+  EXPECT_GT(stable_after, 0u);
+  EXPECT_LE(stable_after, sys.build_iterations());
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::global().gauge("select.rounds_to_stable_ids")
+          .value(),
+      static_cast<double>(stable_after));
+  sampler.reset();
 }
 
 TEST(SelectBuild, LinksStaySocialAfterConvergence) {
