@@ -24,7 +24,9 @@ int main() {
   const auto& profile = graph::profile_by_name("facebook");
   CsvWriter csv(bench::output_path("multipath.csv"),
                 {"fail_probability", "single_path_delivery",
-                 "multi_path_delivery", "backup_coverage", "backup_stretch"});
+                 "single_path_half_width", "multi_path_delivery",
+                 "multi_path_half_width", "backup_coverage",
+                 "backup_stretch"});
   TablePrinter table({"P(fail)", "delivery (1 path)", "delivery (2 paths)",
                       "backup coverage", "stretch (hops)"});
 
@@ -44,16 +46,24 @@ int main() {
               sys.overlay(), g, publishers, fail, 25, seed);
           return sim::MetricMap{
               {"single", result.single_path_delivery},
+              {"single_hw", result.single_path_half_width},
               {"multi", result.multi_path_delivery},
+              {"multi_hw", result.multi_path_half_width},
               {"coverage", result.backup_coverage},
               {"stretch", result.backup_stretch},
           };
         });
-    table.add_row({fmt(fail), fmt(100.0 * summary.mean("single"), 2) + "%",
-                   fmt(100.0 * summary.mean("multi"), 2) + "%",
+    // 95% Monte-Carlo half-widths (averaged across trials) bound how much
+    // of the single-vs-multi gap could be estimator noise.
+    table.add_row({fmt(fail),
+                   fmt(100.0 * summary.mean("single"), 2) + "% ±" +
+                       fmt(100.0 * summary.mean("single_hw"), 2),
+                   fmt(100.0 * summary.mean("multi"), 2) + "% ±" +
+                       fmt(100.0 * summary.mean("multi_hw"), 2),
                    fmt(100.0 * summary.mean("coverage"), 1) + "%",
                    fmt(summary.mean("stretch"))});
-    csv.row({fail, summary.mean("single"), summary.mean("multi"),
+    csv.row({fail, summary.mean("single"), summary.mean("single_hw"),
+             summary.mean("multi"), summary.mean("multi_hw"),
              summary.mean("coverage"), summary.mean("stretch")});
   }
   table.print();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -86,11 +87,15 @@ inline Result validate_tree(const overlay::DisseminationTree& tree) {
   return std::nullopt;
 }
 
-/// Exactly-once delivery accounting. `max_deliveries` is the number of
-/// subscribers present in the tree — each has exactly one arrival event, so
-/// exceeding it means a duplicate delivery. `wanted` (online subscribers at
-/// publish time) can be lower when churn revives a subscriber mid-flight,
-/// so it only bounds completion, not the running count.
+/// Exactly-once delivery accounting (fault injection disabled). With a
+/// perfect transfer plane every subscriber in the tree receives the message
+/// exactly once; see validate_at_least_once() for the accounting that
+/// replaces this when a FaultPlan is attached. `max_deliveries` is the
+/// number of subscribers present in the tree — each has exactly one arrival
+/// event, so exceeding it means a duplicate delivery. `wanted` (online
+/// subscribers at publish time) can be lower when churn revives a
+/// subscriber mid-flight, so it only bounds completion, not the running
+/// count.
 inline Result validate_delivery_count(std::size_t delivered,
                                       std::size_t max_deliveries,
                                       std::size_t wanted, bool completed) {
@@ -105,6 +110,66 @@ inline Result validate_delivery_count(std::size_t delivered,
                      "message marked complete with " +
                          std::to_string(delivered) + "/" +
                          std::to_string(wanted) + " wanted deliveries"};
+  }
+  return std::nullopt;
+}
+
+/// At-least-once delivery accounting — replaces validate_delivery_count()
+/// when fault injection is enabled. Duplicate arrivals (injected dups,
+/// retransmission races) are legal on the wire but must be suppressed at
+/// the subscriber: every counted delivery or replay corresponds to exactly
+/// one entry in the receiver dedup set, in-flight deliveries stay within
+/// the tree's subscriber population, and completion still requires every
+/// wanted subscriber.
+inline Result validate_at_least_once(std::size_t delivered,
+                                     std::size_t replayed,
+                                     std::size_t unique_receivers,
+                                     std::size_t max_deliveries,
+                                     std::size_t wanted, bool completed) {
+  if (unique_receivers != delivered + replayed) {
+    return Violation{"pubsub.at_least_once",
+                     std::to_string(delivered) + " deliveries + " +
+                         std::to_string(replayed) + " replays but " +
+                         std::to_string(unique_receivers) +
+                         " unique receivers (dedup accounting broken)"};
+  }
+  if (delivered > max_deliveries) {
+    return Violation{"pubsub.at_least_once",
+                     "message delivered to " + std::to_string(delivered) +
+                         " subscribers but only " +
+                         std::to_string(max_deliveries) +
+                         " are present in its tree"};
+  }
+  if (completed && delivered < wanted) {
+    return Violation{"pubsub.completion",
+                     "message marked complete with " +
+                         std::to_string(delivered) + "/" +
+                         std::to_string(wanted) + " wanted deliveries"};
+  }
+  return std::nullopt;
+}
+
+/// Replay dedup: the store-and-forward queue must never hand a returning
+/// subscriber the same message twice (`queued_twice`), and must skip — not
+/// re-deliver — messages the subscriber already received in-flight
+/// (`already_delivered` is only legal as a skip, flagged by the caller with
+/// `delivering = false`).
+inline Result validate_replay_dedup(std::uint64_t msg,
+                                    overlay::PeerId subscriber,
+                                    bool queued_twice, bool already_delivered,
+                                    bool delivering) {
+  if (queued_twice) {
+    return Violation{"pubsub.replay_dedup",
+                     "message " + std::to_string(msg) +
+                         " queued twice for subscriber " +
+                         std::to_string(subscriber)};
+  }
+  if (already_delivered && delivering) {
+    return Violation{"pubsub.replay_dedup",
+                     "message " + std::to_string(msg) +
+                         " replayed to subscriber " +
+                         std::to_string(subscriber) +
+                         " which already received it"};
   }
   return std::nullopt;
 }

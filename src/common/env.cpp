@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/log.hpp"
+
+// POSIX environment table; the unknown-SEL_*-variable scan walks it.
+extern char** environ;  // NOLINT(readability-redundant-declaration)
 
 namespace sel {
 
@@ -37,6 +44,59 @@ std::size_t scaled(std::size_t n, std::size_t min_n) {
 std::size_t trial_count(std::size_t fallback) {
   const auto t = env_or("SELECT_TRIALS", static_cast<std::int64_t>(fallback));
   return t > 0 ? static_cast<std::size_t>(t) : fallback;
+}
+
+const std::vector<EnvKnob>& env_knobs() {
+  static const std::vector<EnvKnob> knobs = {
+      {"SEL_OBS", "observability master switch (off disables all telemetry)"},
+      {"SEL_CHECK", "invariant checking level: off | cheap | full"},
+      {"SEL_TRACE_SAMPLE", "provenance tracing: sample 1-in-N publishes"},
+      {"SEL_STABLE_EPS", "round sampler: id-movement stability threshold"},
+      {"SEL_FAULT",
+       "fault plan, e.g. drop=0.05,dup=0.01,spike=0.02,stall=0.01,crash=1e-3"},
+      {"SEL_RETRY", "reliability layer master switch (on enables retries)"},
+      {"SEL_RETRY_MAX", "total send attempts per hop (default 4)"},
+      {"SEL_RETRY_TIMEOUT_S", "base ack timeout, seconds (default 5)"},
+      {"SEL_RETRY_BACKOFF", "exponential backoff factor per retry (default 2)"},
+      {"SEL_RETRY_JITTER", "+/- jitter fraction on each timeout (default 0.2)"},
+      {"SELECT_BENCH_SCALE", "experiment network-size multiplier"},
+      {"SELECT_TRIALS", "independent trials per data point"},
+      {"SELECT_THREADS", "worker threads for the global pool (0 = hardware)"},
+      {"SELECT_LOG", "log level: error | warn | info | debug"},
+      {"SELECT_RESULTS_DIR", "bench artifact directory (default results/)"},
+  };
+  return knobs;
+}
+
+std::vector<std::string> unknown_sel_env_vars() {
+  std::vector<std::string> unknown;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const char* entry = *e;
+    if (std::strncmp(entry, "SEL_", 4) != 0) continue;
+    const char* eq = std::strchr(entry, '=');
+    const std::string name =
+        eq != nullptr ? std::string(entry, eq) : std::string(entry);
+    bool known = false;
+    for (const auto& knob : env_knobs()) {
+      if (name == knob.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown.push_back(name);
+  }
+  std::sort(unknown.begin(), unknown.end());
+  return unknown;
+}
+
+void warn_unknown_sel_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (const auto& name : unknown_sel_env_vars()) {
+      log_warn("unknown SEL_* environment variable '" + name +
+               "' (typo? known knobs are listed by sel::env_knobs())");
+    }
+  });
 }
 
 }  // namespace sel

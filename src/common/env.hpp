@@ -1,11 +1,13 @@
-// Environment-variable helpers used by the bench harnesses:
-//   SELECT_BENCH_SCALE — multiplies experiment network sizes (default 1.0)
-//   SELECT_TRIALS      — number of independent trials per data point
-//   SELECT_THREADS     — worker threads for the global pool (0 = hardware)
+// Environment-variable helpers and the registry of every SEL_*/SELECT_*
+// knob the codebase reads. The registry (env_knobs()) is the single source
+// of truth for the runtime-configuration surface: unknown SEL_-prefixed
+// variables in the environment trigger a one-shot warning, which catches
+// the classic chaos-run typo (SEL_FUALT=... silently doing nothing).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sel {
 
@@ -29,5 +31,24 @@ namespace sel {
 
 /// Number of independent trials (SELECT_TRIALS, default `fallback`).
 [[nodiscard]] std::size_t trial_count(std::size_t fallback = 5);
+
+/// One registered environment knob.
+struct EnvKnob {
+  const char* name;     ///< exact variable name, e.g. "SEL_FAULT"
+  const char* summary;  ///< one-line meaning, for docs and --help output
+};
+
+/// Every environment variable the codebase reads, SEL_* and SELECT_* alike.
+/// New knobs MUST be added here or the unknown-variable warning flags them.
+[[nodiscard]] const std::vector<EnvKnob>& env_knobs();
+
+/// SEL_-prefixed variables present in the environment but absent from
+/// env_knobs() — almost certainly typos. (SELECT_* uses a distinct prefix
+/// and is not scanned; test-only variables would false-positive.)
+[[nodiscard]] std::vector<std::string> unknown_sel_env_vars();
+
+/// Logs one warning per process listing unknown SEL_* variables. Called by
+/// every SEL_* reader's init path; cheap after the first call.
+void warn_unknown_sel_env_once();
 
 }  // namespace sel

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the message plane.
+//
+// The engine's event-queue transfer path is perfect by default: every
+// scheduled hop arrives. That never exercises the robustness machinery the
+// paper claims (CMA-guided link recovery, Sec. III-F; multipath failover,
+// Sec. V), so a FaultPlan injects the failure classes a deployment sees:
+//
+//   drop        the hop's message is lost in transit (no ack);
+//   duplicate   the hop is delivered twice (retransmission race);
+//   spike       the hop's transfer takes `spike_factor` times longer;
+//   stall       the receiver stops responding for `stall_s` seconds
+//               (process pause, NAT rebind) — arrivals are not acked;
+//   crash       the receiver dies permanently mid-dissemination.
+//
+// Determinism contract: per-hop fates are a pure hash of
+// (seed, message, from, to, attempt), so a run with the same seed draws the
+// same faults regardless of how the event queue interleaves messages.
+// Receiver state (stall windows, crash set) is updated at arrival events,
+// which the EventQueue orders deterministically — two runs with the same
+// seed are bit-identical end to end.
+//
+// Every injected fault is counted both locally (Stats) and in the global
+// metrics registry under `fault.*`, so chaos RunReports record exactly what
+// the plan did to the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sel::fault {
+
+/// Per-class fault probabilities and shape parameters. All probabilities
+/// are per hop (drop/duplicate/spike) or per arrival (stall/crash).
+struct FaultSpec {
+  double drop = 0.0;           ///< P(hop lost in transit)
+  double duplicate = 0.0;      ///< P(hop delivered twice)
+  double spike = 0.0;          ///< P(latency spike on hop)
+  double spike_factor = 10.0;  ///< transfer-time multiplier on spiked hops
+  double stall = 0.0;          ///< P(receiver goes unresponsive at arrival)
+  double stall_s = 30.0;       ///< unresponsive-window length, seconds
+  double crash = 0.0;          ///< P(receiver crashes at arrival)
+
+  /// True when any fault class has non-zero probability.
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || spike > 0.0 || stall > 0.0 ||
+           crash > 0.0;
+  }
+
+  /// Parses a comma-separated knob list, e.g.
+  /// "drop=0.05,dup=0.01,spike=0.02,spike_factor=5,stall=0.01,stall_s=30,
+  /// crash=0.001". Unknown keys warn (SELECT_LOG) and are skipped.
+  [[nodiscard]] static FaultSpec parse(std::string_view spec);
+
+  /// parse(SEL_FAULT); all-zero when the variable is unset.
+  [[nodiscard]] static FaultSpec from_env();
+
+  /// Round-trippable canonical form (only non-default fields).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of one hop transmission, drawn at send time.
+struct HopFate {
+  bool dropped = false;
+  bool duplicated = false;
+  double latency_factor = 1.0;  ///< >= 1; spike multiplier when spiked
+};
+
+/// Receiver condition at an arrival event.
+enum class ReceiveState : std::uint8_t { kOk, kStalled, kCrashed };
+
+class FaultPlan {
+ public:
+  /// `num_peers` sizes the per-peer stall/crash state.
+  FaultPlan(FaultSpec spec, std::uint64_t seed, std::size_t num_peers);
+
+  /// Send-time fate of attempt `attempt` of the hop `from -> to` carrying
+  /// message `msg`. Pure in (seed, msg, from, to, attempt); counts injected
+  /// faults as a side effect.
+  [[nodiscard]] HopFate hop_fate(std::uint64_t msg, std::uint32_t from,
+                                 std::uint32_t to, std::uint32_t attempt);
+
+  /// Receiver-side draw at an arrival event: consults (and may extend) the
+  /// peer's stall window and crash state. Call exactly once per arrival.
+  [[nodiscard]] ReceiveState on_receive(std::uint32_t peer, std::uint64_t msg,
+                                        double now_s);
+
+  [[nodiscard]] bool crashed(std::uint32_t peer) const {
+    return crashed_[peer];
+  }
+  [[nodiscard]] bool stalled(std::uint32_t peer, double now_s) const {
+    return now_s < stalled_until_[peer];
+  }
+  /// Peers marked crashed so far (sorted ascending).
+  [[nodiscard]] std::vector<std::uint32_t> crashed_peers() const;
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  struct Stats {
+    std::size_t drops = 0;
+    std::size_t duplicates = 0;
+    std::size_t spikes = 0;
+    std::size_t stalls = 0;
+    std::size_t crashes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Uniform [0,1) from a hash of (seed, salt, a, b, c) — the determinism
+  /// primitive behind every fault draw.
+  [[nodiscard]] double u01(std::uint64_t salt, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const noexcept;
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::vector<double> stalled_until_;  ///< absolute sim time, per peer
+  std::vector<bool> crashed_;
+  /// Per-peer receive counter discriminating successive on_receive() draws.
+  std::vector<std::uint64_t> receive_seq_;
+  Stats stats_;
+};
+
+}  // namespace sel::fault

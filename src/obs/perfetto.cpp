@@ -91,9 +91,13 @@ void add_provenance(json::Value::Array& events,
     ++flow_id;
     const std::string msg_name = "msg " + std::to_string(h.msg);
     // The hop slice lives on the receiving peer's track and spans the
-    // transfer; the flow arrow links it back to the sending peer.
-    auto slice = event_base("X", "provenance",
-                            "hop d" + std::to_string(h.depth),
+    // transfer; the flow arrow links it back to the sending peer. Retry and
+    // failover hops get their own slice names so chaos runs read at a
+    // glance in the Perfetto UI.
+    const char* what = h.failover ? "failover d"
+                       : h.attempt > 0 ? "retry d"
+                                       : "hop d";
+    auto slice = event_base("X", "provenance", what + std::to_string(h.depth),
                             sim_us(h.send_s), kPeersPid, h.to);
     slice.emplace("dur", std::max<std::int64_t>(
                              0, sim_us(h.arrive_s) - sim_us(h.send_s)));
@@ -102,8 +106,10 @@ void add_provenance(json::Value::Array& events,
     args.emplace("trace", h.trace);
     args.emplace("from", static_cast<std::uint64_t>(h.from));
     args.emplace("depth", static_cast<std::uint64_t>(h.depth));
+    args.emplace("attempt", static_cast<std::uint64_t>(h.attempt));
     args.emplace("relay", h.relay);
     args.emplace("delivered", h.delivered);
+    args.emplace("failover", h.failover);
     slice.emplace("args", std::move(args));
     events.emplace_back(std::move(slice));
 

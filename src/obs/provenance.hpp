@@ -59,11 +59,13 @@ struct HopRecord {
   std::uint64_t msg = 0;
   std::uint32_t from = 0;
   std::uint32_t to = 0;
-  std::uint32_t depth = 0;  ///< depth of `to` in the tree (root = 0)
-  bool relay = false;       ///< `to` forwards without being subscribed
-  bool delivered = false;   ///< `to` is an online subscriber
-  double send_s = 0.0;      ///< sim time the parent started the transfer
-  double arrive_s = 0.0;    ///< sim time the hop completes
+  std::uint32_t depth = 0;   ///< depth of `to` in the tree (root = 0)
+  std::uint32_t attempt = 0; ///< send attempt; > 0 marks a retry hop
+  bool relay = false;        ///< `to` forwards without being subscribed
+  bool delivered = false;    ///< `to` is an online subscriber
+  bool failover = false;     ///< hop rides a multipath backup route
+  double send_s = 0.0;       ///< sim time the parent started the transfer
+  double arrive_s = 0.0;     ///< sim time the hop completes
   std::int64_t wall_ts_us = 0;
 };
 

@@ -89,6 +89,13 @@ RouteResult RingBasedSystem::route(PeerId from, PeerId to) const {
   return overlay_.greedy_route(from, to, route_options_);
 }
 
+RouteResult RingBasedSystem::route_avoiding(
+    PeerId from, PeerId to, const std::unordered_set<PeerId>& avoid) const {
+  RouteOptions opts = route_options_;
+  opts.avoid = &avoid;
+  return overlay_.greedy_route(from, to, opts);
+}
+
 void RingBasedSystem::set_peer_online(PeerId p, bool online) {
   overlay_.set_online(p, online);
 }

@@ -46,6 +46,16 @@ class PubSubSystem {
   /// friends, paper Sec. II-B). Unreachable subscribers are simply absent.
   [[nodiscard]] virtual DisseminationTree build_tree(PeerId publisher) const;
 
+  /// Route that must not traverse any peer in `avoid` (the reliability
+  /// layer uses this to route around a relay its failure detector declared
+  /// dead). Default: unsupported — returns a failed route; ring-based
+  /// systems answer with an avoidance-aware greedy route.
+  [[nodiscard]] virtual RouteResult route_avoiding(
+      PeerId /*from*/, PeerId /*to*/,
+      const std::unordered_set<PeerId>& /*avoid*/) const {
+    return {};
+  }
+
   /// Churn hook: marks a peer online/offline. Systems with recovery react
   /// here (SELECT Sec. III-F, OMen shadow sets); default adjusts liveness
   /// only.
@@ -92,6 +102,9 @@ class RingBasedSystem : public PubSubSystem {
     return *graph_;
   }
   [[nodiscard]] RouteResult route(PeerId from, PeerId to) const override;
+  [[nodiscard]] RouteResult route_avoiding(
+      PeerId from, PeerId to,
+      const std::unordered_set<PeerId>& avoid) const override;
   void set_peer_online(PeerId p, bool online) override;
   [[nodiscard]] bool peer_online(PeerId p) const override;
 

@@ -1,6 +1,11 @@
 #include "pubsub/engine.hpp"
 
+#include <algorithm>
+
 #include "check/tree_checks.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -47,7 +52,65 @@ obs::Counter& delivery_hops_counter() {
   return c;
 }
 
+// Reliability-layer telemetry, live only when a fault plan or retry policy
+// is attached.
+obs::Counter& retries_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.retries");
+  return c;
+}
+
+obs::Counter& retry_exhausted_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.retry_exhausted");
+  return c;
+}
+
+obs::Counter& failovers_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.failovers");
+  return c;
+}
+
+obs::Counter& replays_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.replays");
+  return c;
+}
+
+obs::Counter& duplicates_suppressed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.duplicates_suppressed");
+  return c;
+}
+
+obs::Counter& missed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.missed");
+  return c;
+}
+
+// Failover resends must not replay the fate sequence the primary route
+// already consumed on a shared edge (a direct-link subscriber's backup IS
+// its primary): offsetting the attempt index gives failover hops an
+// independent fault stream. max_attempts is far below this.
+constexpr std::uint32_t kFailoverAttemptBase = 1u << 16;
+
 }  // namespace
+
+RetryPolicy RetryPolicy::from_env() {
+  warn_unknown_sel_env_once();
+  RetryPolicy p;
+  const std::string mode = env_or("SEL_RETRY", std::string("on"));
+  p.enabled = mode != "off" && mode != "0";
+  p.ack_timeout_s = env_or("SEL_RETRY_TIMEOUT_S", p.ack_timeout_s);
+  p.backoff = env_or("SEL_RETRY_BACKOFF", p.backoff);
+  p.jitter = env_or("SEL_RETRY_JITTER", p.jitter);
+  p.max_attempts = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, env_or("SEL_RETRY_MAX",
+                static_cast<std::int64_t>(p.max_attempts))));
+  return p;
+}
 
 NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
                                        const net::NetworkModel& net,
@@ -77,7 +140,7 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
     ++stats_.tree_cache_hits;
   }
 
-  InFlight flight{cached->second, sys_->subscribers_of(publisher)};
+  InFlight flight{cached->second, sys_->subscribers_of(publisher), 0, 0, {}};
 
   MessageRecord rec;
   rec.id = id;
@@ -98,6 +161,13 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
 
   records_.emplace(id, rec);
   auto& stored = in_flight_.emplace(id, std::move(flight)).first->second;
+  // Store-and-forward: subscribers offline right now (in the tree or not)
+  // get the message queued for replay on their return.
+  if (retry_.enabled && retry_.replay) {
+    for (const PeerId s : stored.subscribers) {
+      if (!sys_->peer_online(s)) mark_missed(id, s);
+    }
+  }
   stored.pending_events = 1;  // the initial forward below
   queue_.schedule(time_s, [this, id, publisher](double now) {
     forward(id, publisher, now, 0);
@@ -130,6 +200,16 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
     ++stats_.relay_forwards;
     relay_forwards_counter().add(1);
   }
+  if (reliable()) {
+    for (const PeerId child : kids) {
+      send_hop(id, node, child, depth + 1, /*attempt=*/0, start_s,
+               kids.size());
+    }
+    return;
+  }
+  // Perfect transfer plane: every scheduled hop arrives, delivery is
+  // exactly-once by tree structure. This branch is byte-identical to the
+  // pre-reliability engine.
   // Simultaneous sends split the uplink across all children.
   flight.pending_events += kids.size();
   for (const PeerId child : kids) {
@@ -181,6 +261,425 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
       finish_event(id);
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable-mode hop pipeline.
+//
+// Ack/timeout model: attempt k of a hop is sent at t0 with deadline
+// t0 + timeout_for(k). A dropped message is detected at the deadline; an
+// unresponsive receiver (stalled, crashed, churned offline) is detected at
+// max(arrival, deadline). Detection either resends (attempt k+1, backoff
+// grows the deadline) or — budget exhausted — declares the subtree lost.
+// The sender's timer is lazy: a slow-but-successful arrival never spuriously
+// retries, so each attempt has exactly one outcome and no ack-state table
+// is needed. Duplicate deliveries still occur via the fault plan's
+// duplicate class and are suppressed at the receiver.
+// ---------------------------------------------------------------------------
+
+void NotificationEngine::record_hop(const MessageRecord& rec, PeerId from,
+                                    PeerId to, std::uint32_t depth,
+                                    std::uint32_t attempt, bool failover,
+                                    bool relay, bool delivered, double send_s,
+                                    double arrive_s) const {
+  if (rec.trace == 0) return;
+  obs::HopRecord hop;
+  hop.trace = rec.trace;
+  hop.msg = rec.id;
+  hop.from = from;
+  hop.to = to;
+  hop.depth = depth;
+  hop.attempt = attempt;
+  hop.failover = failover;
+  hop.relay = relay;
+  hop.delivered = delivered;
+  hop.send_s = send_s;
+  hop.arrive_s = arrive_s;
+  obs::ProvenanceTracer::global().record_hop(hop);
+}
+
+double NotificationEngine::timeout_for(MessageId id, PeerId to,
+                                       std::uint32_t attempt) const {
+  double t = retry_.ack_timeout_s;
+  for (std::uint32_t i = 0; i < attempt; ++i) t *= retry_.backoff;
+  // Deterministic jitter: a pure hash of (message, receiver, attempt), so
+  // same-seed runs time out identically while concurrent retries to one
+  // congested peer still spread out.
+  std::uint64_t h = splitmix64(0x72657472794a6974ULL ^ id);
+  h = splitmix64(h ^ to);
+  h = splitmix64(h ^ attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return t * (1.0 + retry_.jitter * u);
+}
+
+void NotificationEngine::send_hop(MessageId id, PeerId from, PeerId to,
+                                  std::uint32_t depth, std::uint32_t attempt,
+                                  double start_s, std::size_t share) {
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  const double base = net_->transfer_time_s(from, to, payload_bytes_, share);
+  fault::HopFate fate;
+  if (fault_ != nullptr) {
+    fate = fault_->hop_fate(id, from, to, attempt);
+  }
+  const double arrival = start_s + base * fate.latency_factor;
+  record_hop(rec, from, to, depth, attempt, /*failover=*/false,
+             !flight.subscribers.contains(to) &&
+                 !flight.tree.children(to).empty(),
+             flight.subscribers.contains(to) && !fate.dropped, start_s,
+             arrival);
+  if (fate.dropped) {
+    // No arrival event; the sender notices the missing ack at the deadline.
+    ++flight.pending_events;
+    queue_.schedule(start_s + timeout_for(id, to, attempt),
+                    [this, id, from, to, depth, attempt,
+                     start_s](double now) {
+                      handle_hop_failure(id, from, to, depth, attempt,
+                                         start_s, now);
+                      finish_event(id);
+                    });
+    return;
+  }
+  const int copies = fate.duplicated ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    ++flight.pending_events;
+    queue_.schedule(arrival, [this, id, from, to, depth, attempt,
+                              start_s](double now) {
+      deliver_hop(id, from, to, depth, attempt, start_s, now);
+      finish_event(id);
+    });
+  }
+}
+
+void NotificationEngine::deliver_hop(MessageId id, PeerId from, PeerId to,
+                                     std::uint32_t depth,
+                                     std::uint32_t attempt, double send_s,
+                                     double now_s) {
+  auto& flight = in_flight_.at(id);
+  const fault::ReceiveState rs = fault_ != nullptr
+                                     ? fault_->on_receive(to, id, now_s)
+                                     : fault::ReceiveState::kOk;
+  const bool responsive =
+      rs == fault::ReceiveState::kOk && sys_->peer_online(to);
+  if (!responsive) {
+    handle_hop_failure(id, from, to, depth, attempt, send_s, now_s);
+    return;
+  }
+  if (observer_) observer_(to, true);
+  // Only the first acked copy forwards onward — injected duplicates and
+  // retransmission races must not multiply subtree traffic.
+  const bool newly = flight.received.insert(to).second;
+  if (flight.subscribers.contains(to)) {
+    deliver_to_subscriber(id, to, depth, now_s);
+  }
+  if (newly) forward(id, to, now_s, depth);
+}
+
+void NotificationEngine::deliver_to_subscriber(MessageId id, PeerId to,
+                                               std::uint32_t depth,
+                                               double now_s) {
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  if (!rec.delivered_to.insert(to).second) {
+    ++rec.duplicates_suppressed;
+    ++stats_.duplicates_suppressed;
+    duplicates_suppressed_counter().add(1);
+    return;
+  }
+  rec.missed.erase(to);  // a late copy beat the replay queue — delivered
+  ++rec.delivered;
+  ++stats_.deliveries;
+  deliveries_counter().add(1);
+  delivery_hops_counter().add(static_cast<std::int64_t>(depth));
+  static obs::Histogram& latency_hist =
+      obs::MetricsRegistry::global().histogram("pubsub.delivery_latency_s");
+  const double latency = now_s - rec.publish_time_s;
+  latency_hist.observe(latency);
+  rec.delivery_latency_s.add(latency);
+  stats_.delivery_latency_s.add(latency);
+  if (rec.delivered >= rec.wanted) rec.completed_at_s = now_s;
+  if (check::enabled()) {
+    check::enforce(check::validate_at_least_once(
+        rec.delivered, rec.replays, rec.delivered_to.size(),
+        flight.max_deliveries, rec.wanted, rec.completed_at_s.has_value()));
+  }
+}
+
+void NotificationEngine::handle_hop_failure(MessageId id, PeerId from,
+                                            PeerId to, std::uint32_t depth,
+                                            std::uint32_t attempt,
+                                            double send_s, double now_s) {
+  // A timed-out transfer is availability evidence against the receiver —
+  // the CMA input of the recovery layer (paper Sec. III-F).
+  if (observer_) observer_(to, false);
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  if (retry_.enabled && attempt + 1 < retry_.max_attempts) {
+    ++rec.retries;
+    ++stats_.retries;
+    retries_counter().add(1);
+    // The resend fires when the sender's (lazy) timer expires; a failure
+    // detected after the deadline resends immediately.
+    const double resend_at =
+        std::max(now_s, send_s + timeout_for(id, to, attempt));
+    ++flight.pending_events;
+    queue_.schedule(resend_at, [this, id, from, to, depth,
+                                attempt](double now) {
+      send_hop(id, from, to, depth, attempt + 1, now, /*share=*/1);
+      finish_event(id);
+    });
+    return;
+  }
+  if (retry_.enabled) {
+    ++stats_.retry_exhausted;
+    retry_exhausted_counter().add(1);
+  }
+  lost_subtree(id, to, now_s);
+}
+
+void NotificationEngine::lost_subtree(MessageId id, PeerId dead,
+                                      double now_s) {
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  // Every undelivered subscriber at or below the dead receiver loses its
+  // tree route; reroute each via its disjoint backup path (paper Sec. V) or
+  // queue it for store-and-forward replay.
+  std::vector<PeerId> stack{dead};
+  std::vector<PeerId> lost;
+  while (!stack.empty()) {
+    const PeerId n = stack.back();
+    stack.pop_back();
+    if (flight.subscribers.contains(n) && !rec.delivered_to.contains(n)) {
+      lost.push_back(n);
+    }
+    for (const PeerId c : flight.tree.children(n)) stack.push_back(c);
+  }
+  const MultipathPlan* plan = retry_.enabled && retry_.failover
+                                  ? multipath_for(rec.publisher)
+                                  : nullptr;
+  const std::unordered_set<PeerId> avoid{dead};
+  for (const PeerId s : lost) {
+    const std::vector<PeerId>* backup = nullptr;
+    if (plan != nullptr) {
+      for (const auto& entry : plan->paths) {
+        if (entry.subscriber == s && entry.backup.size() >= 2) {
+          backup = &entry.backup;
+          break;
+        }
+      }
+    }
+    FailoverPath reroute;
+    bool rerouted = false;
+    if (backup != nullptr) {
+      // Source-routed from the publisher. The backup avoids the primary
+      // *plan* route's intermediates; when the engine tree routed
+      // differently it may still cross the dead peer, in which case the
+      // per-hop retries below fail and the subscriber falls back to replay.
+      reroute = std::make_shared<const std::vector<PeerId>>(*backup);
+    } else if (plan != nullptr) {
+      // No precomputed disjoint backup: ask the overlay for a fresh route
+      // that detours around the relay the failure detector declared dead.
+      auto detour = sys_->route_avoiding(rec.publisher, s, avoid);
+      if (detour.success && detour.path.size() >= 2) {
+        reroute = std::make_shared<const std::vector<PeerId>>(
+            std::move(detour.path));
+        rerouted = true;
+      }
+    }
+    if (reroute != nullptr) {
+      ++rec.failovers;
+      ++stats_.failovers;
+      failovers_counter().add(1);
+      send_failover_hop(id, std::move(reroute), /*hop=*/0, /*attempt=*/0,
+                        now_s, /*detour=*/rerouted);
+    } else {
+      mark_missed(id, s);
+    }
+  }
+}
+
+void NotificationEngine::send_failover_hop(MessageId id, FailoverPath path,
+                                           std::size_t hop,
+                                           std::uint32_t attempt,
+                                           double start_s, bool detour) {
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  const PeerId from = (*path)[hop];
+  const PeerId to = (*path)[hop + 1];
+  const double base =
+      net_->transfer_time_s(from, to, payload_bytes_, /*share=*/1);
+  fault::HopFate fate;
+  if (fault_ != nullptr) {
+    // Detour paths draw from a third salt block so a detour edge shared
+    // with the exhausted backup path cannot replay its consumed fates.
+    const std::uint32_t salt_base =
+        kFailoverAttemptBase * (detour ? 2u : 1u);
+    fate = fault_->hop_fate(id, from, to, attempt + salt_base);
+  }
+  const double arrival = start_s + base * fate.latency_factor;
+  const bool last = hop + 2 == path->size();
+  record_hop(rec, from, to, static_cast<std::uint32_t>(hop + 1), attempt,
+             /*failover=*/true, !last, last && !fate.dropped, start_s,
+             arrival);
+  if (fate.dropped) {
+    ++flight.pending_events;
+    queue_.schedule(
+        start_s + timeout_for(id, to, attempt),
+        [this, id, path = std::move(path), hop, attempt, start_s,
+         detour](double now) {
+          failover_hop_failure(id, path, hop, attempt, start_s, now, detour);
+          finish_event(id);
+        });
+    return;
+  }
+  // Injected duplicates are not materialized on failover hops: the chain is
+  // source-routed, so a second copy would double every remaining hop;
+  // receiver dedup already covers the delivery semantics.
+  ++flight.pending_events;
+  queue_.schedule(arrival, [this, id, path = std::move(path), hop, attempt,
+                            start_s, detour](double now) {
+    deliver_failover_hop(id, path, hop, attempt, start_s, now, detour);
+    finish_event(id);
+  });
+}
+
+void NotificationEngine::deliver_failover_hop(MessageId id,
+                                              const FailoverPath& path,
+                                              std::size_t hop,
+                                              std::uint32_t attempt,
+                                              double send_s, double now_s,
+                                              bool detour) {
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  const PeerId to = (*path)[hop + 1];
+  const fault::ReceiveState rs = fault_ != nullptr
+                                     ? fault_->on_receive(to, id, now_s)
+                                     : fault::ReceiveState::kOk;
+  const bool responsive =
+      rs == fault::ReceiveState::kOk && sys_->peer_online(to);
+  if (!responsive) {
+    failover_hop_failure(id, path, hop, attempt, send_s, now_s, detour);
+    return;
+  }
+  if (observer_) observer_(to, true);
+  if (hop + 2 == path->size()) {
+    deliver_to_subscriber(id, to, static_cast<std::uint32_t>(hop + 1),
+                          now_s);
+    return;
+  }
+  // Intermediates only relay; tree-based delivery to them (if they are
+  // subscribers at all) happens on their own tree routes.
+  if (!flight.subscribers.contains(to)) {
+    ++rec.relay_forwards;
+    ++stats_.relay_forwards;
+    relay_forwards_counter().add(1);
+  }
+  send_failover_hop(id, path, hop + 1, /*attempt=*/0, now_s, detour);
+}
+
+void NotificationEngine::failover_hop_failure(MessageId id,
+                                              const FailoverPath& path,
+                                              std::size_t hop,
+                                              std::uint32_t attempt,
+                                              double send_s, double now_s,
+                                              bool detour) {
+  const PeerId to = (*path)[hop + 1];
+  if (observer_) observer_(to, false);
+  auto& flight = in_flight_.at(id);
+  auto& rec = records_.at(id);
+  if (retry_.enabled && attempt + 1 < retry_.max_attempts) {
+    ++rec.retries;
+    ++stats_.retries;
+    retries_counter().add(1);
+    const double resend_at =
+        std::max(now_s, send_s + timeout_for(id, to, attempt));
+    ++flight.pending_events;
+    queue_.schedule(resend_at,
+                    [this, id, path, hop, attempt, detour](double now) {
+                      send_failover_hop(id, path, hop, attempt + 1, now,
+                                        detour);
+                      finish_event(id);
+                    });
+    return;
+  }
+  if (retry_.enabled) {
+    ++stats_.retry_exhausted;
+    retry_exhausted_counter().add(1);
+  }
+  // A backup route that died at an *intermediate* gets one fresh detour
+  // around the casualty; failures of the detour itself (or of the final
+  // hop, where the subscriber is the unresponsive party) terminate in
+  // store-and-forward replay.
+  const PeerId subscriber = path->back();
+  if (!detour && to != subscriber && retry_.enabled && retry_.failover) {
+    const std::unordered_set<PeerId> avoid{to};
+    auto fresh = sys_->route_avoiding(rec.publisher, subscriber, avoid);
+    if (fresh.success && fresh.path.size() >= 2) {
+      ++rec.failovers;
+      ++stats_.failovers;
+      failovers_counter().add(1);
+      send_failover_hop(id,
+                        std::make_shared<const std::vector<PeerId>>(
+                            std::move(fresh.path)),
+                        /*hop=*/0, /*attempt=*/0, now_s, /*detour=*/true);
+      return;
+    }
+  }
+  mark_missed(id, subscriber);
+}
+
+void NotificationEngine::mark_missed(MessageId id, PeerId subscriber) {
+  auto& rec = records_.at(id);
+  if (rec.delivered_to.contains(subscriber)) return;
+  if (!rec.missed.insert(subscriber).second) return;
+  ++stats_.missed;
+  missed_counter().add(1);
+  if (retry_.enabled && retry_.replay) {
+    missed_[subscriber].push_back(id);
+  }
+}
+
+std::size_t NotificationEngine::replay_missed(PeerId subscriber,
+                                              double t_s) {
+  const auto it = missed_.find(subscriber);
+  if (it == missed_.end()) return 0;
+  std::size_t replayed = 0;
+  std::unordered_set<MessageId> seen;
+  for (const MessageId id : it->second) {
+    const bool queued_twice = !seen.insert(id).second;
+    auto& rec = records_.at(id);
+    const bool already_delivered = rec.delivered_to.contains(subscriber);
+    const bool delivering = !queued_twice && !already_delivered;
+    if (check::enabled()) {
+      check::enforce(check::validate_replay_dedup(
+          id, subscriber, queued_twice, already_delivered, delivering));
+    }
+    if (!delivering) continue;
+    rec.delivered_to.insert(subscriber);
+    rec.missed.erase(subscriber);
+    ++rec.replays;
+    ++stats_.replays;
+    replays_counter().add(1);
+    ++replayed;
+    (void)t_s;
+  }
+  missed_.erase(it);
+  return replayed;
+}
+
+std::size_t NotificationEngine::pending_replays() const {
+  std::size_t n = 0;
+  for (const auto& [peer, msgs] : missed_) n += msgs.size();
+  return n;
+}
+
+const MultipathPlan* NotificationEngine::multipath_for(PeerId publisher) {
+  if (!planner_) return nullptr;
+  auto it = multipath_cache_.find(publisher);
+  if (it == multipath_cache_.end()) {
+    it = multipath_cache_.emplace(publisher, planner_(publisher)).first;
+  }
+  return &it->second;
 }
 
 const MessageRecord& NotificationEngine::record(MessageId id) const {

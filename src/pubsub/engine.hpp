@@ -10,22 +10,76 @@
 //
 // Trees are cached per publisher and invalidated on churn — rebuilding the
 // tree for every post would hide the cost structure a real deployment has.
+//
+// Reliability layer (fault injection + recovery): attaching a
+// fault::FaultPlan (set_fault_plan) subjects every hop to drops, duplicate
+// deliveries, latency spikes and receiver stalls/crashes; enabling a
+// RetryPolicy (set_retry_policy) makes the engine survive them with a
+// per-hop ack/timeout protocol:
+//
+//   * a hop whose message was dropped, or whose receiver did not ack
+//     (stalled, crashed, offline), is resent after an exponential-backoff
+//     timeout with deterministic jitter, up to max_attempts;
+//   * when the retry budget for a relay is exhausted the subtree under it
+//     is declared lost and each not-yet-delivered subscriber in it fails
+//     over to its disjoint backup route from the publisher's MultipathPlan
+//     (set_multipath_planner);
+//   * subscribers unreachable even by failover are queued store-and-forward
+//     and replayed when they return from a churn offline period
+//     (replay_missed);
+//   * every ack/timeout outcome is reported to the availability observer so
+//     the SELECT recovery layer's per-peer CMA (paper Sec. III-F) learns
+//     from the message plane, not just from polling.
+//
+// With neither a fault plan nor a retry policy the engine behaves exactly
+// as the perfect-transfer-plane implementation it grew out of (exactly-once
+// delivery down the tree); reliable mode switches the delivery invariant to
+// at-least-once with receiver-side dedup (check/tree_checks.hpp).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "net/network_model.hpp"
 #include "obs/provenance.hpp"
 #include "overlay/system.hpp"
+#include "pubsub/multipath.hpp"
 #include "sim/event_queue.hpp"
+
+namespace sel::fault {
+class FaultPlan;
+}
 
 namespace sel::pubsub {
 
 using MessageId = std::uint64_t;
+
+/// Ack/timeout recovery parameters. Default-constructed (enabled = false)
+/// the engine performs no retries — the control configuration for chaos
+/// experiments. from_env() is the experiment entry point.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Base ack timeout before the first resend. The default comfortably
+  /// exceeds a typical 1.2 MB transfer (~0.2-5 s in the bandwidth model).
+  double ack_timeout_s = 5.0;
+  double backoff = 2.0;  ///< timeout multiplier per failed attempt
+  /// Deterministic jitter: each timeout is stretched by up to this fraction,
+  /// keyed on (message, receiver, attempt) so same-seed runs are identical.
+  double jitter = 0.2;
+  std::size_t max_attempts = 4;  ///< total sends per hop, first included
+  bool failover = true;          ///< reroute lost subscribers via multipath
+  bool replay = true;            ///< store-and-forward for missed subscribers
+
+  /// Enabled policy with SEL_RETRY_TIMEOUT_S / SEL_RETRY_BACKOFF /
+  /// SEL_RETRY_JITTER / SEL_RETRY_MAX applied over the defaults.
+  [[nodiscard]] static RetryPolicy from_env();
+};
 
 struct MessageRecord {
   MessageId id = 0;
@@ -37,6 +91,17 @@ struct MessageRecord {
   std::size_t wanted = 0;     ///< online subscribers at publish time
   std::size_t delivered = 0;  ///< subscribers reached so far
   std::size_t relay_forwards = 0;  ///< forwards by non-subscribers
+  // -- reliable mode only -----------------------------------------------
+  std::size_t retries = 0;    ///< resends after a hop timed out
+  std::size_t failovers = 0;  ///< subscribers rerouted via backup paths
+  std::size_t replays = 0;    ///< store-and-forward deliveries on return
+  std::size_t duplicates_suppressed = 0;  ///< receiver-side dedup hits
+  /// Subscribers that received the message (in-flight or replayed) — the
+  /// receiver dedup set behind the at-least-once invariant. Outlives the
+  /// in-flight state so late replays stay deduplicated.
+  std::unordered_set<overlay::PeerId> delivered_to;
+  /// Subscribers given up on in-flight, awaiting store-and-forward replay.
+  std::unordered_set<overlay::PeerId> missed;
   RunningStats delivery_latency_s;
   /// Completion time (max subscriber arrival, Eq. 1); set when all wanted
   /// subscribers were reached.
@@ -50,6 +115,13 @@ struct EngineStats {
   std::size_t relay_forwards = 0;
   std::size_t tree_cache_hits = 0;
   std::size_t tree_cache_misses = 0;
+  // -- reliable mode only -----------------------------------------------
+  std::size_t retries = 0;
+  std::size_t retry_exhausted = 0;  ///< hops abandoned after max_attempts
+  std::size_t failovers = 0;
+  std::size_t replays = 0;
+  std::size_t duplicates_suppressed = 0;
+  std::size_t missed = 0;  ///< subscriber misses queued (or counted) so far
   RunningStats delivery_latency_s;
 
   [[nodiscard]] double delivery_rate() const noexcept {
@@ -79,8 +151,47 @@ class NotificationEngine {
 
   [[nodiscard]] double now_s() const noexcept { return queue_.now(); }
 
-  /// Drops cached trees; call after churn or topology maintenance.
-  void invalidate_trees() { tree_cache_.clear(); }
+  /// Drops cached trees (and multipath plans); call after churn or topology
+  /// maintenance.
+  void invalidate_trees() {
+    tree_cache_.clear();
+    multipath_cache_.clear();
+  }
+
+  // -- reliability ------------------------------------------------------
+  /// Attaches a fault plan (not owned; may be null to detach). Hop fates
+  /// and receiver states are drawn from it for every transfer.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_ = plan; }
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  /// Ack/timeout outcomes per receiving peer (true = acked). Feed this to
+  /// core::SelectSystem::observe_availability for CMA-guided recovery.
+  void set_availability_observer(
+      std::function<void(overlay::PeerId, bool)> observer) {
+    observer_ = std::move(observer);
+  }
+  /// Supplies backup routes for failover (typically wraps plan_multipath).
+  /// Plans are cached per publisher until invalidate_trees().
+  void set_multipath_planner(
+      std::function<MultipathPlan(overlay::PeerId)> planner) {
+    planner_ = std::move(planner);
+  }
+
+  /// True when hops go through the ack/retry/dedup path (a fault plan is
+  /// attached or retries are enabled) rather than the perfect-transfer one.
+  [[nodiscard]] bool reliable() const noexcept {
+    return fault_ != nullptr || retry_.enabled;
+  }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
+
+  /// Replays every message queued for `subscriber` (store-and-forward);
+  /// call when churn brings the peer back online. Messages the subscriber
+  /// already received in-flight are skipped, not re-delivered. Returns the
+  /// number of messages replayed.
+  std::size_t replay_missed(overlay::PeerId subscriber, double t_s);
+  /// Queued (message, subscriber) replay entries not yet replayed.
+  [[nodiscard]] std::size_t pending_replays() const;
 
   [[nodiscard]] const MessageRecord& record(MessageId id) const;
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
@@ -89,17 +200,6 @@ class NotificationEngine {
   }
 
  private:
-  /// Schedules the sends from `node` (at tree depth `depth`) for message
-  /// `id` down its cached tree.
-  void forward(MessageId id, overlay::PeerId node, double start_s,
-               std::uint32_t depth);
-
-  const overlay::PubSubSystem* sys_;
-  const net::NetworkModel* net_;
-  double payload_bytes_;
-  sim::EventQueue queue_;
-  MessageId next_id_ = 1;
-  std::unordered_map<MessageId, MessageRecord> records_;
   /// Per-message subscriber set + tree (kept while events are pending).
   struct InFlight {
     overlay::DisseminationTree tree;
@@ -109,14 +209,87 @@ class NotificationEngine {
     /// (always maintained so SEL_CHECK can be enabled mid-flight; see
     /// check/tree_checks.hpp).
     std::size_t max_deliveries = 0;
+    /// Reliable mode: peers that acked a copy already — only the first
+    /// receipt forwards down the tree, so injected duplicates and
+    /// retransmission races cannot multiply traffic.
+    std::unordered_set<overlay::PeerId> received;
   };
+
+  /// Shared source-routed path for failover resends (immutable once built).
+  using FailoverPath = std::shared_ptr<const std::vector<overlay::PeerId>>;
+
+  /// Schedules the sends from `node` (at tree depth `depth`) for message
+  /// `id` down its cached tree.
+  void forward(MessageId id, overlay::PeerId node, double start_s,
+               std::uint32_t depth);
+
+  // Reliable-mode hop pipeline. Every scheduled event increments
+  // InFlight::pending_events at its schedule site and calls finish_event()
+  // when it fires, so the in-flight state lives exactly as long as any
+  // event (arrival, retry timer, failover hop) references it.
+  void send_hop(MessageId id, overlay::PeerId from, overlay::PeerId to,
+                std::uint32_t depth, std::uint32_t attempt, double start_s,
+                std::size_t share);
+  void deliver_hop(MessageId id, overlay::PeerId from, overlay::PeerId to,
+                   std::uint32_t depth, std::uint32_t attempt, double send_s,
+                   double now_s);
+  /// Timeout handling for attempt `attempt` of the hop to `to`: feeds the
+  /// availability observer, schedules the resend at the backoff deadline or
+  /// — budget exhausted — declares the subtree under `to` lost.
+  void handle_hop_failure(MessageId id, overlay::PeerId from,
+                          overlay::PeerId to, std::uint32_t depth,
+                          std::uint32_t attempt, double send_s, double now_s);
+  /// Reroutes every undelivered subscriber in the tree subtree under `dead`
+  /// via its backup path, or queues it for replay when no backup exists.
+  void lost_subtree(MessageId id, overlay::PeerId dead, double now_s);
+  /// `detour` marks a route_avoiding() path (already a second-chance
+  /// route): its failures terminate in replay instead of rerouting again,
+  /// which bounds the recovery chain at two route computations.
+  void send_failover_hop(MessageId id, FailoverPath path, std::size_t hop,
+                         std::uint32_t attempt, double start_s, bool detour);
+  void deliver_failover_hop(MessageId id, const FailoverPath& path,
+                            std::size_t hop, std::uint32_t attempt,
+                            double send_s, double now_s, bool detour);
+  void failover_hop_failure(MessageId id, const FailoverPath& path,
+                            std::size_t hop, std::uint32_t attempt,
+                            double send_s, double now_s, bool detour);
+  /// Counts a subscriber delivery with receiver-side dedup.
+  void deliver_to_subscriber(MessageId id, overlay::PeerId to,
+                             std::uint32_t depth, double now_s);
+  /// Queues `subscriber` for store-and-forward replay (deduplicated).
+  void mark_missed(MessageId id, overlay::PeerId subscriber);
+  /// Backoff deadline (seconds after the send) for resending attempt
+  /// `attempt + 1`; exponential in `attempt` with deterministic jitter.
+  [[nodiscard]] double timeout_for(MessageId id, overlay::PeerId to,
+                                   std::uint32_t attempt) const;
+  /// Cached multipath plan for `publisher`; null without a planner.
+  [[nodiscard]] const MultipathPlan* multipath_for(overlay::PeerId publisher);
+  void record_hop(const MessageRecord& rec, overlay::PeerId from,
+                  overlay::PeerId to, std::uint32_t depth,
+                  std::uint32_t attempt, bool failover, bool relay,
+                  bool delivered, double send_s, double arrive_s) const;
 
   /// Decrements the pending-event count; frees the in-flight state when the
   /// last event of the message fired.
   void finish_event(MessageId id);
+
+  const overlay::PubSubSystem* sys_;
+  const net::NetworkModel* net_;
+  double payload_bytes_;
+  sim::EventQueue queue_;
+  MessageId next_id_ = 1;
+  std::unordered_map<MessageId, MessageRecord> records_;
   std::unordered_map<MessageId, InFlight> in_flight_;
   std::unordered_map<overlay::PeerId, overlay::DisseminationTree> tree_cache_;
   EngineStats stats_;
+
+  fault::FaultPlan* fault_ = nullptr;  ///< not owned
+  RetryPolicy retry_;
+  std::function<void(overlay::PeerId, bool)> observer_;
+  std::function<MultipathPlan(overlay::PeerId)> planner_;
+  std::unordered_map<overlay::PeerId, MultipathPlan> multipath_cache_;
+  /// Store-and-forward queue: per subscriber, messages awaiting replay.
+  std::unordered_map<overlay::PeerId, std::vector<MessageId>> missed_;
 };
 
 }  // namespace sel::pubsub

@@ -1,6 +1,7 @@
 #include "pubsub/multipath.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/rng.hpp"
@@ -145,11 +146,17 @@ FaultToleranceResult measure_fault_tolerance(
       }
     }
   }
+  result.trials = total;
   if (total > 0) {
     result.single_path_delivery =
         static_cast<double>(single_ok) / static_cast<double>(total);
     result.multi_path_delivery =
         static_cast<double>(multi_ok) / static_cast<double>(total);
+    const auto half_width = [total](double p) {
+      return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(total));
+    };
+    result.single_path_half_width = half_width(result.single_path_delivery);
+    result.multi_path_half_width = half_width(result.multi_path_delivery);
   }
   return result;
 }

@@ -50,12 +50,21 @@ struct FaultToleranceResult {
   double multi_path_delivery = 0.0;   ///< P(delivered) with backup too
   double backup_coverage = 0.0;
   double backup_stretch = 0.0;
+  /// Monte-Carlo sample size behind the delivery estimates: one trial per
+  /// (round, plan, alive subscriber).
+  std::size_t trials = 0;
+  /// 95% normal-approximation confidence half-widths of the two delivery
+  /// estimates (1.96 * sqrt(p(1-p)/trials); 0 when trials == 0).
+  double single_path_half_width = 0.0;
+  double multi_path_half_width = 0.0;
 };
 
 /// Monte-Carlo failure injection: every non-endpoint peer fails
 /// independently with probability `fail_probability` in each of `rounds`
 /// draws; a subscriber is delivered if any of its paths has all
-/// intermediates alive.
+/// intermediates alive. Deterministic in `seed`: the same
+/// (overlay, publishers, fail_probability, rounds, seed) inputs reproduce
+/// the estimates bit for bit.
 [[nodiscard]] FaultToleranceResult measure_fault_tolerance(
     const overlay::Overlay& ov, const graph::SocialGraph& g,
     const std::vector<overlay::PeerId>& publishers, double fail_probability,

@@ -83,6 +83,15 @@ class SelectSystem final : public overlay::RingBasedSystem {
   /// same-bucket alternatives.
   void maintenance_round() override;
 
+  /// Direct availability evidence from the message plane: an acked transfer
+  /// counts as an online sample for the receiving peer, a timed-out one as
+  /// an offline sample — the same CMA that maintenance_round() feeds by
+  /// polling (Sec. III-F). Wire this to
+  /// NotificationEngine::set_availability_observer.
+  void observe_availability(overlay::PeerId p, bool responsive) {
+    cma_[p].update(responsive);
+  }
+
   // -- introspection ------------------------------------------------------------
   [[nodiscard]] const SelectParams& params() const noexcept { return params_; }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }

@@ -16,8 +16,14 @@ RoundChurn::RoundChurn(std::size_t num_peers, Params params,
 std::vector<std::uint32_t> RoundChurn::draw_offline_set() {
   const auto cap = static_cast<std::size_t>(
       params_.max_fraction * static_cast<double>(num_peers_));
-  auto count = static_cast<std::size_t>(
-      std::llround(rng_.lognormal(params_.mu, params_.sigma)));
+  // Clamp the lognormal draw in double space BEFORE rounding: with a large
+  // mu/sigma the draw can exceed LLONG_MAX (even be +inf), where llround is
+  // undefined behaviour. Anything at or above the cap is the cap.
+  const double draw = rng_.lognormal(params_.mu, params_.sigma);
+  std::size_t count =
+      draw >= static_cast<double>(cap)
+          ? cap
+          : static_cast<std::size_t>(std::llround(draw));
   count = std::min(count, cap);
   // Floyd's algorithm would also work; with count << n, rejection is fine.
   std::vector<std::uint32_t> offline;

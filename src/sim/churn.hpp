@@ -84,8 +84,19 @@ class SessionChurn {
   }
 
  private:
-  [[nodiscard]] double draw_session() { return rng_.lognormal(session_mu_, params_.session_sigma); }
-  [[nodiscard]] double draw_offline() { return rng_.lognormal(offline_mu_, params_.offline_sigma); }
+  /// Floor on drawn durations. A lognormal with extreme mu/sigma underflows
+  /// to 0.0, which would pin next_toggle_ in place and spin advance_to()
+  /// forever. Sub-second sessions are below the model's resolution anyway.
+  static constexpr double kMinDurationS = 1.0;
+
+  [[nodiscard]] double draw_session() {
+    const double d = rng_.lognormal(session_mu_, params_.session_sigma);
+    return d < kMinDurationS ? kMinDurationS : d;
+  }
+  [[nodiscard]] double draw_offline() {
+    const double d = rng_.lognormal(offline_mu_, params_.offline_sigma);
+    return d < kMinDurationS ? kMinDurationS : d;
+  }
 
   std::size_t num_peers_;
   Params params_;

@@ -1,0 +1,76 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace sel {
+namespace {
+
+bool knob_registered(const std::string& name) {
+  const auto& knobs = env_knobs();
+  return std::any_of(knobs.begin(), knobs.end(),
+                     [&name](const EnvKnob& k) { return name == k.name; });
+}
+
+bool flagged_unknown(const std::string& name) {
+  const auto unknown = unknown_sel_env_vars();
+  return std::find(unknown.begin(), unknown.end(), name) != unknown.end();
+}
+
+TEST(EnvKnobs, RegistryCoversTheRuntimeSurface) {
+  for (const char* name :
+       {"SEL_OBS", "SEL_CHECK", "SEL_TRACE_SAMPLE", "SEL_FAULT", "SEL_RETRY",
+        "SEL_RETRY_MAX", "SEL_RETRY_TIMEOUT_S", "SEL_RETRY_BACKOFF",
+        "SEL_RETRY_JITTER", "SELECT_BENCH_SCALE", "SELECT_TRIALS"}) {
+    EXPECT_TRUE(knob_registered(name)) << name << " missing from env_knobs()";
+  }
+  for (const auto& k : env_knobs()) {
+    EXPECT_NE(k.summary, nullptr);
+    EXPECT_GT(std::string(k.summary).size(), 0u) << k.name;
+  }
+}
+
+TEST(EnvKnobs, UnknownSelVariableIsReported) {
+  ASSERT_EQ(setenv("SEL_FUALT", "drop=0.5", 1), 0);  // the classic typo
+  EXPECT_TRUE(flagged_unknown("SEL_FUALT"));
+  ASSERT_EQ(unsetenv("SEL_FUALT"), 0);
+  EXPECT_FALSE(flagged_unknown("SEL_FUALT"));
+}
+
+TEST(EnvKnobs, RegisteredVariablesAreNotFlagged) {
+  ASSERT_EQ(setenv("SEL_FAULT", "drop=0.01", 1), 0);
+  EXPECT_FALSE(flagged_unknown("SEL_FAULT"));
+  ASSERT_EQ(unsetenv("SEL_FAULT"), 0);
+}
+
+TEST(EnvKnobs, SelectPrefixIsOutsideTheScan) {
+  // SELECT_* is a distinct prefix (4th char differs); harness-private
+  // variables there must not trip the warning.
+  ASSERT_EQ(setenv("SELECT_PRIVATE_TEST_ONLY", "1", 1), 0);
+  EXPECT_FALSE(flagged_unknown("SELECT_PRIVATE_TEST_ONLY"));
+  ASSERT_EQ(unsetenv("SELECT_PRIVATE_TEST_ONLY"), 0);
+}
+
+TEST(EnvKnobs, UnknownListIsSortedAndDuplicateFree) {
+  ASSERT_EQ(setenv("SEL_ZZZ_TEST", "1", 1), 0);
+  ASSERT_EQ(setenv("SEL_AAA_TEST", "1", 1), 0);
+  const auto unknown = unknown_sel_env_vars();
+  EXPECT_TRUE(std::is_sorted(unknown.begin(), unknown.end()));
+  EXPECT_EQ(std::adjacent_find(unknown.begin(), unknown.end()),
+            unknown.end());
+  EXPECT_TRUE(flagged_unknown("SEL_AAA_TEST"));
+  EXPECT_TRUE(flagged_unknown("SEL_ZZZ_TEST"));
+  ASSERT_EQ(unsetenv("SEL_ZZZ_TEST"), 0);
+  ASSERT_EQ(unsetenv("SEL_AAA_TEST"), 0);
+}
+
+TEST(EnvKnobs, WarnOnceIsIdempotent) {
+  warn_unknown_sel_env_once();
+  warn_unknown_sel_env_once();  // second call must be a cheap no-op
+}
+
+}  // namespace
+}  // namespace sel

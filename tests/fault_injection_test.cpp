@@ -1,0 +1,438 @@
+// Chaos acceptance suite for the reliability layer (fault/ + engine retry
+// path): deterministic fault plans, retry/backoff recovery under drops,
+// crash-mid-dissemination failover, store-and-forward replay after churn,
+// and bit-identical same-seed soak runs.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "graph/profiles.hpp"
+#include "obs/provenance.hpp"
+#include "pubsub/engine.hpp"
+#include "pubsub/multipath.hpp"
+#include "select/protocol.hpp"
+#include "sim/churn.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+TEST(FaultSpec, ParsesKnobList) {
+  const auto spec = fault::FaultSpec::parse(
+      "drop=0.05,dup=0.01,spike=0.02,spike_factor=5,stall=0.03,stall_s=12,"
+      "crash=0.001");
+  EXPECT_DOUBLE_EQ(spec.drop, 0.05);
+  EXPECT_DOUBLE_EQ(spec.duplicate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.spike, 0.02);
+  EXPECT_DOUBLE_EQ(spec.spike_factor, 5.0);
+  EXPECT_DOUBLE_EQ(spec.stall, 0.03);
+  EXPECT_DOUBLE_EQ(spec.stall_s, 12.0);
+  EXPECT_DOUBLE_EQ(spec.crash, 0.001);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, EmptySpecIsInert) {
+  const auto spec = fault::FaultSpec::parse("");
+  EXPECT_FALSE(spec.any());
+}
+
+TEST(FaultSpec, RoundTripsThroughToString) {
+  fault::FaultSpec spec;
+  spec.drop = 0.125;
+  spec.crash = 0.25;
+  const auto back = fault::FaultSpec::parse(spec.to_string());
+  EXPECT_DOUBLE_EQ(back.drop, spec.drop);
+  EXPECT_DOUBLE_EQ(back.crash, spec.crash);
+  EXPECT_DOUBLE_EQ(back.duplicate, 0.0);
+}
+
+TEST(FaultPlan, HopFatesArePureInSeedAndKey) {
+  fault::FaultSpec spec;
+  spec.drop = 0.3;
+  spec.duplicate = 0.2;
+  spec.spike = 0.2;
+  fault::FaultPlan a(spec, 42, 16);
+  fault::FaultPlan b(spec, 42, 16);
+  std::size_t drops = 0;
+  std::size_t dups = 0;
+  std::size_t spikes = 0;
+  for (std::uint64_t msg = 1; msg <= 40; ++msg) {
+    for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+      const auto fa = a.hop_fate(msg, 0, 1, attempt);
+      const auto fb = b.hop_fate(msg, 0, 1, attempt);
+      EXPECT_EQ(fa.dropped, fb.dropped);
+      EXPECT_EQ(fa.duplicated, fb.duplicated);
+      EXPECT_DOUBLE_EQ(fa.latency_factor, fb.latency_factor);
+      drops += fa.dropped ? 1 : 0;
+      dups += fa.duplicated ? 1 : 0;
+      spikes += fa.latency_factor > 1.0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(drops, 0u);
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(spikes, 0u);
+  EXPECT_EQ(a.stats().drops, drops);
+
+  // A different seed draws a different fate sequence.
+  fault::FaultPlan c(spec, 43, 16);
+  std::size_t differs = 0;
+  for (std::uint64_t msg = 1; msg <= 40; ++msg) {
+    if (c.hop_fate(msg, 0, 1, 0).dropped != a.hop_fate(msg, 0, 1, 0).dropped) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(FaultPlan, CrashIsPermanentAndStallExpires) {
+  fault::FaultSpec spec;
+  spec.stall = 1.0;  // first arrival always stalls
+  spec.stall_s = 10.0;
+  fault::FaultPlan plan(spec, 7, 4);
+  EXPECT_EQ(plan.on_receive(2, 1, 0.0), fault::ReceiveState::kStalled);
+  EXPECT_TRUE(plan.stalled(2, 5.0));
+  EXPECT_FALSE(plan.stalled(2, 10.0));
+
+  fault::FaultSpec crash_spec;
+  crash_spec.crash = 1.0;
+  fault::FaultPlan crasher(crash_spec, 7, 4);
+  EXPECT_EQ(crasher.on_receive(3, 1, 0.0), fault::ReceiveState::kCrashed);
+  EXPECT_TRUE(crasher.crashed(3));
+  EXPECT_EQ(crasher.on_receive(3, 2, 100.0), fault::ReceiveState::kCrashed);
+  EXPECT_EQ(crasher.crashed_peers(), std::vector<std::uint32_t>{3});
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level chaos tests.
+// ---------------------------------------------------------------------------
+
+class FaultEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 300, 5);
+    net_ = std::make_unique<net::NetworkModel>(g_.num_nodes(), 5);
+    sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
+                                                net_.get());
+    sys_->build();
+  }
+
+  void TearDown() override {
+    // Soaks flip peers offline; leave the shared system fully online so a
+    // later run_soak() starts from the same state (determinism contract).
+    all_online();
+  }
+
+  void all_online() {
+    for (PeerId p = 0; p < g_.num_nodes(); ++p) sys_->set_peer_online(p, true);
+  }
+
+  /// The ISSUE acceptance fault mix: 5% per-hop drop + crashes
+  /// mid-dissemination, with the other classes at low rates for breadth.
+  static fault::FaultSpec chaos_spec() {
+    fault::FaultSpec spec;
+    spec.drop = 0.05;
+    spec.duplicate = 0.01;
+    spec.spike = 0.02;
+    spec.spike_factor = 4.0;
+    spec.stall = 0.01;
+    spec.stall_s = 20.0;
+    spec.crash = 0.001;
+    return spec;
+  }
+
+  struct SoakResult {
+    EngineStats stats;
+    std::size_t pending_replays_before_sweep = 0;
+    std::size_t replayed_in_sweep = 0;
+    std::size_t pending_replays_after_sweep = 0;
+    /// Sum of per-message missed-subscriber sets after the sweep — zero
+    /// means every missed subscriber was eventually replayed or delivered.
+    std::size_t missed_left_after_sweep = 0;
+    /// Replay-queue composition at soak end: entries whose subscriber is
+    /// reachable (online) vs gone (offline or crashed). Reliable runs only
+    /// queue unreachable peers; a growing online share would mean the
+    /// recovery path abandons subscribers it could still serve.
+    std::size_t online_missed = 0;
+    std::size_t offline_missed = 0;
+  };
+
+  /// Chaos soak: epochs of SessionChurn + publishes under `spec`, replaying
+  /// queued messages whenever a peer comes back, finishing with an
+  /// everyone-returns replay sweep. Pure in `seed` + `reliable`.
+  SoakResult run_soak(const fault::FaultSpec& spec, std::uint64_t seed,
+                      bool reliable_on) {
+    all_online();
+    fault::FaultPlan plan(spec, seed, g_.num_nodes());
+    NotificationEngine engine(*sys_, *net_);
+    engine.set_fault_plan(&plan);
+    RetryPolicy policy;  // enabled = false: the control configuration
+    // Notification payloads are tiny; a tight ack timeout keeps the whole
+    // retry + failover ladder well inside one churn epoch, so recovery
+    // races peer departures instead of losing to them.
+    policy.ack_timeout_s = 2.0;
+    if (reliable_on) {
+      policy.enabled = true;
+      engine.set_retry_policy(policy);
+      engine.set_multipath_planner([this](PeerId b) {
+        return plan_multipath(sys_->overlay(), g_, b);
+      });
+      engine.set_availability_observer([this](PeerId p, bool responsive) {
+        sys_->observe_availability(p, responsive);
+      });
+    } else {
+      engine.set_retry_policy(policy);
+    }
+
+    sim::SessionChurn::Params churn_params;
+    churn_params.session_median_s = 3600.0;
+    churn_params.offline_median_s = 600.0;
+    sim::SessionChurn churn(g_.num_nodes(), churn_params,
+                            derive_seed(seed, 1));
+    // Epochs are long relative to the worst recovery chain (primary ladder
+    // + failover ladder + detour, ~150 s with 2 s ack timeouts), so batched
+    // churn application cannot reap flights that would have finished —
+    // matching reality, where message recovery (seconds) is much faster
+    // than session dynamics (hours).
+    constexpr double kEpochS = 300.0;
+    constexpr std::size_t kEpochs = 6;
+    constexpr std::size_t kPublishersPerEpoch = 5;
+    PeerId next_pub = 0;
+    std::vector<MessageId> ids;
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      const double t0 = static_cast<double>(epoch) * kEpochS;
+      churn.advance_to(t0);
+      for (const auto p : churn.last_departures()) {
+        sys_->set_peer_online(p, false);
+      }
+      for (const auto p : churn.last_arrivals()) {
+        if (!plan.crashed(p)) {
+          sys_->set_peer_online(p, true);
+          engine.replay_missed(p, t0);
+        }
+      }
+      // Crashed peers never come back; a deployment's failure detector
+      // marks them offline so later trees route around them.
+      for (const auto c : plan.crashed_peers()) {
+        sys_->set_peer_online(c, false);
+      }
+      engine.invalidate_trees();
+      for (std::size_t m = 0; m < kPublishersPerEpoch; ++m) {
+        ids.push_back(engine.publish(next_pub % 40, t0 + static_cast<double>(m)));
+        ++next_pub;
+      }
+      engine.run_until(t0 + kEpochS);
+    }
+    engine.run_all();
+
+    SoakResult result;
+    result.pending_replays_before_sweep = engine.pending_replays();
+    for (const auto id : ids) {
+      for (const PeerId s : engine.record(id).missed) {
+        if (sys_->peer_online(s)) {
+          ++result.online_missed;
+        } else {
+          ++result.offline_missed;
+        }
+      }
+    }
+    // Everyone (churned-offline and crashed alike) returns: every queued
+    // message must be replayed exactly once.
+    for (PeerId p = 0; p < g_.num_nodes(); ++p) {
+      sys_->set_peer_online(p, true);
+      result.replayed_in_sweep += engine.replay_missed(p, engine.now_s());
+    }
+    result.pending_replays_after_sweep = engine.pending_replays();
+    for (const auto id : ids) {
+      result.missed_left_after_sweep += engine.record(id).missed.size();
+    }
+    result.stats = engine.stats();
+    return result;
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<net::NetworkModel> net_;
+  std::unique_ptr<core::SelectSystem> sys_;
+};
+
+TEST_F(FaultEngineTest, ReliableSoakMeetsDeliveryBarAndReplaysEverything) {
+  const auto r = run_soak(chaos_spec(), 42, /*reliable_on=*/true);
+  ASSERT_GT(r.stats.wanted, 200u);
+  // Acceptance bar: >= 99% of wanted subscribers delivered in-flight
+  // despite 5% per-hop drops and mid-dissemination crashes.
+  EXPECT_GE(r.stats.delivery_rate(), 0.99)
+      << r.stats.deliveries << "/" << r.stats.wanted
+      << " retries=" << r.stats.retries
+      << " exhausted=" << r.stats.retry_exhausted
+      << " failovers=" << r.stats.failovers
+      << " missed=" << r.stats.missed
+      << " replays=" << r.stats.replays
+      << " pending=" << r.pending_replays_before_sweep;
+  EXPECT_GT(r.stats.retries, 0u);
+  // Every subscriber still awaiting replay at soak end is unreachable
+  // (offline or crashed) — the recovery path never abandons a peer it
+  // could still deliver to.
+  EXPECT_EQ(r.online_missed, 0u);
+  // Store-and-forward: something was queued while peers were away, and the
+  // final everyone-returns sweep drained the queue completely. (Sweep
+  // replays can undercount the queue when a late duplicate delivered a
+  // queued message first — that is the dedup-skip path, not a loss.)
+  EXPECT_GT(r.pending_replays_before_sweep, 0u);
+  EXPECT_LE(r.replayed_in_sweep, r.pending_replays_before_sweep);
+  EXPECT_EQ(r.pending_replays_after_sweep, 0u);
+  EXPECT_EQ(r.missed_left_after_sweep, 0u);
+  EXPECT_GE(r.stats.replays, r.replayed_in_sweep);
+}
+
+TEST_F(FaultEngineTest, ControlRunWithoutRetriesLosesDeliveries) {
+  const auto reliable = run_soak(chaos_spec(), 42, /*reliable_on=*/true);
+  const auto control = run_soak(chaos_spec(), 42, /*reliable_on=*/false);
+  // Same seed, same fault draws per (msg, edge, attempt): disabling the
+  // recovery machinery measurably loses deliveries.
+  EXPECT_LT(control.stats.deliveries, reliable.stats.deliveries);
+  EXPECT_LT(control.stats.delivery_rate(), 0.99);
+  EXPECT_EQ(control.stats.retries, 0u);
+  EXPECT_EQ(control.stats.failovers, 0u);
+  EXPECT_EQ(control.stats.replays, 0u);
+}
+
+TEST_F(FaultEngineTest, SameSeedSoaksAreBitIdentical) {
+  const auto a = run_soak(chaos_spec(), 1234, /*reliable_on=*/true);
+  const auto b = run_soak(chaos_spec(), 1234, /*reliable_on=*/true);
+  EXPECT_EQ(a.stats.messages_published, b.stats.messages_published);
+  EXPECT_EQ(a.stats.wanted, b.stats.wanted);
+  EXPECT_EQ(a.stats.deliveries, b.stats.deliveries);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.retry_exhausted, b.stats.retry_exhausted);
+  EXPECT_EQ(a.stats.failovers, b.stats.failovers);
+  EXPECT_EQ(a.stats.replays, b.stats.replays);
+  EXPECT_EQ(a.stats.missed, b.stats.missed);
+  EXPECT_EQ(a.stats.duplicates_suppressed, b.stats.duplicates_suppressed);
+  EXPECT_EQ(a.stats.relay_forwards, b.stats.relay_forwards);
+  // Latency aggregates must match to the last bit, not approximately.
+  EXPECT_EQ(a.stats.delivery_latency_s.count(),
+            b.stats.delivery_latency_s.count());
+  EXPECT_EQ(a.stats.delivery_latency_s.mean(),
+            b.stats.delivery_latency_s.mean());
+  EXPECT_EQ(a.stats.delivery_latency_s.max(),
+            b.stats.delivery_latency_s.max());
+  EXPECT_EQ(a.replayed_in_sweep, b.replayed_in_sweep);
+}
+
+TEST_F(FaultEngineTest, CrashedRelaySubtreeFailsOverToBackupRoutes) {
+  // Deterministically crash one busy relay mid-dissemination by stalling
+  // nothing and crashing with certainty on its first receive: every
+  // subscriber routed under it must still arrive via backup paths or land
+  // in the replay queue — none silently vanish.
+  fault::FaultSpec spec;
+  spec.crash = 0.02;  // heavy crash pressure to force failovers
+  fault::FaultPlan plan(spec, 9, g_.num_nodes());
+  NotificationEngine engine(*sys_, *net_);
+  engine.set_fault_plan(&plan);
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.max_attempts = 2;  // give up fast so failover actually triggers
+  engine.set_retry_policy(policy);
+  engine.set_multipath_planner([this](PeerId b) {
+    return plan_multipath(sys_->overlay(), g_, b);
+  });
+  std::vector<MessageId> ids;
+  for (PeerId p = 0; p < 30; ++p) {
+    ids.push_back(engine.publish(p, static_cast<double>(p)));
+  }
+  engine.run_all();
+  EXPECT_GT(engine.stats().failovers, 0u);
+  // Conservation: every wanted subscriber is delivered, queued for replay,
+  // or was crashed by the plan (gone for good).
+  for (const auto id : ids) {
+    const auto& rec = engine.record(id);
+    std::size_t crashed_misses = 0;
+    for (const PeerId s : rec.missed) {
+      if (plan.crashed(s)) ++crashed_misses;
+    }
+    EXPECT_GE(rec.delivered + rec.missed.size(), rec.wanted)
+        << "message " << id << " lost subscribers without queuing them";
+    (void)crashed_misses;
+  }
+}
+
+TEST_F(FaultEngineTest, OfflineSubscribersAreReplayedOnReturn) {
+  // No faults at all — pure store-and-forward: subscribers offline at
+  // publish time get the message on return, exactly once, as replays
+  // (never double-counted as deliveries).
+  NotificationEngine engine(*sys_, *net_);
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.max_attempts = 2;
+  engine.set_retry_policy(policy);
+  const auto subs = sys_->subscribers_of(0);
+  ASSERT_GE(subs.size(), 3u);
+  std::vector<PeerId> away(subs.begin(), subs.end());
+  std::sort(away.begin(), away.end());
+  away.resize(3);
+  for (const PeerId s : away) sys_->set_peer_online(s, false);
+  engine.invalidate_trees();
+  const auto id = engine.publish(0, 0.0);
+  engine.run_all();
+  const auto& rec = engine.record(id);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+  EXPECT_EQ(engine.pending_replays(), 3u);
+  for (const PeerId s : away) {
+    sys_->set_peer_online(s, true);
+    EXPECT_EQ(engine.replay_missed(s, engine.now_s()), 1u);
+    EXPECT_TRUE(rec.delivered_to.contains(s));
+    // Replaying again must be a no-op, not a duplicate delivery.
+    EXPECT_EQ(engine.replay_missed(s, engine.now_s()), 0u);
+  }
+  EXPECT_EQ(rec.replays, 3u);
+  EXPECT_EQ(rec.delivered, rec.wanted);  // replays are not deliveries
+  EXPECT_EQ(engine.pending_replays(), 0u);
+  EXPECT_TRUE(rec.missed.empty());
+}
+
+TEST_F(FaultEngineTest, RetryHopsAreRecordedInProvenance) {
+  auto& tracer = obs::ProvenanceTracer::global();
+  tracer.reset();
+  tracer.set_sample_every(1);  // sample every publish
+  fault::FaultSpec spec;
+  spec.drop = 0.2;  // plenty of retries
+  fault::FaultPlan plan(spec, 3, g_.num_nodes());
+  NotificationEngine engine(*sys_, *net_);
+  engine.set_fault_plan(&plan);
+  RetryPolicy policy;
+  policy.enabled = true;
+  engine.set_retry_policy(policy);
+  for (PeerId p = 0; p < 10; ++p) engine.publish(p, 0.0);
+  engine.run_all();
+  const auto snap = tracer.snapshot();
+  tracer.set_sample_every(0);  // restore env-driven sampling
+  tracer.reset();
+  ASSERT_GT(engine.stats().retries, 0u);
+  const bool has_retry_hop =
+      std::any_of(snap.hops.begin(), snap.hops.end(),
+                  [](const obs::HopRecord& h) { return h.attempt > 0; });
+  EXPECT_TRUE(has_retry_hop);
+}
+
+TEST_F(FaultEngineTest, NonReliableEngineIsUnchangedByReliabilityCode) {
+  // Without a fault plan or retry policy the engine must behave exactly as
+  // the perfect-transfer implementation: full delivery, no reliability
+  // counters moving.
+  NotificationEngine engine(*sys_, *net_);
+  ASSERT_FALSE(engine.reliable());
+  const auto id = engine.publish(0, 0.0);
+  engine.run_all();
+  const auto& rec = engine.record(id);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+  EXPECT_EQ(engine.stats().retries, 0u);
+  EXPECT_EQ(engine.stats().failovers, 0u);
+  EXPECT_EQ(engine.stats().missed, 0u);
+  EXPECT_EQ(engine.pending_replays(), 0u);
+}
+
+}  // namespace
+}  // namespace sel::pubsub

@@ -82,5 +82,53 @@ TEST(EngineChurn, InvalidationPicksUpRepairedTrees) {
   EXPECT_EQ(rec.delivered, rec.wanted);  // repaired tree still delivers
 }
 
+TEST(EngineChurn, RepublishAfterChurnIsCacheMissWithValidRebuiltTree) {
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), 250, 35);
+  net::NetworkModel net(g.num_nodes(), 35);
+  core::SelectSystem sys(g, core::SelectParams{}, 35, &net);
+  sys.build();
+  NotificationEngine engine(sys, net);
+
+  const PeerId publisher = 0;
+  engine.publish(publisher, 0.0);
+  engine.publish(publisher, 1.0);
+  engine.run_all();
+  EXPECT_EQ(engine.stats().tree_cache_misses, 1u);
+  EXPECT_EQ(engine.stats().tree_cache_hits, 1u);
+
+  // Churn changes the peer set under the cached tree: republishing without
+  // invalidation would reuse a tree containing offline peers. After
+  // invalidate_trees() the publish must be a cache miss and the rebuilt
+  // tree must deliver to every currently-wanted subscriber.
+  const auto subs = sys.subscribers_of(publisher);
+  ASSERT_GE(subs.size(), 2u);
+  std::vector<PeerId> victims(subs.begin(), subs.end());
+  std::sort(victims.begin(), victims.end());
+  victims.resize(2);
+  for (const PeerId v : victims) sys.set_peer_online(v, false);
+  sys.maintenance_round();
+  engine.invalidate_trees();
+
+  const auto id = engine.publish(publisher, engine.now_s());
+  engine.run_all();
+  EXPECT_EQ(engine.stats().tree_cache_misses, 2u);
+  EXPECT_EQ(engine.stats().tree_cache_hits, 1u);
+  const auto& rec = engine.record(id);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+
+  // Back online + invalidation: another rebuild, and the returned
+  // subscribers are wanted again.
+  for (const PeerId v : victims) sys.set_peer_online(v, true);
+  sys.maintenance_round();
+  engine.invalidate_trees();
+  const auto id2 = engine.publish(publisher, engine.now_s());
+  engine.run_all();
+  EXPECT_EQ(engine.stats().tree_cache_misses, 3u);
+  const auto& rec2 = engine.record(id2);
+  EXPECT_GT(rec2.wanted, rec.wanted);
+  EXPECT_EQ(rec2.delivered, rec2.wanted);
+}
+
 }  // namespace
 }  // namespace sel::pubsub

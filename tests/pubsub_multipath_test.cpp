@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/profiles.hpp"
 #include "select/protocol.hpp"
 
@@ -73,6 +75,42 @@ TEST_F(MultipathTest, FaultToleranceImprovesDelivery) {
   EXPECT_GT(result.multi_path_delivery, result.single_path_delivery + 0.02);
   EXPECT_GT(result.multi_path_delivery, 0.85);
   EXPECT_LE(result.multi_path_delivery, 1.0);
+}
+
+TEST_F(MultipathTest, FaultToleranceIsDeterministicInSeed) {
+  const std::vector<PeerId> publishers{0, 17, 42};
+  const auto a = measure_fault_tolerance(sys_->overlay(), g_, publishers,
+                                         0.1, 30, 77);
+  const auto b = measure_fault_tolerance(sys_->overlay(), g_, publishers,
+                                         0.1, 30, 77);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.single_path_delivery, b.single_path_delivery);  // bitwise
+  EXPECT_EQ(a.multi_path_delivery, b.multi_path_delivery);
+  EXPECT_EQ(a.single_path_half_width, b.single_path_half_width);
+  EXPECT_EQ(a.multi_path_half_width, b.multi_path_half_width);
+
+  const auto c = measure_fault_tolerance(sys_->overlay(), g_, publishers,
+                                         0.1, 30, 78);
+  EXPECT_NE(a.single_path_delivery, c.single_path_delivery);
+}
+
+TEST_F(MultipathTest, FaultTolerancePinnedEstimateForFixedSeed) {
+  // Regression pin: the Monte-Carlo estimate for this exact configuration
+  // (graph seed 3, publishers {0, 17, 42}, p = 0.2, 40 rounds, seed 9) must
+  // not drift — a change here means the trial loop, the RNG stream layout
+  // or the path planner changed behaviour.
+  const std::vector<PeerId> publishers{0, 17, 42};
+  const auto r = measure_fault_tolerance(sys_->overlay(), g_, publishers,
+                                         0.2, 40, 9);
+  EXPECT_EQ(r.trials, 7581u);
+  EXPECT_NEAR(r.single_path_delivery, 0.75517741722727871, 1e-12);
+  EXPECT_NEAR(r.multi_path_delivery, 0.88998812821527507, 1e-12);
+  // Half-widths follow 1.96 * sqrt(p (1-p) / n) exactly.
+  const auto hw = [&r](double p) {
+    return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(r.trials));
+  };
+  EXPECT_DOUBLE_EQ(r.single_path_half_width, hw(r.single_path_delivery));
+  EXPECT_DOUBLE_EQ(r.multi_path_half_width, hw(r.multi_path_delivery));
 }
 
 TEST_F(MultipathTest, NoFailuresMeansFullDelivery) {

@@ -33,6 +33,28 @@ TEST(RoundChurn, LognormalProducesVariedSizes) {
   EXPECT_GT(sizes.size(), 5u);
 }
 
+TEST(RoundChurn, ExtremeLognormalDrawsStillRespectCap) {
+  // mu = 60 puts the lognormal median near e^60 ≈ 1e26 — far beyond
+  // LLONG_MAX, where an unclamped llround would be undefined behaviour. The
+  // draw must saturate at the max_fraction cap instead.
+  RoundChurn churn(200, RoundChurn::Params{.mu = 60.0, .sigma = 10.0,
+                                           .max_fraction = 0.3},
+                   13);
+  for (int round = 0; round < 20; ++round) {
+    const auto offline = churn.draw_offline_set();
+    EXPECT_LE(offline.size(), 60u);
+  }
+}
+
+TEST(RoundChurn, ZeroMaxFractionTakesNobodyOffline) {
+  RoundChurn churn(100, RoundChurn::Params{.mu = 3.0, .sigma = 1.0,
+                                           .max_fraction = 0.0},
+                   17);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(churn.draw_offline_set().empty());
+  }
+}
+
 TEST(RoundChurn, Deterministic) {
   RoundChurn a(500, {}, 7);
   RoundChurn b(500, {}, 7);
@@ -101,6 +123,36 @@ TEST(SessionChurn, DeparturesAndArrivalsAreConsistent) {
                           churn.last_departures().end(),
                           p) != churn.last_departures().end());
   }
+}
+
+TEST(SessionChurn, NeverCrossesAvailabilityFloorUnderExtremeParams) {
+  // Near-degenerate lognormals: sessions a few seconds long, absences with
+  // sigma large enough that raw draws underflow toward 0 or explode toward
+  // +inf. The floor must hold at every sampled instant and advance_to()
+  // must terminate (duration draws are clamped to >= 1 s).
+  SessionChurn::Params params;
+  params.session_median_s = 2.0;
+  params.session_sigma = 40.0;
+  params.offline_median_s = 3600.0;
+  params.offline_sigma = 40.0;
+  params.min_online_fraction = 0.75;
+  SessionChurn churn(64, params, 21);
+  for (double t = 0.0; t <= 3600.0; t += 30.0) {
+    churn.advance_to(t);
+    EXPECT_GE(churn.online_fraction(), 0.75) << "floor violated at t=" << t;
+  }
+}
+
+TEST(SessionChurn, FloorCountUsesCeiling) {
+  // 10 peers with a 0.55 floor: ceil(5.5) = 6 peers must stay online — a
+  // floor(5.5) = 5 implementation is off by one.
+  SessionChurn::Params params;
+  params.session_median_s = 5.0;
+  params.offline_median_s = 10'000.0;  // departures effectively permanent
+  params.min_online_fraction = 0.55;
+  SessionChurn churn(10, params, 23);
+  churn.advance_to(10'000.0);
+  EXPECT_GE(churn.online_count(), 6u);
 }
 
 TEST(SessionChurn, Deterministic) {
