@@ -111,9 +111,8 @@ int main() {
 
   const std::size_t n = scaled(300, 128);
   const std::uint64_t seed = 42;
-  const fault::FaultSpec spec = std::getenv("SEL_FAULT") != nullptr
-                                    ? fault::FaultSpec::from_env()
-                                    : fault::FaultSpec::parse(kDefaultMix);
+  const fault::FaultSpec spec =
+      fault::FaultSpec::parse(env::get_string("SEL_FAULT", kDefaultMix));
   std::printf("fault mix: %s\n", spec.to_string().c_str());
 
   const auto g =

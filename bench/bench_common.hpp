@@ -32,8 +32,7 @@ namespace sel::bench {
 /// directory cannot be created (read-only working dir).
 inline const std::string& results_dir() {
   static const std::string dir = [] {
-    const char* env = std::getenv("SELECT_RESULTS_DIR");
-    std::string d = (env != nullptr && *env != '\0') ? env : "results";
+    std::string d = env::get_string("SELECT_RESULTS_DIR", "results");
     std::error_code ec;
     std::filesystem::create_directories(d, ec);
     if (ec) return std::string(".");

@@ -54,9 +54,9 @@ int main() {
   double baseline = 0.0;
 
   for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
-    ThreadPool pool(threads);
     GossipFlood program(g);
-    sim::SuperstepEngine<GossipFlood, std::uint64_t> engine(n, program, &pool);
+    sim::SuperstepEngine<GossipFlood, std::uint64_t> engine(
+        n, program, Executor::pooled(threads));
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t r = 0; r < rounds; ++r) engine.step();
     const auto elapsed =

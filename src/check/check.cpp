@@ -17,16 +17,9 @@ namespace detail {
 std::atomic<int> g_level{-1};
 
 int init_level_from_env() noexcept {
-  std::string v = env_or("SEL_CHECK", std::string("cheap"));
-  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  int parsed = static_cast<int>(Level::kCheap);
-  if (v == "off" || v == "0" || v == "false" || v == "no") {
-    parsed = static_cast<int>(Level::kOff);
-  } else if (v == "full" || v == "2") {
-    parsed = static_cast<int>(Level::kFull);
-  }
+  const int parsed = static_cast<int>(
+      env::get_enum("SEL_CHECK", {"off|0|false|no", "cheap|1", "full|2"},
+                    static_cast<std::size_t>(Level::kCheap)));
   // Racing first readers parse the same env value; last store wins with the
   // identical result.
   g_level.store(parsed, std::memory_order_relaxed);

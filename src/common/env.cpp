@@ -1,6 +1,7 @@
 #include "common/env.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -12,28 +13,105 @@ extern char** environ;  // NOLINT(readability-redundant-declaration)
 
 namespace sel {
 
-double env_or(const std::string& name, double fallback) {
+namespace env {
+
+namespace {
+
+/// Raw value, or nullptr when unset or empty.
+const char* raw(const std::string& name) {
   const char* v = std::getenv(name.c_str());
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return end != v ? parsed : fallback;
+  return (v != nullptr && *v != '\0') ? v : nullptr;
 }
 
-std::int64_t env_or(const std::string& name, std::int64_t fallback) {
-  const char* v = std::getenv(name.c_str());
-  if (v == nullptr || *v == '\0') return fallback;
+std::string lowered(const char* v) {
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+template <typename T>
+T range_checked(const std::string& name, T parsed, T fallback, T min_value,
+                T max_value) {
+  if (parsed < min_value || parsed > max_value) {
+    log_warn(name + "=" + std::to_string(parsed) + " outside [" +
+             std::to_string(min_value) + ", " + std::to_string(max_value) +
+             "]; using default " + std::to_string(fallback));
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::int64_t get_int(const std::string& name, std::int64_t fallback,
+                     std::int64_t min_value, std::int64_t max_value) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(v, &end, 10);
-  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
+  if (end == v) return fallback;
+  return range_checked<std::int64_t>(name, parsed, fallback, min_value,
+                                     max_value);
 }
 
-std::string env_or(const std::string& name, const std::string& fallback) {
-  const char* v = std::getenv(name.c_str());
-  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+double get_double(const std::string& name, double fallback, double min_value,
+                  double max_value) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return range_checked<double>(name, parsed, fallback, min_value, max_value);
 }
 
-double bench_scale() { return env_or("SELECT_BENCH_SCALE", 1.0); }
+bool get_bool(const std::string& name, bool fallback) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  const std::string s = lowered(v);
+  if (s == "0" || s == "off" || s == "false" || s == "no") return false;
+  if (s == "1" || s == "on" || s == "true" || s == "yes") return true;
+  return fallback;
+}
+
+std::string get_string(const std::string& name, const std::string& fallback) {
+  const char* v = raw(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+std::size_t get_enum(const std::string& name,
+                     std::initializer_list<const char*> options,
+                     std::size_t fallback_index) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback_index;
+  const std::string s = lowered(v);
+  std::size_t index = 0;
+  for (const char* aliases : options) {
+    // Walk the pipe-separated alias list of this option.
+    const char* start = aliases;
+    for (const char* p = aliases;; ++p) {
+      if (*p == '|' || *p == '\0') {
+        if (s.size() == static_cast<std::size_t>(p - start) &&
+            std::equal(start, p, s.begin())) {
+          return index;
+        }
+        if (*p == '\0') break;
+        start = p + 1;
+      }
+    }
+    ++index;
+  }
+  return fallback_index;
+}
+
+}  // namespace env
+
+double bench_scale() {
+  // Scale 0 would make every experiment degenerate; treat it like any other
+  // out-of-range value.
+  return env::get_double("SELECT_BENCH_SCALE", 1.0, 1e-6, 1e6);
+}
 
 std::size_t scaled(std::size_t n, std::size_t min_n) {
   const double s = bench_scale();
@@ -42,8 +120,9 @@ std::size_t scaled(std::size_t n, std::size_t min_n) {
 }
 
 std::size_t trial_count(std::size_t fallback) {
-  const auto t = env_or("SELECT_TRIALS", static_cast<std::int64_t>(fallback));
-  return t > 0 ? static_cast<std::size_t>(t) : fallback;
+  return static_cast<std::size_t>(
+      env::get_int("SELECT_TRIALS", static_cast<std::int64_t>(fallback), 1,
+                   1'000'000));
 }
 
 const std::vector<EnvKnob>& env_knobs() {

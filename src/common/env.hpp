@@ -1,27 +1,60 @@
-// Environment-variable helpers and the registry of every SEL_*/SELECT_*
-// knob the codebase reads. The registry (env_knobs()) is the single source
-// of truth for the runtime-configuration surface: unknown SEL_-prefixed
-// variables in the environment trigger a one-shot warning, which catches
-// the classic chaos-run typo (SEL_FUALT=... silently doing nothing).
+// Environment-variable configuration surface.
+//
+// Two layers:
+//   1. Typed accessors (sel::env::get_*) — every runtime knob is read
+//      through one of these, which parse, apply defaults, and validate
+//      ranges in one place instead of ad-hoc strtod/strtol scattered across
+//      subsystems. Out-of-range values log one warning and fall back to the
+//      default (never a silent clamp); unparsable values fall back silently,
+//      matching the historical behavior.
+//   2. The knob registry (env_knobs()) — the single source of truth for the
+//      SEL_*/SELECT_* surface. Unknown SEL_-prefixed variables in the
+//      environment trigger a one-shot warning, which catches the classic
+//      chaos-run typo (SEL_FUALT=... silently doing nothing).
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace sel {
 
-/// Returns the environment variable `name` parsed as a double, or `fallback`
-/// when unset or unparsable.
-[[nodiscard]] double env_or(const std::string& name, double fallback);
+namespace env {
 
-/// Integer variant.
-[[nodiscard]] std::int64_t env_or(const std::string& name,
-                                  std::int64_t fallback);
+/// Integer knob. Unset/empty/unparsable values yield `fallback`; a parsed
+/// value outside [min_value, max_value] logs a warning and yields
+/// `fallback`. Parsing accepts a leading integer ("8x" -> 8), as strtol
+/// always has.
+[[nodiscard]] std::int64_t get_int(
+    const std::string& name, std::int64_t fallback,
+    std::int64_t min_value = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max_value = std::numeric_limits<std::int64_t>::max());
 
-/// String variant.
-[[nodiscard]] std::string env_or(const std::string& name,
-                                 const std::string& fallback);
+/// Floating-point knob; same default/range semantics as get_int.
+[[nodiscard]] double get_double(
+    const std::string& name, double fallback,
+    double min_value = -std::numeric_limits<double>::infinity(),
+    double max_value = std::numeric_limits<double>::infinity());
+
+/// Boolean knob: "0", "off", "false", "no" (case-insensitive) are false;
+/// "1", "on", "true", "yes" are true; anything else yields `fallback`.
+[[nodiscard]] bool get_bool(const std::string& name, bool fallback);
+
+/// Raw string knob: the variable's value, or `fallback` when unset/empty.
+[[nodiscard]] std::string get_string(const std::string& name,
+                                     const std::string& fallback);
+
+/// Enumerated knob. Each option is a pipe-separated alias list, e.g.
+///   get_enum("SEL_CHECK", {"off|0|false|no", "cheap|1", "full|2"}, 1)
+/// returns the index of the option whose alias matches the value
+/// (case-insensitive), or `fallback_index` when unset or unrecognized.
+[[nodiscard]] std::size_t get_enum(const std::string& name,
+                                   std::initializer_list<const char*> options,
+                                   std::size_t fallback_index);
+
+}  // namespace env
 
 /// Global experiment-size multiplier (SELECT_BENCH_SCALE, default 1.0).
 [[nodiscard]] double bench_scale();

@@ -1,0 +1,95 @@
+// Value-semantic execution policy: where parallel regions run.
+//
+// Every engine that can parallelize (the superstep engine, the trial
+// runner, bench harnesses) takes an Executor by value instead of a nullable
+// ThreadPool*. The two states — inline (run on the calling thread) and
+// pooled (fan out over a ThreadPool) — are handled inside for_chunks(), so
+// call sites never branch on "do I have a pool?". Copies are cheap and
+// share the underlying pool; an Executor that owns its pool keeps it alive
+// for as long as any copy exists.
+//
+// Determinism contract: concurrency() is the fixed chunk count a caller may
+// use to pre-size per-chunk state. for_chunks() always splits [begin, end)
+// into the same contiguous ascending chunks as ThreadPool::parallel_for_chunks
+// (ceil-divided), so results that are chunk-order-insensitive are identical
+// across executors of any width.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+
+namespace sel {
+
+class Executor {
+ public:
+  /// Inline executor: for_chunks() runs the whole range as one chunk on the
+  /// calling thread. This is the default everywhere.
+  Executor() = default;
+
+  /// Named alias of the default constructor, for call sites where spelling
+  /// the intent out reads better than `{}`.
+  [[nodiscard]] static Executor inline_exec() { return Executor(); }
+
+  /// Fans out over a pool owned by the executor (shared among copies).
+  /// `threads` as in ThreadPool: 0 means hardware concurrency.
+  [[nodiscard]] static Executor pooled(unsigned threads) {
+    Executor e;
+    e.owned_ = std::make_shared<ThreadPool>(threads);
+    e.pool_ = e.owned_.get();
+    return e;
+  }
+
+  /// Fans out over a caller-owned pool. The pool must outlive every copy of
+  /// the executor.
+  [[nodiscard]] static Executor pooled(ThreadPool& pool) {
+    Executor e;
+    e.pool_ = &pool;
+    return e;
+  }
+
+  /// The process-wide pool (ThreadPool::global(), sized by SELECT_THREADS).
+  [[nodiscard]] static Executor global_pool() {
+    return pooled(ThreadPool::global());
+  }
+
+  /// Number of chunks for_chunks() splits work into: 1 inline, pool width
+  /// when pooled. Always >= 1; stable for the executor's lifetime.
+  [[nodiscard]] unsigned concurrency() const noexcept {
+    return pool_ != nullptr ? std::max(1u, pool_->size()) : 1u;
+  }
+
+  /// True when work fans out to worker threads.
+  [[nodiscard]] bool is_pooled() const noexcept { return pool_ != nullptr; }
+
+  /// Runs body(chunk_begin, chunk_end) over contiguous ascending chunks of
+  /// [begin, end). Inline: one chunk, on the calling thread. Pooled: one
+  /// chunk per worker, blocking until all finish; the first exception (in
+  /// chunk order) is rethrown after every chunk completed.
+  void for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body) const {
+    if (begin >= end) return;
+    if (pool_ != nullptr) {
+      pool_->parallel_for_chunks(begin, end, body);
+    } else {
+      body(begin, end);
+    }
+  }
+
+  /// Element-wise convenience: body(i) for i in [begin, end).
+  void for_each(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& body) const {
+    for_chunks(begin, end, [&body](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+
+ private:
+  std::shared_ptr<ThreadPool> owned_;  ///< set only for pooled(threads)
+  ThreadPool* pool_ = nullptr;         ///< null = inline
+};
+
+}  // namespace sel

@@ -13,11 +13,9 @@ namespace {
 std::atomic<int> g_level{-1};
 
 LogLevel parse_level() {
-  const std::string v = env_or("SELECT_LOG", std::string("warn"));
-  if (v == "error") return LogLevel::kError;
-  if (v == "info") return LogLevel::kInfo;
-  if (v == "debug") return LogLevel::kDebug;
-  return LogLevel::kWarn;
+  return static_cast<LogLevel>(env::get_enum(
+      "SELECT_LOG", {"error", "warn", "info", "debug"},
+      static_cast<std::size_t>(LogLevel::kWarn)));
 }
 
 const char* level_name(LogLevel level) {

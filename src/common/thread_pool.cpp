@@ -83,8 +83,8 @@ void ThreadPool::parallel_for_chunks(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(
-      static_cast<unsigned>(env_or("SELECT_THREADS", std::int64_t{0})));
+  static ThreadPool pool(static_cast<unsigned>(
+      env::get_int("SELECT_THREADS", 0, 0, 4096)));
   return pool;
 }
 

@@ -113,7 +113,7 @@ FaultSpec FaultSpec::parse(std::string_view spec) {
 
 FaultSpec FaultSpec::from_env() {
   warn_unknown_sel_env_once();
-  return parse(env_or("SEL_FAULT", std::string()));
+  return parse(env::get_string("SEL_FAULT", std::string()));
 }
 
 std::string FaultSpec::to_string() const {

@@ -1,0 +1,87 @@
+// Memoized tie-strength queries over an immutable SocialGraph.
+//
+// The gossip loop (Alg. 3-4) computes |N(u) ∩ N(v)| for the same friend
+// pairs round after round: each peer re-samples its friends every round and
+// both endpoints of a pair ask for the same symmetric numerator. On a CSR
+// graph every query is a fresh linear merge of two adjacency lists — cheap
+// once, wasteful a hundred times. This index caches the merge result per
+// *edge*: one slot per (node, friend-index) pair, stored on the lower
+// endpoint so both query directions share it. Non-edges (e.g. ring
+// successors probed by the coherence analysis) fall through to a direct
+// merge each call — they carry no slot, and the protocol never repeats them
+// the way it repeats friend pairs.
+//
+// Rows are allocated lazily (first query touching a node) and validity is
+// an epoch stamp per slot, so invalidate() is O(1) and invalidate_node()
+// touches only the affected rows. The index is NOT thread-safe: queries
+// mutate the cache. Use one instance per thread or guard externally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+
+namespace sel::graph {
+
+class TieStrengthIndex {
+ public:
+  /// Deterministic query accounting (independent of SEL_OBS): a query is a
+  /// hit, or a miss (cold slot, merge + fill), or uncacheable (non-edge /
+  /// self pair). `merges` counts actual adjacency-list merges executed —
+  /// the work the cache exists to avoid; misses + uncacheable == merges.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t uncacheable = 0;
+    [[nodiscard]] std::uint64_t queries() const noexcept {
+      return hits + misses + uncacheable;
+    }
+    [[nodiscard]] std::uint64_t merges() const noexcept {
+      return misses + uncacheable;
+    }
+  };
+
+  /// The graph must outlive the index. The graph is immutable, so cached
+  /// counts only go stale if *callers* decide their epoch is over (e.g. a
+  /// harness swapping workload semantics) — see invalidate().
+  explicit TieStrengthIndex(const SocialGraph& g);
+
+  /// |N(u) ∩ N(v)|, memoized when {u, v} is an edge. u == v returns
+  /// degree(u) without a merge (N(u) ∩ N(u) = N(u)).
+  [[nodiscard]] std::size_t common_neighbors(NodeId u, NodeId v);
+
+  /// Social strength s(u,v) = |N(u) ∩ N(v)| / |N(u)| (paper Eq. 2 — note
+  /// the asymmetry: normalized by u's side). Zero when u has no friends.
+  [[nodiscard]] double social_strength(NodeId u, NodeId v);
+
+  /// Drops every cached count at once (epoch bump, O(1)).
+  void invalidate();
+
+  /// Drops every cached pair whose count could involve u: pairs with u as
+  /// an endpoint and pairs of two of u's neighbours (u is a candidate
+  /// common neighbour of exactly those). Clears row u and the rows of all
+  /// w ∈ N(u) — a superset of the affected pairs, never less.
+  void invalidate_node(NodeId u);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SocialGraph& graph() const noexcept { return *g_; }
+
+ private:
+  /// Cache row of node a: slot i memoizes common_neighbors(a, N(a)[i]).
+  /// Vectors stay empty until the row is first written (lazily sized to
+  /// degree(a)); a slot is valid iff its stamp equals the current epoch.
+  struct Row {
+    std::vector<std::uint32_t> count;
+    std::vector<std::uint32_t> epoch;
+  };
+
+  void clear_row(NodeId a);
+
+  const SocialGraph* g_;
+  std::vector<Row> rows_;
+  std::uint32_t epoch_ = 1;  ///< 0 is reserved: "slot never written"
+  Stats stats_;
+};
+
+}  // namespace sel::graph

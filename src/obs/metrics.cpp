@@ -10,12 +10,7 @@ namespace sel::obs {
 
 namespace detail {
 
-bool read_env_enabled() {
-  std::string v = env_or("SEL_OBS", std::string("on"));
-  std::transform(v.begin(), v.end(), v.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return !(v == "off" || v == "0" || v == "false" || v == "no");
-}
+bool read_env_enabled() { return env::get_bool("SEL_OBS", true); }
 
 std::size_t thread_slot() noexcept {
   static std::atomic<std::size_t> next{0};

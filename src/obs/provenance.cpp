@@ -58,8 +58,8 @@ TraceId ProvenanceTracer::begin_publish(std::uint64_t msg,
   if (!enabled()) return 0;
   std::lock_guard lock(mu_);
   if (sample_every_ == 0) {
-    const auto n = env_or("SEL_TRACE_SAMPLE", std::int64_t{64});
-    sample_every_ = n > 0 ? static_cast<std::size_t>(n) : 1;
+    sample_every_ = static_cast<std::size_t>(
+        env::get_int("SEL_TRACE_SAMPLE", 64, 1, 1u << 30));
   }
   const auto seen = publishes_seen_++;
   if (static_cast<std::size_t>(seen) % sample_every_ != 0) return 0;

@@ -14,7 +14,9 @@ void RoundSampler::sample(std::string_view label, std::uint64_t round,
   const auto counters = reg.counters_snapshot();
 
   std::lock_guard lock(mu_);
-  if (epsilon_ < 0.0) epsilon_ = env_or("SEL_STABLE_EPS", 1e-3);
+  if (epsilon_ < 0.0) {
+    epsilon_ = env::get_double("SEL_STABLE_EPS", 1e-3, 0.0, 1.0);
+  }
 
   TimeSeriesPoint point;
   point.label = std::string(label);
@@ -70,7 +72,8 @@ std::uint64_t RoundSampler::rounds_to_stable_ids() const {
 
 double RoundSampler::stable_epsilon() const {
   std::lock_guard lock(mu_);
-  return epsilon_ < 0.0 ? env_or("SEL_STABLE_EPS", 1e-3) : epsilon_;
+  return epsilon_ < 0.0 ? env::get_double("SEL_STABLE_EPS", 1e-3, 0.0, 1.0)
+                        : epsilon_;
 }
 
 void RoundSampler::reset() {

@@ -101,14 +101,13 @@ constexpr std::uint32_t kFailoverAttemptBase = 1u << 16;
 RetryPolicy RetryPolicy::from_env() {
   warn_unknown_sel_env_once();
   RetryPolicy p;
-  const std::string mode = env_or("SEL_RETRY", std::string("on"));
-  p.enabled = mode != "off" && mode != "0";
-  p.ack_timeout_s = env_or("SEL_RETRY_TIMEOUT_S", p.ack_timeout_s);
-  p.backoff = env_or("SEL_RETRY_BACKOFF", p.backoff);
-  p.jitter = env_or("SEL_RETRY_JITTER", p.jitter);
-  p.max_attempts = static_cast<std::size_t>(std::max<std::int64_t>(
-      1, env_or("SEL_RETRY_MAX",
-                static_cast<std::int64_t>(p.max_attempts))));
+  p.enabled = env::get_bool("SEL_RETRY", true);
+  p.ack_timeout_s =
+      env::get_double("SEL_RETRY_TIMEOUT_S", p.ack_timeout_s, 1e-6, 1e6);
+  p.backoff = env::get_double("SEL_RETRY_BACKOFF", p.backoff, 1.0, 1e3);
+  p.jitter = env::get_double("SEL_RETRY_JITTER", p.jitter, 0.0, 1.0);
+  p.max_attempts = static_cast<std::size_t>(env::get_int(
+      "SEL_RETRY_MAX", static_cast<std::int64_t>(p.max_attempts), 1, 1024));
   return p;
 }
 

@@ -105,8 +105,9 @@ std::vector<IdCluster> id_clusters(const overlay::Overlay& ov,
 }
 
 double ring_social_coherence(const overlay::Overlay& ov,
-                             const graph::SocialGraph& g,
+                             graph::TieStrengthIndex& tie,
                              std::size_t min_common) {
+  const graph::SocialGraph& g = tie.graph();
   std::size_t coherent = 0;
   std::size_t total = 0;
   for (PeerId p = 0; p < ov.num_peers(); ++p) {
@@ -114,7 +115,7 @@ double ring_social_coherence(const overlay::Overlay& ov,
     const PeerId succ = ov.successor(p);
     if (succ == overlay::kInvalidPeer) continue;
     ++total;
-    if (g.has_edge(p, succ) || g.common_neighbors(p, succ) >= min_common) {
+    if (g.has_edge(p, succ) || tie.common_neighbors(p, succ) >= min_common) {
       ++coherent;
     }
   }
@@ -123,13 +124,21 @@ double ring_social_coherence(const overlay::Overlay& ov,
                           static_cast<double>(total);
 }
 
+double ring_social_coherence(const overlay::Overlay& ov,
+                             const graph::SocialGraph& g,
+                             std::size_t min_common) {
+  graph::TieStrengthIndex tie(g);
+  return ring_social_coherence(ov, tie, min_common);
+}
+
 double link_strength_lift(const overlay::Overlay& ov,
-                          const graph::SocialGraph& g, std::uint64_t seed) {
+                          graph::TieStrengthIndex& tie, std::uint64_t seed) {
+  const graph::SocialGraph& g = tie.graph();
   double linked_strength = 0.0;
   std::size_t linked_count = 0;
   for (PeerId p = 0; p < ov.num_peers(); ++p) {
     for (const PeerId q : ov.out_links(p)) {
-      linked_strength += g.social_strength(p, q);
+      linked_strength += tie.social_strength(p, q);
       ++linked_count;
     }
   }
@@ -144,12 +153,18 @@ double link_strength_lift(const overlay::Overlay& ov,
     const auto u = static_cast<PeerId>(rng.below(g.num_nodes()));
     const auto v = static_cast<PeerId>(rng.below(g.num_nodes()));
     if (u == v) continue;
-    random_strength += g.social_strength(u, v);
+    random_strength += tie.social_strength(u, v);
     ++random_count;
   }
   if (random_count == 0 || random_strength == 0.0) return 0.0;
   random_strength /= static_cast<double>(random_count);
   return linked_strength / random_strength;
+}
+
+double link_strength_lift(const overlay::Overlay& ov,
+                          const graph::SocialGraph& g, std::uint64_t seed) {
+  graph::TieStrengthIndex tie(g);
+  return link_strength_lift(ov, tie, seed);
 }
 
 }  // namespace sel::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/social_graph.hpp"
+#include "graph/tie_strength.hpp"
 #include "overlay/overlay.hpp"
 
 namespace sel::core {
@@ -44,6 +45,13 @@ struct IdCluster {
 /// ring order became. On dense graphs use min_common >= 3: a single shared
 /// friend is common even between random peers.
 [[nodiscard]] double ring_social_coherence(const overlay::Overlay& ov,
+                                           graph::TieStrengthIndex& tie,
+                                           std::size_t min_common = 3);
+
+/// Convenience overload: builds a throwaway tie-strength index. Prefer the
+/// index overload when calling repeatedly (sweeps, per-round sampling) so
+/// the common-neighbour merges amortize.
+[[nodiscard]] double ring_social_coherence(const overlay::Overlay& ov,
                                            const graph::SocialGraph& g,
                                            std::size_t min_common = 3);
 
@@ -51,6 +59,11 @@ struct IdCluster {
 /// uniformly random peer pairs. Much greater than 1 when links are social;
 /// note the LSH picker optimizes neighbourhood *coverage*, not strength, so
 /// the lift against random *friend* pairs can legitimately be below 1.
+[[nodiscard]] double link_strength_lift(const overlay::Overlay& ov,
+                                        graph::TieStrengthIndex& tie,
+                                        std::uint64_t seed);
+
+/// Convenience overload, as for ring_social_coherence.
 [[nodiscard]] double link_strength_lift(const overlay::Overlay& ov,
                                         const graph::SocialGraph& g,
                                         std::uint64_t seed);

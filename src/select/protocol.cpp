@@ -66,6 +66,7 @@ SelectSystem::SelectSystem(const graph::SocialGraph& g, SelectParams params,
       k_(params.k_links != 0 ? params.k_links : default_k(g.num_nodes())),
       state_(g.num_nodes()),
       cma_(g.num_nodes()),
+      tie_index_(g),
       lookahead_(overlay_) {
   // SELECT routes with gossip-maintained L_p snapshots, not live global
   // knowledge, and uses the deeper lookahead its friends' friendship
@@ -288,9 +289,11 @@ bool SelectSystem::run_round() {
 void SelectSystem::exchange(PeerId p, PeerId u) {
   gossip_exchanges_counter().add(1);
   // Both sides learn the mutual-friend count (Alg. 4 line 3) and each
-  // other's routing table (friendship bitmaps, Alg. 4 lines 5-8).
+  // other's routing table (friendship bitmaps, Alg. 4 lines 5-8). The count
+  // is symmetric and friend pairs repeat across rounds, so it comes from
+  // the tie-strength cache rather than a fresh adjacency merge.
   const auto common =
-      static_cast<double>(graph_->common_neighbors(p, u));
+      static_cast<double>(tie_index_.common_neighbors(p, u));
   auto& fp = state_[p].friends[friend_index(p, u)];
   fp.strength = graph_->degree(p) == 0
                     ? 0.0

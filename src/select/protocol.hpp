@@ -26,6 +26,7 @@
 
 #include "common/bitset.hpp"
 #include "common/rng.hpp"
+#include "graph/tie_strength.hpp"
 #include "lsh/lsh.hpp"
 #include "net/network_model.hpp"
 #include "overlay/lookahead.hpp"
@@ -113,6 +114,13 @@ class SelectSystem final : public overlay::RingBasedSystem {
   [[nodiscard]] const overlay::LookaheadCache& lookahead() const noexcept {
     return lookahead_;
   }
+  /// Hit/miss/merge accounting of the tie-strength cache the gossip loop
+  /// queries through (Alg. 4 line 3). Warm-cache merge reduction is an
+  /// acceptance metric — see graph_tie_strength_test.
+  [[nodiscard]] const graph::TieStrengthIndex::Stats& tie_stats()
+      const noexcept {
+    return tie_index_.stats();
+  }
 
  private:
   struct FriendInfo {
@@ -165,6 +173,9 @@ class SelectSystem final : public overlay::RingBasedSystem {
 
   std::vector<PeerState> state_;
   std::vector<Cma> cma_;
+  /// Memoized |N(u) ∩ N(v)| for friend pairs; the graph is immutable so
+  /// cached counts never go stale. mutable-free: exchange() is non-const.
+  graph::TieStrengthIndex tie_index_;
   overlay::LookaheadCache lookahead_;
   std::vector<sim::JoinEvent> schedule_;
 

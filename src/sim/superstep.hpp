@@ -5,8 +5,20 @@
 //   1. every active vertex runs Program::compute(ctx, inbox) in parallel,
 //      emitting messages through the context;
 //   2. a barrier;
-//   3. messages are delivered, sorted by (dst, src, emission index), so the
+//   3. messages are delivered in (dst, src, emission index) order, so the
 //      next round's inboxes are identical regardless of thread count.
+//
+// Delivery is a two-pass counting sort, not a comparison sort. Chunks are
+// contiguous ascending vertex ranges and each vertex emits with increasing
+// seq, so every chunk outbox is already sorted by (src, seq) and chunk c's
+// sources all precede chunk c+1's. Scattering the outboxes in chunk order
+// through a per-destination cursor table therefore lands every inbox run
+// already in (src, seq) order — the exact order the old O(M log M) global
+// sort produced, at O(M + V) with no comparisons. All buffers (chunk
+// outboxes, the double-buffered inbox arenas, the offset/cursor tables) are
+// engine members reused across rounds: after warm-up a step performs no
+// heap allocation (buffer_growth_events() stops advancing — asserted by
+// sim_superstep_test and BM_Superstep).
 //
 // The engine is deliberately free of any graph knowledge: a vertex may send
 // to any vertex id, which is what overlay protocols need (they message
@@ -18,11 +30,13 @@
 #include <chrono>
 #include <cstdint>
 #include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "check/superstep_checks.hpp"
 #include "common/assert.hpp"
-#include "common/thread_pool.hpp"
+#include "common/executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -30,8 +44,9 @@ namespace sel::sim {
 
 using VertexId = std::uint32_t;
 
-/// Message envelope. TPayload must be movable; ordering for determinism is
-/// by (dst, src, seq) and never inspects the payload.
+/// Message envelope. TPayload must be movable and default-constructible
+/// (the arena is a value buffer); ordering for determinism is by
+/// (dst, src, seq) and never inspects the payload.
 template <typename TPayload>
 struct Envelope {
   VertexId dst;
@@ -61,26 +76,43 @@ class Mailbox {
 /// vertices. Program must provide:
 ///   void compute(VertexId v, std::span<const Envelope<TPayload>> inbox,
 ///                Mailbox<TPayload>& out);
-/// compute() runs in parallel across vertices; it may freely mutate
-/// per-vertex state it owns but must not touch other vertices' state.
+/// compute() runs in parallel across vertices (per the Executor); it may
+/// freely mutate per-vertex state it owns but must not touch other
+/// vertices' state.
 template <typename Program, typename TPayload>
 class SuperstepEngine {
+  static_assert(std::is_default_constructible_v<TPayload>,
+                "the delivery arena value-initializes slots before the "
+                "scatter pass; payloads must be default-constructible");
+
  public:
   SuperstepEngine(std::size_t num_vertices, Program& program,
-                  ThreadPool* pool = nullptr)
-      : num_vertices_(num_vertices), program_(program), pool_(pool) {
+                  Executor exec = {})
+      : num_vertices_(num_vertices),
+        program_(program),
+        exec_(std::move(exec)),
+        chunk_count_(std::max<std::size_t>(exec_.concurrency(), 1)),
+        outboxes_(chunk_count_) {
     inbox_offsets_.assign(num_vertices_ + 1, 0);
+    cursors_.assign(num_vertices_, 0);
   }
 
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// Times one of the engine's internal buffers grew (reallocated) during a
+  /// step. Advances while message volume ramps up, then stays flat: steady
+  /// state is allocation-free. Tests and BM_Superstep assert on this.
+  [[nodiscard]] std::size_t buffer_growth_events() const noexcept {
+    return growth_events_;
+  }
 
   /// Runs one superstep; returns the number of messages delivered for the
   /// *next* round (0 means the system went quiet).
   ///
   /// When observability is on (SEL_OBS, default on), each round records
   /// compute time (slowest busy chunk), barrier time (wall-clock compute
-  /// minus that — i.e. idle waiting on stragglers), delivery time (merge +
-  /// sort + offset build) and the message count into the global registry.
+  /// minus that — i.e. idle waiting on stragglers), delivery time (count +
+  /// scatter + offset build) and the message count into the global registry.
   std::size_t step() {
     using Clock = std::chrono::steady_clock;
     const bool obs_on = obs::enabled();
@@ -90,21 +122,18 @@ class SuperstepEngine {
     // barrier wait.
     std::atomic<std::int64_t> busy_max_ns{0};
 
-    // Per-chunk outboxes avoid contention; merged and sorted afterwards.
-    const std::size_t chunk_count =
-        pool_ != nullptr ? std::max<std::size_t>(pool_->size(), 1) : 1;
-    std::vector<std::vector<Envelope<TPayload>>> outboxes(chunk_count);
+    const std::size_t caps_before = buffer_capacity_sum();
 
-    auto run_chunk = [this, &outboxes, chunk_count, obs_on,
-                      &busy_max_ns](std::size_t lo, std::size_t hi) {
+    auto run_chunk = [this, obs_on, &busy_max_ns](std::size_t lo,
+                                                  std::size_t hi) {
       Clock::time_point chunk_start{};
       if (obs_on) chunk_start = Clock::now();
       // Identify the chunk by its start; chunks are contiguous so this is
-      // collision-free.
+      // collision-free (the split mirrors ThreadPool::parallel_for_chunks).
       const std::size_t per =
-          (num_vertices_ + chunk_count - 1) / chunk_count;
+          (num_vertices_ + chunk_count_ - 1) / chunk_count_;
       const std::size_t chunk_idx = per == 0 ? 0 : lo / per;
-      auto& out = outboxes[std::min(chunk_idx, chunk_count - 1)];
+      auto& out = outboxes_[std::min(chunk_idx, chunk_count_ - 1)];
       for (std::size_t v = lo; v < hi; ++v) {
         const auto vid = static_cast<VertexId>(v);
         Mailbox<TPayload> mailbox(vid, out);
@@ -127,39 +156,14 @@ class SuperstepEngine {
       }
     };
 
-    if (pool_ != nullptr && num_vertices_ > 1) {
-      pool_->parallel_for_chunks(0, num_vertices_, run_chunk);
-    } else {
-      run_chunk(0, num_vertices_);
-    }
+    exec_.for_chunks(0, num_vertices_, run_chunk);
 
     Clock::time_point t_compute{};
     if (obs_on) t_compute = Clock::now();
 
-    // Merge, then impose the deterministic delivery order.
-    std::vector<Envelope<TPayload>> merged;
-    std::size_t total = 0;
-    for (const auto& o : outboxes) total += o.size();
-    merged.reserve(total);
-    for (auto& o : outboxes) {
-      std::move(o.begin(), o.end(), std::back_inserter(merged));
-    }
-    std::sort(merged.begin(), merged.end(),
-              [](const auto& a, const auto& b) {
-                if (a.dst != b.dst) return a.dst < b.dst;
-                if (a.src != b.src) return a.src < b.src;
-                return a.seq < b.seq;
-              });
+    deliver();
 
-    inbox_ = std::move(merged);
-    inbox_offsets_.assign(num_vertices_ + 1, 0);
-    for (const auto& e : inbox_) {
-      SEL_ASSERT(e.dst < num_vertices_);
-      ++inbox_offsets_[e.dst + 1];
-    }
-    for (std::size_t v = 1; v <= num_vertices_; ++v) {
-      inbox_offsets_[v] += inbox_offsets_[v - 1];
-    }
+    if (caps_before != buffer_capacity_sum()) ++growth_events_;
 
     // Determinism invariant: the delivered inbox is strictly ordered by
     // (dst, src, seq) and the offset table partitions it. Cheap level
@@ -230,12 +234,55 @@ class SuperstepEngine {
   }
 
  private:
+  /// Counting-sort delivery. Pass 1 histograms destinations into the offset
+  /// table; pass 2 scatters the chunk outboxes (in chunk order, which is
+  /// ascending src order — see the file comment) through per-destination
+  /// cursors into the spare arena, then the arenas swap roles.
+  void deliver() {
+    std::fill(inbox_offsets_.begin(), inbox_offsets_.end(), 0);
+    std::size_t total = 0;
+    for (const auto& o : outboxes_) {
+      total += o.size();
+      for (const auto& e : o) {
+        SEL_ASSERT(e.dst < num_vertices_);
+        ++inbox_offsets_[e.dst + 1];
+      }
+    }
+    for (std::size_t v = 1; v <= num_vertices_; ++v) {
+      inbox_offsets_[v] += inbox_offsets_[v - 1];
+    }
+
+    scatter_.resize(total);  // grows only while volume ramps up
+    std::copy(inbox_offsets_.begin(), inbox_offsets_.end() - 1,
+              cursors_.begin());
+    for (auto& o : outboxes_) {
+      for (auto& e : o) {
+        scatter_[cursors_[e.dst]++] = std::move(e);
+      }
+      o.clear();  // keeps capacity for the next round
+    }
+    std::swap(inbox_, scatter_);
+  }
+
+  /// Capacity fingerprint of every internal buffer; any reallocation grows
+  /// it (capacities never shrink), which is how growth events are detected.
+  [[nodiscard]] std::size_t buffer_capacity_sum() const noexcept {
+    std::size_t sum = inbox_.capacity() + scatter_.capacity();
+    for (const auto& o : outboxes_) sum += o.capacity();
+    return sum;
+  }
+
   std::size_t num_vertices_;
   Program& program_;
-  ThreadPool* pool_;
+  Executor exec_;
+  std::size_t chunk_count_;
   std::size_t round_ = 0;
-  std::vector<Envelope<TPayload>> inbox_;
-  std::vector<std::size_t> inbox_offsets_;
+  std::size_t growth_events_ = 0;
+  std::vector<std::vector<Envelope<TPayload>>> outboxes_;  ///< per chunk
+  std::vector<Envelope<TPayload>> inbox_;    ///< delivered, (dst,src,seq) order
+  std::vector<Envelope<TPayload>> scatter_;  ///< spare arena (double buffer)
+  std::vector<std::size_t> inbox_offsets_;   ///< per-vertex inbox runs
+  std::vector<std::size_t> cursors_;         ///< scatter write positions
 };
 
 }  // namespace sel::sim

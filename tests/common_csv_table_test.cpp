@@ -88,30 +88,6 @@ TEST(Fmt, FormatsWithPrecision) {
   EXPECT_EQ(fmt(2.0, 0), "2");
 }
 
-TEST(EnvOr, ReturnsFallbackWhenUnset) {
-  ::unsetenv("SELECT_TEST_UNSET_XYZ");
-  EXPECT_DOUBLE_EQ(env_or("SELECT_TEST_UNSET_XYZ", 1.5), 1.5);
-  EXPECT_EQ(env_or("SELECT_TEST_UNSET_XYZ", std::int64_t{7}), 7);
-  EXPECT_EQ(env_or("SELECT_TEST_UNSET_XYZ", std::string("x")), "x");
-}
-
-TEST(EnvOr, ParsesSetValues) {
-  ::setenv("SELECT_TEST_SET_XYZ", "2.5", 1);
-  EXPECT_DOUBLE_EQ(env_or("SELECT_TEST_SET_XYZ", 0.0), 2.5);
-  ::setenv("SELECT_TEST_SET_XYZ", "42", 1);
-  EXPECT_EQ(env_or("SELECT_TEST_SET_XYZ", std::int64_t{0}), 42);
-  ::setenv("SELECT_TEST_SET_XYZ", "hello", 1);
-  EXPECT_EQ(env_or("SELECT_TEST_SET_XYZ", std::string("")), "hello");
-  ::unsetenv("SELECT_TEST_SET_XYZ");
-}
-
-TEST(EnvOr, GarbageFallsBack) {
-  ::setenv("SELECT_TEST_BAD_XYZ", "not_a_number", 1);
-  EXPECT_DOUBLE_EQ(env_or("SELECT_TEST_BAD_XYZ", 9.0), 9.0);
-  EXPECT_EQ(env_or("SELECT_TEST_BAD_XYZ", std::int64_t{9}), 9);
-  ::unsetenv("SELECT_TEST_BAD_XYZ");
-}
-
 TEST(Scaled, AppliesScaleAndFloor) {
   ::setenv("SELECT_BENCH_SCALE", "0.5", 1);
   EXPECT_EQ(scaled(1000, 32), 500u);

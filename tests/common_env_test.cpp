@@ -72,5 +72,82 @@ TEST(EnvKnobs, WarnOnceIsIdempotent) {
   warn_unknown_sel_env_once();  // second call must be a cheap no-op
 }
 
+// -- typed accessors ----------------------------------------------------------
+
+TEST(EnvTyped, IntFallbackParseAndRange) {
+  ::unsetenv("SELECT_TEST_INT_XYZ");
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7), 7);
+  ::setenv("SELECT_TEST_INT_XYZ", "42", 1);
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7), 42);
+  // Unparsable keeps the historical silent-fallback behaviour.
+  ::setenv("SELECT_TEST_INT_XYZ", "not_a_number", 1);
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7), 7);
+  // Out of range: warn + fallback, never clamp.
+  ::setenv("SELECT_TEST_INT_XYZ", "500", 1);
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7, 0, 100), 7);
+  ::setenv("SELECT_TEST_INT_XYZ", "-3", 1);
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7, 0, 100), 7);
+  ::setenv("SELECT_TEST_INT_XYZ", "100", 1);
+  EXPECT_EQ(env::get_int("SELECT_TEST_INT_XYZ", 7, 0, 100), 100);  // inclusive
+  ::unsetenv("SELECT_TEST_INT_XYZ");
+}
+
+TEST(EnvTyped, DoubleFallbackParseAndRange) {
+  ::unsetenv("SELECT_TEST_DBL_XYZ");
+  EXPECT_DOUBLE_EQ(env::get_double("SELECT_TEST_DBL_XYZ", 1.5), 1.5);
+  ::setenv("SELECT_TEST_DBL_XYZ", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("SELECT_TEST_DBL_XYZ", 1.5), 2.5);
+  ::setenv("SELECT_TEST_DBL_XYZ", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("SELECT_TEST_DBL_XYZ", 1.5), 1.5);
+  ::setenv("SELECT_TEST_DBL_XYZ", "2.0", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("SELECT_TEST_DBL_XYZ", 1.5, 0.0, 1.0),
+                   1.5);  // out of range -> fallback
+  ::unsetenv("SELECT_TEST_DBL_XYZ");
+}
+
+TEST(EnvTyped, BoolRecognizesBothAliasSets) {
+  ::unsetenv("SELECT_TEST_BOOL_XYZ");
+  EXPECT_TRUE(env::get_bool("SELECT_TEST_BOOL_XYZ", true));
+  EXPECT_FALSE(env::get_bool("SELECT_TEST_BOOL_XYZ", false));
+  for (const char* v : {"0", "off", "false", "no", "OFF", "No"}) {
+    ::setenv("SELECT_TEST_BOOL_XYZ", v, 1);
+    EXPECT_FALSE(env::get_bool("SELECT_TEST_BOOL_XYZ", true)) << v;
+  }
+  for (const char* v : {"1", "on", "true", "yes", "ON", "True"}) {
+    ::setenv("SELECT_TEST_BOOL_XYZ", v, 1);
+    EXPECT_TRUE(env::get_bool("SELECT_TEST_BOOL_XYZ", false)) << v;
+  }
+  ::setenv("SELECT_TEST_BOOL_XYZ", "maybe", 1);
+  EXPECT_TRUE(env::get_bool("SELECT_TEST_BOOL_XYZ", true));
+  EXPECT_FALSE(env::get_bool("SELECT_TEST_BOOL_XYZ", false));
+  ::unsetenv("SELECT_TEST_BOOL_XYZ");
+}
+
+TEST(EnvTyped, StringReturnsRawValue) {
+  ::unsetenv("SELECT_TEST_STR_XYZ");
+  EXPECT_EQ(env::get_string("SELECT_TEST_STR_XYZ", "x"), "x");
+  ::setenv("SELECT_TEST_STR_XYZ", "hello", 1);
+  EXPECT_EQ(env::get_string("SELECT_TEST_STR_XYZ", "x"), "hello");
+  // Empty counts as unset (consistent with every other accessor).
+  ::setenv("SELECT_TEST_STR_XYZ", "", 1);
+  EXPECT_EQ(env::get_string("SELECT_TEST_STR_XYZ", "x"), "x");
+  ::unsetenv("SELECT_TEST_STR_XYZ");
+}
+
+TEST(EnvTyped, EnumMatchesPipeSeparatedAliases) {
+  ::unsetenv("SELECT_TEST_ENUM_XYZ");
+  const auto levels = {"off|0|false", "cheap|1", "full|2"};
+  EXPECT_EQ(env::get_enum("SELECT_TEST_ENUM_XYZ", levels, 1), 1u);
+  ::setenv("SELECT_TEST_ENUM_XYZ", "full", 1);
+  EXPECT_EQ(env::get_enum("SELECT_TEST_ENUM_XYZ", levels, 1), 2u);
+  ::setenv("SELECT_TEST_ENUM_XYZ", "0", 1);  // alias of "off"
+  EXPECT_EQ(env::get_enum("SELECT_TEST_ENUM_XYZ", levels, 1), 0u);
+  ::setenv("SELECT_TEST_ENUM_XYZ", "FULL", 1);  // case-insensitive
+  EXPECT_EQ(env::get_enum("SELECT_TEST_ENUM_XYZ", levels, 1), 2u);
+  ::setenv("SELECT_TEST_ENUM_XYZ", "bogus", 1);
+  EXPECT_EQ(env::get_enum("SELECT_TEST_ENUM_XYZ", levels, 1), 1u);
+  ::unsetenv("SELECT_TEST_ENUM_XYZ");
+}
+
 }  // namespace
 }  // namespace sel

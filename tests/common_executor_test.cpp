@@ -1,0 +1,114 @@
+#include "common/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sel {
+namespace {
+
+TEST(Executor, DefaultIsInlineWithConcurrencyOne) {
+  const Executor exec;
+  EXPECT_FALSE(exec.is_pooled());
+  EXPECT_EQ(exec.concurrency(), 1u);
+}
+
+TEST(Executor, InlineRunsWholeRangeAsOneChunk) {
+  const Executor exec = Executor::inline_exec();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  exec.for_chunks(3, 40, [&chunks](std::size_t lo, std::size_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  const std::pair<std::size_t, std::size_t> whole{3, 40};
+  EXPECT_EQ(chunks[0], whole);
+}
+
+TEST(Executor, EmptyRangeNeverInvokesBody) {
+  for (const Executor& exec : {Executor(), Executor::pooled(2u)}) {
+    bool called = false;
+    exec.for_chunks(5, 5, [&called](std::size_t, std::size_t) {
+      called = true;
+    });
+    EXPECT_FALSE(called);
+  }
+}
+
+TEST(Executor, PooledReportsPoolWidth) {
+  const Executor exec = Executor::pooled(3u);
+  EXPECT_TRUE(exec.is_pooled());
+  EXPECT_EQ(exec.concurrency(), 3u);
+}
+
+TEST(Executor, PooledChunksCoverRangeExactlyOnce) {
+  const Executor exec = Executor::pooled(4u);
+  std::vector<std::atomic<int>> hits(503);
+  exec.for_chunks(0, hits.size(), [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, BorrowedPoolIsUsed) {
+  ThreadPool pool(2);
+  const Executor exec = Executor::pooled(pool);
+  EXPECT_TRUE(exec.is_pooled());
+  EXPECT_EQ(exec.concurrency(), pool.size());
+}
+
+TEST(Executor, CopiesShareTheOwnedPool) {
+  const Executor original = Executor::pooled(2u);
+  const Executor copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.is_pooled());
+  EXPECT_EQ(copy.concurrency(), original.concurrency());
+  std::atomic<int> ran{0};
+  copy.for_chunks(0, 10, [&ran](std::size_t lo, std::size_t hi) {
+    ran.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(Executor, ForEachVisitsEveryIndex) {
+  for (const Executor& exec : {Executor(), Executor::pooled(4u)}) {
+    std::vector<std::atomic<int>> seen(100);
+    exec.for_each(0, seen.size(), [&seen](std::size_t i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(Executor, GlobalPoolExecutorTargetsTheSingleton) {
+  const Executor exec = Executor::global_pool();
+  EXPECT_TRUE(exec.is_pooled());
+  EXPECT_EQ(exec.concurrency(), ThreadPool::global().size());
+}
+
+TEST(Executor, InlineExceptionPropagates) {
+  const Executor exec;
+  EXPECT_THROW(
+      exec.for_chunks(0, 5,
+                      [](std::size_t, std::size_t) {
+                        throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(Executor, PooledExceptionPropagates) {
+  const Executor exec = Executor::pooled(2u);
+  EXPECT_THROW(
+      exec.for_chunks(0, 100,
+                      [](std::size_t lo, std::size_t) {
+                        if (lo == 0) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,40 @@
+// Acceptance check for the tie-strength cache: on the paper-scale 10k-peer
+// profile, a warm gossip round must execute at least 2x fewer
+// common-neighbour merges than it issues queries — the repeat friend pairs
+// of Alg. 3/4 answer from the cache instead of re-merging adjacency lists.
+#include <gtest/gtest.h>
+
+#include "common/env.hpp"
+#include "graph/profiles.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::core {
+namespace {
+
+TEST(TieStrengthAcceptance, WarmRoundHalvesMergeExecutions) {
+  const std::size_t n = scaled(10'000, 2'000);
+  const auto g = graph::make_dataset_graph(
+      graph::profile_by_name("facebook"), n, 42);
+  SelectSystem sys(g, SelectParams{}, 42);
+  sys.join_all();
+  // Fixed warm-up (not run_to_convergence) to bound runtime: 8 rounds give
+  // every peer ~24 partner samples, enough for repeat pairs to dominate.
+  for (int r = 0; r < 8; ++r) sys.run_round();
+
+  const graph::TieStrengthIndex::Stats warm = sys.tie_stats();
+  sys.run_round();
+  const graph::TieStrengthIndex::Stats after = sys.tie_stats();
+
+  const auto queries = after.queries() - warm.queries();
+  const auto merges = after.merges() - warm.merges();
+  ASSERT_GT(queries, 0u);
+  // The acceptance bar: >= 2x fewer merges than queries in a warm round.
+  EXPECT_GE(queries, 2 * merges)
+      << "warm-round merge rate too high: " << merges << " merges over "
+      << queries << " queries";
+  // And the exchange path must actually flow through the cache.
+  EXPECT_GT(after.hits, 0u);
+}
+
+}  // namespace
+}  // namespace sel::core

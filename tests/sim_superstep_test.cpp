@@ -58,15 +58,124 @@ TEST(Superstep, TotalsMatchExpectation) {
 
 TEST(Superstep, DeterministicAcrossThreadCounts) {
   TokenRing serial(64);
-  SuperstepEngine<TokenRing, int> engine1(64, serial, nullptr);
+  SuperstepEngine<TokenRing, int> engine1(64, serial);
   engine1.run_until_quiescent(100);
 
-  ThreadPool pool(4);
   TokenRing parallel(64);
-  SuperstepEngine<TokenRing, int> engine2(64, parallel, &pool);
+  SuperstepEngine<TokenRing, int> engine2(64, parallel,
+                                          Executor::pooled(4u));
   engine2.run_until_quiescent(100);
 
   EXPECT_EQ(serial.sums, parallel.sums);
+}
+
+/// Seeded mixer program: every vertex sends a pseudo-random number of
+/// messages to pseudo-random destinations each round and records its full
+/// inbox verbatim — the strongest observable of delivery determinism.
+struct InboxRecorder {
+  explicit InboxRecorder(std::size_t n, std::uint64_t seed)
+      : n_(n), seed_(seed), round_of(n, 0), history(n) {}
+
+  std::size_t n_;
+  std::uint64_t seed_;
+  /// Per-vertex round clock — shared state would race under a pooled
+  /// executor (compute() runs concurrently across chunks).
+  std::vector<std::uint64_t> round_of;
+  /// history[v] = flat (round, src, seq, payload) stream, in arrival order.
+  std::vector<std::vector<std::uint64_t>> history;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void compute(VertexId v, std::span<const Envelope<std::uint64_t>> inbox,
+               Mailbox<std::uint64_t>& out) {
+    const std::uint64_t round = round_of[v]++;
+    for (const auto& m : inbox) {
+      auto& h = history[v];
+      h.push_back(round);
+      h.push_back(m.src);
+      h.push_back(m.seq);
+      h.push_back(m.payload);
+    }
+    if (round >= 6) return;
+    const std::uint64_t base = mix(seed_ ^ (round * 1315423911ULL) ^ v);
+    const std::size_t fan = 1 + (base % 5);
+    for (std::size_t i = 0; i < fan; ++i) {
+      const std::uint64_t draw = mix(base + i);
+      out.send(static_cast<VertexId>(draw % n_), draw >> 32);
+    }
+  }
+};
+
+// Same seed through executors of width 1, 2 and 8: every vertex's inbox
+// stream (round, src, seq, payload — the whole observable message plane)
+// must be identical, and so must the engine's RunReport counter deltas.
+TEST(Superstep, InboxStreamsIdenticalAcrossExecutorWidths) {
+  constexpr std::size_t kN = 97;  // not a multiple of any chunk count
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Counter& rounds_c = reg.counter("sim.superstep.rounds");
+  obs::Counter& messages_c = reg.counter("sim.superstep.messages");
+
+  struct RunResult {
+    std::vector<std::vector<std::uint64_t>> history;
+    std::int64_t rounds_delta = 0;
+    std::int64_t messages_delta = 0;
+  };
+  auto run = [&](Executor exec) {
+    const std::int64_t rounds_before = rounds_c.value();
+    const std::int64_t messages_before = messages_c.value();
+    InboxRecorder program(kN, 0xfeedULL);
+    SuperstepEngine<InboxRecorder, std::uint64_t> engine(kN, program,
+                                                         std::move(exec));
+    engine.run_until_quiescent(32);
+    return RunResult{std::move(program.history),
+                     rounds_c.value() - rounds_before,
+                     messages_c.value() - messages_before};
+  };
+
+  const RunResult serial = run(Executor::inline_exec());
+  ASSERT_GT(serial.messages_delta, 0);
+  for (const unsigned width : {2u, 8u}) {
+    const RunResult pooled = run(Executor::pooled(width));
+    EXPECT_EQ(serial.history, pooled.history) << "width=" << width;
+    EXPECT_EQ(serial.rounds_delta, pooled.rounds_delta) << "width=" << width;
+    EXPECT_EQ(serial.messages_delta, pooled.messages_delta)
+        << "width=" << width;
+  }
+}
+
+/// Constant-volume program for the allocation test: every vertex messages
+/// its successor forever, so message volume is flat after round 1.
+struct SteadyRing {
+  explicit SteadyRing(std::size_t n) : n_(n), absorbed(n, 0) {}
+  std::size_t n_;
+  std::vector<std::uint64_t> absorbed;  ///< per-vertex: no cross-chunk races
+
+  void compute(VertexId v, std::span<const Envelope<int>> inbox,
+               Mailbox<int>& out) {
+    for (const auto& m : inbox) {
+      absorbed[v] += static_cast<unsigned>(m.payload);
+    }
+    out.send(static_cast<VertexId>((v + 1) % n_), static_cast<int>(v % 7));
+  }
+};
+
+// The zero-allocation contract: once message volume stops growing, the
+// engine's buffers stop growing — steady-state steps reuse the arenas.
+TEST(Superstep, SteadyStateDoesNotGrowBuffers) {
+  for (const unsigned width : {0u, 4u}) {  // 0 = inline executor
+    SteadyRing program(64);
+    SuperstepEngine<SteadyRing, int> engine(
+        64, program, width == 0 ? Executor() : Executor::pooled(width));
+    for (int warm = 0; warm < 3; ++warm) engine.step();
+    const std::size_t grown = engine.buffer_growth_events();
+    for (int r = 0; r < 50; ++r) engine.step();
+    EXPECT_EQ(engine.buffer_growth_events(), grown) << "width=" << width;
+  }
 }
 
 struct Broadcaster {
