@@ -11,7 +11,9 @@
 //
 // Knobs: SEL_FAULT overrides the default chaos mix (drop=0.05,dup=0.01,
 // spike=0.02,stall=0.01,crash=0.001); SEL_RETRY* tune the recovery ladder
-// for the reliable row.
+// for the reliable row. `--runtime=superstep|async` (or SEL_RUNTIME)
+// selects the execution mode; the superstep run writes its own
+// chaos_superstep.csv/report so cross-mode artifacts sit side by side.
 #include <algorithm>
 #include <cstdlib>
 
@@ -37,13 +39,14 @@ struct SoakRow {
 SoakRow run_soak(const sel::graph::SocialGraph& g,
                  sel::core::SelectSystem& sys, sel::net::NetworkModel& net,
                  const sel::fault::FaultSpec& spec, std::uint64_t seed,
-                 bool reliable) {
+                 bool reliable, const sel::runtime::Options& runtime_opts) {
   using namespace sel;
   for (overlay::PeerId p = 0; p < g.num_nodes(); ++p) {
     sys.set_peer_online(p, true);
   }
   fault::FaultPlan plan(spec, seed, g.num_nodes());
   pubsub::NotificationEngine engine(sys, net);
+  engine.set_runtime_options(runtime_opts);
   engine.set_fault_plan(&plan);
   pubsub::RetryPolicy policy = pubsub::RetryPolicy::from_env();
   policy.enabled = reliable;
@@ -100,8 +103,9 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sel;
+  const runtime::Options runtime_opts = bench::parse_runtime_flag(argc, argv);
   bench::print_banner(
       "Chaos soak — reliable dissemination under faults",
       "robustness extension (ISSUE 4): acks + retry/backoff + failover + "
@@ -114,6 +118,8 @@ int main() {
   const fault::FaultSpec spec =
       fault::FaultSpec::parse(env::get_string("SEL_FAULT", kDefaultMix));
   std::printf("fault mix: %s\n", spec.to_string().c_str());
+  std::printf("runtime: %s\n",
+              std::string(runtime::to_string(runtime_opts.mode)).c_str());
 
   const auto g =
       graph::make_dataset_graph(graph::profile_by_name("facebook"), n, seed);
@@ -121,7 +127,8 @@ int main() {
   core::SelectSystem sys(g, core::SelectParams{}, seed, &net);
   sys.build();
 
-  CsvWriter csv(bench::output_path("chaos.csv"),
+  CsvWriter csv(bench::output_path(
+                    bench::runtime_csv_name(runtime_opts, "chaos")),
                 {"config", "published", "wanted", "delivered",
                  "delivery_rate", "retries", "failovers", "replays",
                  "missed", "dup_suppressed", "pending_replays",
@@ -131,7 +138,8 @@ int main() {
 
   SoakRow reliable_row;
   for (const bool reliable : {true, false}) {
-    const auto row = run_soak(g, sys, net, spec, seed, reliable);
+    const auto row = run_soak(g, sys, net, spec, seed, reliable,
+                              runtime_opts);
     if (reliable) reliable_row = row;
     const char* name = reliable ? "reliable" : "control";
     table.add_row({name, fmt(row.stats.delivery_rate(), 4),
@@ -159,9 +167,11 @@ int main() {
       .set(reliable_row.stats.delivery_rate());
 
   std::printf("wrote %s\n", csv.path().c_str());
-  bench::write_run_report("chaos", csv.path(),
-                          {{"seed", std::to_string(seed)},
-                           {"fault_mix", spec.to_string()},
-                           {"n", std::to_string(n)}});
+  bench::write_run_report(
+      "chaos", csv.path(),
+      {{"seed", std::to_string(seed)},
+       {"fault_mix", spec.to_string()},
+       {"n", std::to_string(n)},
+       {"runtime", std::string(runtime::to_string(runtime_opts.mode))}});
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -22,6 +23,7 @@
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
 #include "overlay/system.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/workload.hpp"
 
 namespace sel::bench {
@@ -59,6 +61,30 @@ inline std::vector<overlay::PeerId> workload_publishers(
   sim::PublicationWorkload workload(g, sim::WorkloadParams{}, seed);
   const auto nodes = workload.sample_publishers(count, derive_seed(seed, 1));
   return {nodes.begin(), nodes.end()};
+}
+
+/// Runtime options for a harness: SEL_RUNTIME/SEL_TRANSPORT from the
+/// environment, overridden by a `--runtime=superstep|async` CLI flag.
+/// Unknown arguments are ignored (harnesses have no other flags).
+inline runtime::Options parse_runtime_flag(int argc, char** argv) {
+  runtime::Options opts = runtime::Options::from_env();
+  constexpr std::string_view kPrefix = "--runtime=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      opts.mode = runtime::parse_mode(arg.substr(kPrefix.size()), opts.mode);
+    }
+  }
+  return opts;
+}
+
+/// Per-mode artifact name: `<stem>.csv` for the default async runtime,
+/// `<stem>_superstep.csv` for the barrier-quantized one — so cross-mode
+/// report JSONs land side by side instead of clobbering each other.
+inline std::string runtime_csv_name(const runtime::Options& opts,
+                                    const std::string& stem) {
+  if (opts.mode == runtime::Mode::kAsync) return stem + ".csv";
+  return stem + "_" + std::string(runtime::to_string(opts.mode)) + ".csv";
 }
 
 inline void print_banner(const char* experiment, const char* paper_ref,

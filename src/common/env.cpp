@@ -138,6 +138,9 @@ const std::vector<EnvKnob>& env_knobs() {
       {"SEL_RETRY_TIMEOUT_S", "base ack timeout, seconds (default 5)"},
       {"SEL_RETRY_BACKOFF", "exponential backoff factor per retry (default 2)"},
       {"SEL_RETRY_JITTER", "+/- jitter fraction on each timeout (default 0.2)"},
+      {"SEL_RUNTIME", "execution mode: async | superstep (default async)"},
+      {"SEL_TRANSPORT", "transport backend: inproc | socket (default inproc)"},
+      {"SEL_RUNTIME_ROUND_S", "superstep barrier length, seconds (default 1)"},
       {"SELECT_BENCH_SCALE", "experiment network-size multiplier"},
       {"SELECT_TRIALS", "independent trials per data point"},
       {"SELECT_THREADS", "worker threads for the global pool (0 = hardware)"},

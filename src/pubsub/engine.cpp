@@ -90,6 +90,14 @@ obs::Counter& missed_counter() {
   return c;
 }
 
+// Messages whose dissemination still has events pending — the protocol-side
+// in-flight picture next to the transport-side runtime.queue_depth.
+obs::Gauge& in_flight_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("runtime.in_flight_messages");
+  return g;
+}
+
 // Failover resends must not replay the fate sequence the primary route
 // already consumed on a shared edge (a direct-link subscriber's backup IS
 // its primary): offsetting the attempt index gives failover hops an
@@ -114,12 +122,28 @@ RetryPolicy RetryPolicy::from_env() {
 NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
                                        const net::NetworkModel& net,
                                        double payload_bytes)
-    : sys_(&sys), net_(&net), payload_bytes_(payload_bytes) {
+    : sys_(&sys),
+      net_(&net),
+      payload_bytes_(payload_bytes),
+      runtime_opts_(runtime::Options::from_env()),
+      queue_(runtime_opts_.tie_seed),
+      default_transport_(std::make_unique<runtime::InProcTransport>(
+          queue_, net, runtime_opts_)) {
   SEL_EXPECTS(payload_bytes > 0.0);
 }
 
+void NotificationEngine::set_runtime_options(runtime::Options options) {
+  // Mid-flight reconfiguration would change pending arrival times under the
+  // protocol's feet; the engine must be quiescent and unused.
+  SEL_EXPECTS(next_id_ == 1 && queue_.idle());
+  runtime_opts_ = options;
+  queue_ = runtime::EventEngine(options.tie_seed);
+  default_transport_ = std::make_unique<runtime::InProcTransport>(
+      queue_, *net_, options, fault_);
+}
+
 MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
-  SEL_EXPECTS(time_s >= queue_.now());
+  SEL_EXPECTS(time_s >= queue_.now_s());
   const MessageId id = next_id_++;
 
   publishes_counter().add(1);
@@ -160,6 +184,7 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
 
   records_.emplace(id, rec);
   auto& stored = in_flight_.emplace(id, std::move(flight)).first->second;
+  in_flight_gauge().set(static_cast<double>(in_flight_.size()));
   // Store-and-forward: subscribers offline right now (in the tree or not)
   // get the message queued for replay on their return.
   if (retry_.enabled && retry_.replay) {
@@ -181,6 +206,7 @@ void NotificationEngine::finish_event(MessageId id) {
   SEL_ASSERT(it->second.pending_events > 0);
   if (--it->second.pending_events == 0) {
     in_flight_.erase(it);
+    in_flight_gauge().set(static_cast<double>(in_flight_.size()));
   }
 }
 
@@ -208,13 +234,50 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
   }
   // Perfect transfer plane: every scheduled hop arrives, delivery is
   // exactly-once by tree structure. This branch is byte-identical to the
-  // pre-reliability engine.
+  // pre-reliability engine (on the default async runtime; superstep mode
+  // quantizes arrivals to round boundaries inside the transport).
   // Simultaneous sends split the uplink across all children.
-  flight.pending_events += kids.size();
   for (const PeerId child : kids) {
-    const double arrival =
-        start_s +
-        net_->transfer_time_s(node, child, payload_bytes_, kids.size());
+    runtime::Message m;
+    m.msg = id;
+    m.from = node;
+    m.to = child;
+    m.payload_bytes = payload_bytes_;
+    m.send_s = start_s;
+    m.uplink_share = static_cast<std::uint32_t>(kids.size());
+    const runtime::SendOutcome outcome = transport().send(
+        m, [this, id, child, depth](const runtime::Arrival& a) {
+          const double now = a.arrive_s;
+          auto& r = records_.at(id);
+          const auto f = in_flight_.find(id);
+          SEL_ASSERT(f != in_flight_.end());
+          if (f->second.subscribers.contains(child) &&
+              sys_->peer_online(child)) {
+            ++r.delivered;
+            ++stats_.deliveries;
+            deliveries_counter().add(1);
+            delivery_hops_counter().add(static_cast<std::int64_t>(depth) + 1);
+            static obs::Histogram& latency_hist =
+                obs::MetricsRegistry::global().histogram(
+                    "pubsub.delivery_latency_s");
+            const double latency = now - r.publish_time_s;
+            latency_hist.observe(latency);
+            r.delivery_latency_s.add(latency);
+            stats_.delivery_latency_s.add(latency);
+            if (r.delivered >= r.wanted) r.completed_at_s = now;
+            if (check::enabled()) {
+              check::enforce(check::validate_delivery_count(
+                  r.delivered, f->second.max_deliveries, r.wanted,
+                  r.completed_at_s.has_value()));
+            }
+          }
+          forward(id, child, now, depth + 1);
+          finish_event(id);
+        });
+    // No fault plan reaches this branch (reliable() would be true), so the
+    // hop always lands, exactly once.
+    SEL_ASSERT(!outcome.dropped && outcome.copies == 1);
+    flight.pending_events += outcome.copies;
     if (rec.trace != 0) {
       obs::HopRecord hop;
       hop.trace = rec.trace;
@@ -230,35 +293,9 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
       hop.delivered =
           flight.subscribers.contains(child) && sys_->peer_online(child);
       hop.send_s = start_s;
-      hop.arrive_s = arrival;
+      hop.arrive_s = outcome.arrive_s;
       obs::ProvenanceTracer::global().record_hop(hop);
     }
-    queue_.schedule(arrival, [this, id, child, depth](double now) {
-      auto& r = records_.at(id);
-      const auto f = in_flight_.find(id);
-      SEL_ASSERT(f != in_flight_.end());
-      if (f->second.subscribers.contains(child) && sys_->peer_online(child)) {
-        ++r.delivered;
-        ++stats_.deliveries;
-        deliveries_counter().add(1);
-        delivery_hops_counter().add(static_cast<std::int64_t>(depth) + 1);
-        static obs::Histogram& latency_hist =
-            obs::MetricsRegistry::global().histogram(
-                "pubsub.delivery_latency_s");
-        const double latency = now - r.publish_time_s;
-        latency_hist.observe(latency);
-        r.delivery_latency_s.add(latency);
-        stats_.delivery_latency_s.add(latency);
-        if (r.delivered >= r.wanted) r.completed_at_s = now;
-        if (check::enabled()) {
-          check::enforce(check::validate_delivery_count(
-              r.delivered, f->second.max_deliveries, r.wanted,
-              r.completed_at_s.has_value()));
-        }
-      }
-      forward(id, child, now, depth + 1);
-      finish_event(id);
-    });
   }
 }
 
@@ -274,6 +311,11 @@ void NotificationEngine::forward(MessageId id, PeerId node, double start_s,
 // retries, so each attempt has exactly one outcome and no ack-state table
 // is needed. Duplicate deliveries still occur via the fault plan's
 // duplicate class and are suppressed at the receiver.
+//
+// The wire itself — transfer times, hop fates, receiver-state draws — lives
+// behind runtime::Transport; the engine owns the protocol reaction to each
+// SendOutcome/Arrival. In superstep mode protocol timers (ack deadlines,
+// resends) are quantized to round boundaries via timer_time().
 // ---------------------------------------------------------------------------
 
 void NotificationEngine::record_hop(const MessageRecord& rec, PeerId from,
@@ -316,21 +358,30 @@ void NotificationEngine::send_hop(MessageId id, PeerId from, PeerId to,
                                   double start_s, std::size_t share) {
   auto& flight = in_flight_.at(id);
   auto& rec = records_.at(id);
-  const double base = net_->transfer_time_s(from, to, payload_bytes_, share);
-  fault::HopFate fate;
-  if (fault_ != nullptr) {
-    fate = fault_->hop_fate(id, from, to, attempt);
-  }
-  const double arrival = start_s + base * fate.latency_factor;
+  runtime::Message m;
+  m.msg = id;
+  m.from = from;
+  m.to = to;
+  m.fault_attempt = attempt;
+  m.payload_bytes = payload_bytes_;
+  m.send_s = start_s;
+  m.uplink_share = static_cast<std::uint32_t>(share);
+  const runtime::SendOutcome outcome = transport().send(
+      m, [this, id, from, to, depth, attempt,
+          start_s](const runtime::Arrival& a) {
+        deliver_hop(id, from, to, depth, attempt, start_s, a.arrive_s,
+                    a.receiver);
+        finish_event(id);
+      });
   record_hop(rec, from, to, depth, attempt, /*failover=*/false,
              !flight.subscribers.contains(to) &&
                  !flight.tree.children(to).empty(),
-             flight.subscribers.contains(to) && !fate.dropped, start_s,
-             arrival);
-  if (fate.dropped) {
+             flight.subscribers.contains(to) && !outcome.dropped, start_s,
+             outcome.arrive_s);
+  if (outcome.dropped) {
     // No arrival event; the sender notices the missing ack at the deadline.
     ++flight.pending_events;
-    queue_.schedule(start_s + timeout_for(id, to, attempt),
+    queue_.schedule(timer_time(start_s + timeout_for(id, to, attempt)),
                     [this, id, from, to, depth, attempt,
                      start_s](double now) {
                       handle_hop_failure(id, from, to, depth, attempt,
@@ -339,27 +390,17 @@ void NotificationEngine::send_hop(MessageId id, PeerId from, PeerId to,
                     });
     return;
   }
-  const int copies = fate.duplicated ? 2 : 1;
-  for (int c = 0; c < copies; ++c) {
-    ++flight.pending_events;
-    queue_.schedule(arrival, [this, id, from, to, depth, attempt,
-                              start_s](double now) {
-      deliver_hop(id, from, to, depth, attempt, start_s, now);
-      finish_event(id);
-    });
-  }
+  flight.pending_events += outcome.copies;
 }
 
 void NotificationEngine::deliver_hop(MessageId id, PeerId from, PeerId to,
                                      std::uint32_t depth,
                                      std::uint32_t attempt, double send_s,
-                                     double now_s) {
+                                     double now_s,
+                                     fault::ReceiveState receiver_state) {
   auto& flight = in_flight_.at(id);
-  const fault::ReceiveState rs = fault_ != nullptr
-                                     ? fault_->on_receive(to, id, now_s)
-                                     : fault::ReceiveState::kOk;
-  const bool responsive =
-      rs == fault::ReceiveState::kOk && sys_->peer_online(to);
+  const bool responsive = receiver_state == fault::ReceiveState::kOk &&
+                          sys_->peer_online(to);
   if (!responsive) {
     handle_hop_failure(id, from, to, depth, attempt, send_s, now_s);
     return;
@@ -419,8 +460,8 @@ void NotificationEngine::handle_hop_failure(MessageId id, PeerId from,
     retries_counter().add(1);
     // The resend fires when the sender's (lazy) timer expires; a failure
     // detected after the deadline resends immediately.
-    const double resend_at =
-        std::max(now_s, send_s + timeout_for(id, to, attempt));
+    const double resend_at = timer_time(
+        std::max(now_s, send_s + timeout_for(id, to, attempt)));
     ++flight.pending_events;
     queue_.schedule(resend_at, [this, id, from, to, depth,
                                 attempt](double now) {
@@ -505,25 +546,36 @@ void NotificationEngine::send_failover_hop(MessageId id, FailoverPath path,
   auto& rec = records_.at(id);
   const PeerId from = (*path)[hop];
   const PeerId to = (*path)[hop + 1];
-  const double base =
-      net_->transfer_time_s(from, to, payload_bytes_, /*share=*/1);
-  fault::HopFate fate;
-  if (fault_ != nullptr) {
-    // Detour paths draw from a third salt block so a detour edge shared
-    // with the exhausted backup path cannot replay its consumed fates.
-    const std::uint32_t salt_base =
-        kFailoverAttemptBase * (detour ? 2u : 1u);
-    fate = fault_->hop_fate(id, from, to, attempt + salt_base);
-  }
-  const double arrival = start_s + base * fate.latency_factor;
+  // Detour paths draw from a third salt block so a detour edge shared with
+  // the exhausted backup path cannot replay its consumed fates.
+  const std::uint32_t salt_base = kFailoverAttemptBase * (detour ? 2u : 1u);
+  runtime::Message m;
+  m.msg = id;
+  m.from = from;
+  m.to = to;
+  m.fault_attempt = attempt + salt_base;
+  m.payload_bytes = payload_bytes_;
+  m.send_s = start_s;
+  m.uplink_share = 1;
+  // Injected duplicates are not materialized on failover hops: the chain is
+  // source-routed, so a second copy would double every remaining hop;
+  // receiver dedup already covers the delivery semantics.
+  m.collapse_duplicates = true;
+  const runtime::SendOutcome outcome = transport().send(
+      m, [this, id, path, hop, attempt, start_s,
+          detour](const runtime::Arrival& a) {
+        deliver_failover_hop(id, path, hop, attempt, start_s, a.arrive_s,
+                             detour, a.receiver);
+        finish_event(id);
+      });
   const bool last = hop + 2 == path->size();
   record_hop(rec, from, to, static_cast<std::uint32_t>(hop + 1), attempt,
-             /*failover=*/true, !last, last && !fate.dropped, start_s,
-             arrival);
-  if (fate.dropped) {
+             /*failover=*/true, !last, last && !outcome.dropped, start_s,
+             outcome.arrive_s);
+  if (outcome.dropped) {
     ++flight.pending_events;
     queue_.schedule(
-        start_s + timeout_for(id, to, attempt),
+        timer_time(start_s + timeout_for(id, to, attempt)),
         [this, id, path = std::move(path), hop, attempt, start_s,
          detour](double now) {
           failover_hop_failure(id, path, hop, attempt, start_s, now, detour);
@@ -531,31 +583,18 @@ void NotificationEngine::send_failover_hop(MessageId id, FailoverPath path,
         });
     return;
   }
-  // Injected duplicates are not materialized on failover hops: the chain is
-  // source-routed, so a second copy would double every remaining hop;
-  // receiver dedup already covers the delivery semantics.
-  ++flight.pending_events;
-  queue_.schedule(arrival, [this, id, path = std::move(path), hop, attempt,
-                            start_s, detour](double now) {
-    deliver_failover_hop(id, path, hop, attempt, start_s, now, detour);
-    finish_event(id);
-  });
+  flight.pending_events += outcome.copies;
 }
 
-void NotificationEngine::deliver_failover_hop(MessageId id,
-                                              const FailoverPath& path,
-                                              std::size_t hop,
-                                              std::uint32_t attempt,
-                                              double send_s, double now_s,
-                                              bool detour) {
+void NotificationEngine::deliver_failover_hop(
+    MessageId id, const FailoverPath& path, std::size_t hop,
+    std::uint32_t attempt, double send_s, double now_s, bool detour,
+    fault::ReceiveState receiver_state) {
   auto& flight = in_flight_.at(id);
   auto& rec = records_.at(id);
   const PeerId to = (*path)[hop + 1];
-  const fault::ReceiveState rs = fault_ != nullptr
-                                     ? fault_->on_receive(to, id, now_s)
-                                     : fault::ReceiveState::kOk;
-  const bool responsive =
-      rs == fault::ReceiveState::kOk && sys_->peer_online(to);
+  const bool responsive = receiver_state == fault::ReceiveState::kOk &&
+                          sys_->peer_online(to);
   if (!responsive) {
     failover_hop_failure(id, path, hop, attempt, send_s, now_s, detour);
     return;
@@ -590,8 +629,8 @@ void NotificationEngine::failover_hop_failure(MessageId id,
     ++rec.retries;
     ++stats_.retries;
     retries_counter().add(1);
-    const double resend_at =
-        std::max(now_s, send_s + timeout_for(id, to, attempt));
+    const double resend_at = timer_time(
+        std::max(now_s, send_s + timeout_for(id, to, attempt)));
     ++flight.pending_events;
     queue_.schedule(resend_at,
                     [this, id, path, hop, attempt, detour](double now) {

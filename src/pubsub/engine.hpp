@@ -11,6 +11,18 @@
 // Trees are cached per publisher and invalidated on churn — rebuilding the
 // tree for every post would hide the cost structure a real deployment has.
 //
+// Execution runtime (src/runtime/): hops travel through a pluggable
+// runtime::Transport — InProcTransport by default (single process,
+// scheduled on the engine's EventEngine), or an external backend such as
+// SocketTransport (peer shards in separate OS processes) via
+// set_transport(). The runtime::Mode seam (set_runtime_options) switches
+// the same protocol code between event-driven continuous time (kAsync,
+// default) and the paper's barrier-quantized semantics (kSuperstep) —
+// arrivals and protocol timers are then rounded up to round boundaries.
+// When an external transport is used, attach the fault plan to both the
+// engine (set_fault_plan arms the ack/retry ladder) and the transport
+// (which draws the hop fates).
+//
 // Reliability layer (fault injection + recovery): attaching a
 // fault::FaultPlan (set_fault_plan) subjects every hop to drops, duplicate
 // deliveries, latency spikes and receiver stalls/crashes; enabling a
@@ -50,7 +62,10 @@
 #include "obs/provenance.hpp"
 #include "overlay/system.hpp"
 #include "pubsub/multipath.hpp"
-#include "sim/event_queue.hpp"
+#include "runtime/event_engine.hpp"
+#include "runtime/inproc_transport.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/transport.hpp"
 
 namespace sel::fault {
 class FaultPlan;
@@ -134,22 +149,23 @@ struct EngineStats {
 class NotificationEngine {
  public:
   /// The engine reads (never mutates) the system and network model; both
-  /// must outlive it.
+  /// must outlive it. Runtime mode and transport kind default to
+  /// runtime::Options::from_env() (SEL_RUNTIME / SEL_TRANSPORT).
   NotificationEngine(const overlay::PubSubSystem& sys,
                      const net::NetworkModel& net,
                      double payload_bytes = net::kDefaultPayloadBytes);
 
   /// Publishes a message at `time_s` (>= the engine clock). Transfers are
-  /// scheduled on the internal event queue; call run_until()/run_all() to
+  /// scheduled on the internal event engine; call run_until()/run_all() to
   /// make progress. Returns the message id.
   MessageId publish(overlay::PeerId publisher, double time_s);
 
   /// Advances simulated time, delivering everything due by then.
   void run_until(double t_s) { queue_.run_until(t_s); }
   /// Drains all in-flight transfers.
-  void run_all() { queue_.run_all(); }
+  void run_all() { queue_.run(); }
 
-  [[nodiscard]] double now_s() const noexcept { return queue_.now(); }
+  [[nodiscard]] double now_s() const noexcept { return queue_.now_s(); }
 
   /// Drops cached trees (and multipath plans); call after churn or topology
   /// maintenance.
@@ -158,10 +174,36 @@ class NotificationEngine {
     multipath_cache_.clear();
   }
 
+  // -- execution runtime ------------------------------------------------
+  /// Reconfigures execution semantics (mode, barrier length, tie seed).
+  /// Must be called before the first publish. Note TransportKind is not
+  /// acted on here — socket backends need a process harness, so callers
+  /// construct the SocketTransport themselves and pass it to
+  /// set_transport().
+  void set_runtime_options(runtime::Options options);
+  [[nodiscard]] const runtime::Options& runtime_options() const noexcept {
+    return runtime_opts_;
+  }
+  /// Replaces the built-in InProcTransport (not owned; null resets to the
+  /// built-in). The external transport must schedule on this engine's
+  /// event_engine().
+  void set_transport(runtime::Transport* transport) noexcept {
+    external_transport_ = transport;
+  }
+  /// The virtual-time executor external transports must schedule on.
+  [[nodiscard]] runtime::EventEngine& event_engine() noexcept {
+    return queue_;
+  }
+
   // -- reliability ------------------------------------------------------
   /// Attaches a fault plan (not owned; may be null to detach). Hop fates
-  /// and receiver states are drawn from it for every transfer.
-  void set_fault_plan(fault::FaultPlan* plan) { fault_ = plan; }
+  /// and receiver states are drawn from it for every transfer. The plan is
+  /// forwarded to the built-in transport; an external transport (socket)
+  /// receives its plan at construction.
+  void set_fault_plan(fault::FaultPlan* plan) {
+    fault_ = plan;
+    default_transport_->set_fault_plan(plan);
+  }
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
   /// Ack/timeout outcomes per receiving peer (true = acked). Feed this to
   /// core::SelectSystem::observe_availability for CMA-guided recovery.
@@ -196,7 +238,7 @@ class NotificationEngine {
   [[nodiscard]] const MessageRecord& record(MessageId id) const;
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t in_flight() const noexcept {
-    return queue_.size();
+    return queue_.queue_depth();
   }
 
  private:
@@ -218,6 +260,19 @@ class NotificationEngine {
   /// Shared source-routed path for failover resends (immutable once built).
   using FailoverPath = std::shared_ptr<const std::vector<overlay::PeerId>>;
 
+  /// The active transport: the external one when installed, else the
+  /// built-in InProcTransport.
+  [[nodiscard]] runtime::Transport& transport() noexcept {
+    return external_transport_ != nullptr ? *external_transport_
+                                          : *default_transport_;
+  }
+
+  /// Protocol-timer deadline in the active mode: identity in kAsync,
+  /// rounded up to the barrier in kSuperstep.
+  [[nodiscard]] double timer_time(double t_s) const noexcept {
+    return runtime_opts_.quantize(t_s);
+  }
+
   /// Schedules the sends from `node` (at tree depth `depth`) for message
   /// `id` down its cached tree.
   void forward(MessageId id, overlay::PeerId node, double start_s,
@@ -232,7 +287,7 @@ class NotificationEngine {
                 std::size_t share);
   void deliver_hop(MessageId id, overlay::PeerId from, overlay::PeerId to,
                    std::uint32_t depth, std::uint32_t attempt, double send_s,
-                   double now_s);
+                   double now_s, fault::ReceiveState receiver_state);
   /// Timeout handling for attempt `attempt` of the hop to `to`: feeds the
   /// availability observer, schedules the resend at the backoff deadline or
   /// — budget exhausted — declares the subtree under `to` lost.
@@ -249,7 +304,8 @@ class NotificationEngine {
                          std::uint32_t attempt, double start_s, bool detour);
   void deliver_failover_hop(MessageId id, const FailoverPath& path,
                             std::size_t hop, std::uint32_t attempt,
-                            double send_s, double now_s, bool detour);
+                            double send_s, double now_s, bool detour,
+                            fault::ReceiveState receiver_state);
   void failover_hop_failure(MessageId id, const FailoverPath& path,
                             std::size_t hop, std::uint32_t attempt,
                             double send_s, double now_s, bool detour);
@@ -276,7 +332,12 @@ class NotificationEngine {
   const overlay::PubSubSystem* sys_;
   const net::NetworkModel* net_;
   double payload_bytes_;
-  sim::EventQueue queue_;
+  runtime::Options runtime_opts_;
+  runtime::EventEngine queue_;
+  /// Built-in single-process transport; always constructed so the engine
+  /// works with zero configuration.
+  std::unique_ptr<runtime::InProcTransport> default_transport_;
+  runtime::Transport* external_transport_ = nullptr;  ///< not owned
   MessageId next_id_ = 1;
   std::unordered_map<MessageId, MessageRecord> records_;
   std::unordered_map<MessageId, InFlight> in_flight_;

@@ -1,0 +1,49 @@
+#include "runtime/event_engine.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sel::runtime {
+
+namespace {
+
+obs::Counter& events_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("runtime.events_fired");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("runtime.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+void EventEngine::note_drained(std::size_t fired) {
+  if (fired != 0) events_counter().add(static_cast<std::int64_t>(fired));
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+}
+
+bool EventEngine::step() {
+  const bool fired = queue_.run_next();
+  note_drained(fired ? 1 : 0);
+  return fired;
+}
+
+std::size_t EventEngine::run_until(double t_s) {
+  SEL_TRACE_SCOPE("runtime.drain");
+  const std::size_t fired = queue_.run_until(t_s);
+  note_drained(fired);
+  return fired;
+}
+
+std::size_t EventEngine::run(std::size_t max_events) {
+  SEL_TRACE_SCOPE("runtime.drain");
+  const std::size_t fired = queue_.run_all(max_events);
+  note_drained(fired);
+  return fired;
+}
+
+}  // namespace sel::runtime

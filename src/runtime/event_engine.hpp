@@ -1,0 +1,72 @@
+// Deterministic event-driven executor — sim::EventQueue promoted to a
+// first-class execution mode of the stack.
+//
+// The EventEngine owns the virtual clock every transport and protocol timer
+// schedules against. It adds, over the raw queue:
+//   - a bounded run/step/until API (`step`, `run_until`, `run`) with a
+//     runaway backstop, so drivers can interleave virtual time with churn
+//     epochs and external control;
+//   - runtime.* observability: events-fired counter, a queue-depth gauge
+//     refreshed as the queue drains, and a Perfetto-visible span around
+//     every drain (SEL_TRACE_SCOPE "runtime.drain");
+//   - seeded tie-breaking (Options::tie_seed → EventQueue tie permutation),
+//     the determinism-stress knob: two different tie seeds must produce the
+//     same delivered message multiset or the protocol depends on accidental
+//     scheduling order.
+//
+// Single-threaded by design: determinism comes from the queue's total event
+// order, and callbacks are free to schedule/cancel without synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace sel::runtime {
+
+class EventEngine {
+ public:
+  using Callback = sim::EventQueue::Callback;
+  using Handle = sim::EventQueue::Handle;
+
+  explicit EventEngine(std::uint64_t tie_seed = 0) noexcept
+      : queue_(tie_seed) {}
+
+  /// Schedules `cb` at absolute virtual time `time_s` (>= now).
+  Handle schedule(double time_s, Callback cb) {
+    return queue_.schedule(time_s, std::move(cb));
+  }
+  Handle schedule_in(double delay_s, Callback cb) {
+    return queue_.schedule_in(delay_s, std::move(cb));
+  }
+  /// Cancels a pending event; false when already fired/cancelled.
+  bool cancel(Handle h) { return queue_.cancel(h); }
+
+  [[nodiscard]] double now_s() const noexcept { return queue_.now(); }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  /// Scheduled-but-unfired events (the queue-depth gauge's source).
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  /// Time of the next pending event; infinity when idle.
+  [[nodiscard]] double next_event_s() const { return queue_.next_time(); }
+
+  /// Fires the single earliest event. Returns false when idle.
+  bool step();
+
+  /// Fires everything due by `t_s`, then advances the clock to `t_s`.
+  /// Returns events fired.
+  std::size_t run_until(double t_s);
+
+  /// Drains the queue, bounded by `max_events` as a runaway backstop.
+  /// Returns events fired.
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+ private:
+  /// Counts fired events and refreshes the runtime.queue_depth gauge.
+  void note_drained(std::size_t fired);
+
+  sim::EventQueue queue_;
+};
+
+}  // namespace sel::runtime

@@ -1,0 +1,47 @@
+// In-process transport backend: the single-process message plane the
+// engine always had, factored behind the Transport seam.
+//
+// Arrival time = send + NetworkModel transfer time (latency +
+// payload/bandwidth with uplink sharing), stretched by the fault plan's
+// latency spikes; drops and duplicates come from send-side hop fates;
+// receiver stall/crash states are drawn at the arrival event. Scheduling
+// goes through the shared EventEngine, so runs are bit-identical per seed —
+// including under a seeded tie-break permutation.
+//
+// In Mode::kSuperstep the arrival is quantized up to the next round
+// barrier (Options::quantize), turning the same protocol run into the
+// paper's barrier-synchronous semantics.
+#pragma once
+
+#include "net/network_model.hpp"
+#include "runtime/event_engine.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/transport.hpp"
+
+namespace sel::runtime {
+
+class InProcTransport : public Transport {
+ public:
+  /// `engine` and `net` must outlive the transport; `plan` may be null
+  /// (perfect wire) and may be swapped at any quiescent point.
+  InProcTransport(EventEngine& engine, const net::NetworkModel& net,
+                  Options options = {}, fault::FaultPlan* plan = nullptr)
+      : engine_(&engine), net_(&net), options_(options), fault_(plan) {}
+
+  void set_fault_plan(fault::FaultPlan* plan) noexcept { fault_ = plan; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "inproc";
+  }
+
+  SendOutcome send(const Message& m, ArrivalFn on_arrival) override;
+
+ private:
+  EventEngine* engine_;
+  const net::NetworkModel* net_;
+  Options options_;
+  fault::FaultPlan* fault_;  ///< not owned
+};
+
+}  // namespace sel::runtime

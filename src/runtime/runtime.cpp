@@ -1,0 +1,52 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace sel::runtime {
+
+std::string_view to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kAsync:
+      return "async";
+    case Mode::kSuperstep:
+      return "superstep";
+  }
+  return "async";
+}
+
+std::string_view to_string(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "inproc";
+}
+
+Mode parse_mode(std::string_view s, Mode fallback) noexcept {
+  std::string lowered(s);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "async" || lowered == "event") return Mode::kAsync;
+  if (lowered == "superstep" || lowered == "rounds") return Mode::kSuperstep;
+  return fallback;
+}
+
+Options Options::from_env() {
+  warn_unknown_sel_env_once();
+  Options opts;
+  opts.mode = static_cast<Mode>(
+      env::get_enum("SEL_RUNTIME", {"async|event", "superstep|rounds"}, 0));
+  opts.transport = static_cast<TransportKind>(
+      env::get_enum("SEL_TRANSPORT", {"inproc", "socket"}, 0));
+  opts.superstep_round_s = env::get_double(
+      "SEL_RUNTIME_ROUND_S", opts.superstep_round_s, 1e-6, 1e6);
+  return opts;
+}
+
+}  // namespace sel::runtime

@@ -1,0 +1,229 @@
+#include "runtime/socket_transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/wire.hpp"
+
+namespace sel::runtime {
+
+namespace {
+
+obs::Counter& remote_deliveries_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("runtime.remote_deliveries");
+  return c;
+}
+
+obs::Counter& hops_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("runtime.hops_sent");
+  return c;
+}
+
+obs::Histogram& hop_latency_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("runtime.hop_latency_s");
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardServer (child-process side)
+// ---------------------------------------------------------------------------
+
+ShardServer::ShardServer(int fd, std::uint32_t shard,
+                         const fault::FaultSpec& spec, std::uint64_t seed,
+                         std::size_t num_peers)
+    : fd_(fd), shard_(shard), plan_(spec, seed, num_peers) {}
+
+int ShardServer::serve() {
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    const wire::IoStatus st = wire::read_frame(fd_, frame);
+    if (st == wire::IoStatus::kClosed) return 0;  // driver went away cleanly
+    if (st != wire::IoStatus::kOk) return 1;
+    wire::FrameType type{};
+    if (!wire::frame_type(frame, type)) return 1;
+    switch (type) {
+      case wire::FrameType::kHello: {
+        // Echo the hello back — the driver's liveness handshake.
+        if (wire::write_frame(fd_, frame) != wire::IoStatus::kOk) return 1;
+        break;
+      }
+      case wire::FrameType::kDeliver: {
+        wire::Deliver d;
+        if (!wire::decode(frame, d)) return 1;
+        wire::DeliverAck ack;
+        ack.msg = d.msg;
+        ack.to = d.to;
+        ack.receiver_state = static_cast<std::uint8_t>(
+            plan_.spec().any() ? plan_.on_receive(d.to, d.msg, d.arrive_s)
+                               : fault::ReceiveState::kOk);
+        if (wire::write_frame(fd_, wire::encode(ack)) != wire::IoStatus::kOk) {
+          return 1;
+        }
+        break;
+      }
+      case wire::FrameType::kShutdown:
+        return 0;
+      case wire::FrameType::kDeliverAck:
+        return 1;  // acks only ever flow server -> driver
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpawnedShards (process harness)
+// ---------------------------------------------------------------------------
+
+SpawnedShards SpawnedShards::spawn_loopback(std::uint32_t num_shards,
+                                            const fault::FaultSpec& spec,
+                                            std::uint64_t seed,
+                                            std::size_t num_peers) {
+  SEL_EXPECTS(num_shards >= 1);
+  SpawnedShards shards;
+  shards.map_.num_shards = num_shards;
+  shards.fds_.assign(num_shards, -1);
+  shards.pids_.assign(num_shards, -1);
+  for (std::uint32_t s = 1; s < num_shards; ++s) {
+    int pair[2];
+    SEL_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0);
+    const pid_t pid = ::fork();
+    SEL_ASSERT(pid >= 0);
+    if (pid == 0) {
+      // Child: serve the shard on its end of the pair, then exit without
+      // running parent atexit handlers (gtest, coverage flushes excepted —
+      // _exit keeps the child strictly a frame server).
+      ::close(pair[0]);
+      // Close driver ends of previously spawned shards inherited by fork.
+      for (std::uint32_t prev = 1; prev < s; ++prev) {
+        if (shards.fds_[prev] >= 0) ::close(shards.fds_[prev]);
+      }
+      ShardServer server(pair[1], s, spec, seed, num_peers);
+      const int rc = server.serve();
+      ::close(pair[1]);
+      ::_exit(rc);
+    }
+    ::close(pair[1]);
+    shards.fds_[s] = pair[0];
+    shards.pids_[s] = pid;
+  }
+  // Handshake: every server must answer a hello before the driver builds
+  // anything on top.
+  for (std::uint32_t s = 1; s < num_shards; ++s) {
+    wire::Hello hello{s, num_shards, static_cast<std::uint32_t>(num_peers)};
+    SEL_ASSERT(wire::write_frame(shards.fds_[s], wire::encode(hello)) ==
+               wire::IoStatus::kOk);
+    std::vector<std::uint8_t> reply;
+    SEL_ASSERT(wire::read_frame(shards.fds_[s], reply) == wire::IoStatus::kOk);
+    wire::Hello echoed;
+    SEL_ASSERT(wire::decode(reply, echoed) && echoed.shard == s);
+  }
+  return shards;
+}
+
+SpawnedShards::SpawnedShards(SpawnedShards&& other) noexcept
+    : map_(other.map_),
+      fds_(std::move(other.fds_)),
+      pids_(std::move(other.pids_)) {
+  other.fds_.clear();
+  other.pids_.clear();
+}
+
+bool SpawnedShards::shutdown() {
+  bool clean = true;
+  for (std::size_t s = 0; s < fds_.size(); ++s) {
+    if (fds_[s] < 0) continue;
+    if (wire::write_frame(fds_[s], wire::encode_shutdown()) !=
+        wire::IoStatus::kOk) {
+      clean = false;
+    }
+    ::close(fds_[s]);
+    fds_[s] = -1;
+  }
+  for (std::size_t s = 0; s < pids_.size(); ++s) {
+    if (pids_[s] < 0) continue;
+    int status = 0;
+    if (::waitpid(pids_[s], &status, 0) != pids_[s] ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      log_warn("shard server " + std::to_string(s) + " exited uncleanly");
+      clean = false;
+    }
+    pids_[s] = -1;
+  }
+  return clean;
+}
+
+SpawnedShards::~SpawnedShards() { shutdown(); }
+
+// ---------------------------------------------------------------------------
+// SocketTransport (driver side)
+// ---------------------------------------------------------------------------
+
+fault::ReceiveState SocketTransport::receive_state(std::uint64_t msg,
+                                                   std::uint32_t from,
+                                                   std::uint32_t to,
+                                                   double arrive_s) {
+  const std::uint32_t shard = shards_->shard_map().shard_of(to);
+  if (shard == 0) {
+    // Locally hosted peer: same draw InProcTransport performs.
+    return fault_ != nullptr ? fault_->on_receive(to, msg, arrive_s)
+                             : fault::ReceiveState::kOk;
+  }
+  const int fd = shards_->fds()[shard];
+  SEL_ASSERT(fd >= 0);
+  ++remote_deliveries_;
+  remote_deliveries_counter().add(1);
+  wire::Deliver d{msg, from, to, arrive_s};
+  SEL_ASSERT(wire::write_frame(fd, wire::encode(d)) == wire::IoStatus::kOk);
+  std::vector<std::uint8_t> reply;
+  SEL_ASSERT(wire::read_frame(fd, reply) == wire::IoStatus::kOk);
+  wire::DeliverAck ack;
+  SEL_ASSERT(wire::decode(reply, ack) && ack.msg == msg && ack.to == to);
+  SEL_ASSERT(ack.receiver_state <=
+             static_cast<std::uint8_t>(fault::ReceiveState::kCrashed));
+  return static_cast<fault::ReceiveState>(ack.receiver_state);
+}
+
+SendOutcome SocketTransport::send(const Message& m, ArrivalFn on_arrival) {
+  const double base =
+      net_->transfer_time_s(m.from, m.to, m.payload_bytes, m.uplink_share);
+  fault::HopFate fate;
+  if (fault_ != nullptr) {
+    fate = fault_->hop_fate(m.msg, m.from, m.to, m.fault_attempt);
+  }
+  const double arrival =
+      options_.quantize(m.send_s + base * fate.latency_factor);
+
+  hops_counter().add(1);
+  SendOutcome outcome;
+  outcome.arrive_s = arrival;
+  if (fate.dropped) {
+    outcome.dropped = true;
+    return outcome;
+  }
+  hop_latency_hist().observe(arrival - m.send_s);
+  outcome.copies = fate.duplicated && !m.collapse_duplicates ? 2 : 1;
+  for (std::uint32_t c = 0; c < outcome.copies; ++c) {
+    ArrivalFn done =
+        c + 1 == outcome.copies ? std::move(on_arrival) : on_arrival;
+    engine_->schedule(arrival, [this, msg = m.msg, from = m.from, to = m.to,
+                                done = std::move(done)](double now) {
+      Arrival a;
+      a.arrive_s = now;
+      a.receiver = receive_state(msg, from, to, now);
+      done(a);
+    });
+  }
+  return outcome;
+}
+
+}  // namespace sel::runtime

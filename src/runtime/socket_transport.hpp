@@ -1,0 +1,144 @@
+// Socket transport backend: peer shards hosted by separate OS processes.
+//
+// Topology: the driver process (shard 0) runs the protocol engine and the
+// virtual clock; every other shard is a ShardServer in its own process,
+// connected to the driver by one loopback stream socket (an AF_UNIX
+// socketpair) speaking the length-prefixed codec in wire.hpp.
+//
+// Division of labour per hop from u to v:
+//   - the driver draws the send-side fate (drop/duplicate/spike — a pure
+//     hash, host-independent) and computes the virtual arrival time from
+//     the NetworkModel, exactly like InProcTransport;
+//   - at the arrival event, the process hosting v draws the receiver-side
+//     state (stall window, crash): locally when v is in shard 0, otherwise
+//     via a kDeliver/kDeliverAck round-trip to v's shard server. The
+//     socket round-trip is real-world blocking I/O inside the virtual-time
+//     event, so wall clocks never leak into simulated time and same-seed
+//     runs stay deterministic.
+//
+// SpawnedShards is the process harness: it forks the shard servers over
+// socketpairs (fork BEFORE creating any threads — see spawn_loopback) and
+// tears them down with a kShutdown frame + waitpid on destruction.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "net/network_model.hpp"
+#include "runtime/event_engine.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/transport.hpp"
+
+namespace sel::runtime {
+
+/// Static peer partition: peer p lives in shard p % num_shards. Shard 0 is
+/// the driver process.
+struct ShardMap {
+  std::uint32_t num_shards = 1;
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t peer) const noexcept {
+    return num_shards == 0 ? 0 : peer % num_shards;
+  }
+};
+
+/// Serves one peer shard: answers kDeliver frames with the receiver state
+/// its fault plan draws, until kShutdown or EOF. Runs in the child process.
+class ShardServer {
+ public:
+  /// `spec`/`seed`/`num_peers` must match the driver's fault plan so the
+  /// shard's receiver-side draws line up with an equivalent in-process run.
+  ShardServer(int fd, std::uint32_t shard, const fault::FaultSpec& spec,
+              std::uint64_t seed, std::size_t num_peers);
+
+  /// Frame loop; returns 0 on orderly shutdown, 1 on a protocol/socket
+  /// error. Call from the forked child, then _exit() with the result.
+  int serve();
+
+ private:
+  int fd_;
+  std::uint32_t shard_;
+  fault::FaultPlan plan_;
+};
+
+/// Forked shard-server processes plus their driver-side sockets.
+/// Non-copyable RAII: the destructor sends kShutdown on every socket and
+/// reaps the children.
+class SpawnedShards {
+ public:
+  /// Forks `num_shards - 1` ShardServer children (shards 1..n-1), each on
+  /// its own socketpair. MUST be called before the process creates threads
+  /// (the children only ever run the serve loop). Aborts on fork/socket
+  /// failure.
+  static SpawnedShards spawn_loopback(std::uint32_t num_shards,
+                                      const fault::FaultSpec& spec,
+                                      std::uint64_t seed,
+                                      std::size_t num_peers);
+
+  SpawnedShards(const SpawnedShards&) = delete;
+  SpawnedShards& operator=(const SpawnedShards&) = delete;
+  SpawnedShards(SpawnedShards&& other) noexcept;
+  SpawnedShards& operator=(SpawnedShards&& other) = delete;
+  ~SpawnedShards();
+
+  [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
+  /// Driver-side socket per shard; fd -1 for shard 0 (local, no socket).
+  [[nodiscard]] const std::vector<int>& fds() const noexcept { return fds_; }
+
+  /// Shuts the servers down and reaps them; returns true when every child
+  /// exited cleanly (status 0). Idempotent; the destructor calls it too.
+  bool shutdown();
+
+ private:
+  SpawnedShards() = default;
+
+  ShardMap map_;
+  std::vector<int> fds_;      ///< per shard; -1 for the driver shard
+  std::vector<pid_t> pids_;   ///< per shard; -1 for the driver shard
+};
+
+class SocketTransport : public Transport {
+ public:
+  /// `engine`/`net` must outlive the transport. `shards` holds the live
+  /// server connections; `plan` is the driver-side plan for send fates and
+  /// shard-0 receiver draws (may be null for a perfect wire).
+  SocketTransport(EventEngine& engine, const net::NetworkModel& net,
+                  const SpawnedShards& shards, Options options = {},
+                  fault::FaultPlan* plan = nullptr)
+      : engine_(&engine),
+        net_(&net),
+        shards_(&shards),
+        options_(options),
+        fault_(plan) {}
+
+  void set_fault_plan(fault::FaultPlan* plan) noexcept { fault_ = plan; }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "socket";
+  }
+
+  SendOutcome send(const Message& m, ArrivalFn on_arrival) override;
+
+  /// kDeliver round-trips performed (remote-shard arrivals).
+  [[nodiscard]] std::size_t remote_deliveries() const noexcept {
+    return remote_deliveries_;
+  }
+
+ private:
+  /// Receiver-state draw for an arrival: local plan, or the wire.
+  [[nodiscard]] fault::ReceiveState receive_state(std::uint64_t msg,
+                                                  std::uint32_t from,
+                                                  std::uint32_t to,
+                                                  double arrive_s);
+
+  EventEngine* engine_;
+  const net::NetworkModel* net_;
+  const SpawnedShards* shards_;
+  Options options_;
+  fault::FaultPlan* fault_;  ///< not owned
+  std::size_t remote_deliveries_ = 0;
+};
+
+}  // namespace sel::runtime

@@ -1,0 +1,89 @@
+// Pluggable transport plane: who carries a hop, and when it lands.
+//
+// The notification engine (pubsub/engine.cpp) speaks one narrow contract —
+// send(message, on_arrival) — and stays ignorant of *how* the hop travels:
+//
+//   InProcTransport    single process; arrivals are events on the shared
+//                      EventEngine at NetworkModel transfer times, with
+//                      FaultPlan fates applied per hop (inproc_transport.hpp);
+//   SocketTransport    peer shards hosted by separate OS processes behind a
+//                      length-prefixed wire codec; virtual time still rules
+//                      *when* a hop lands, the socket round-trip decides
+//                      what the remote receiver answered
+//                      (socket_transport.hpp).
+//
+// Contract: every send() produces exactly one synchronous SendOutcome and
+// then `copies` arrival completions, each delivered through the EventEngine
+// at its virtual arrival time (never synchronously from inside send()).
+// A dropped hop produces no arrivals at all — the sender arms its own loss
+// detection (ack timeout), exactly as a real sender would.
+//
+// Receiver-side fates (stall windows, crashes) are drawn by whichever
+// process hosts the receiving peer, at the arrival event; send-side fates
+// (drop, duplicate, latency spike) are drawn by the sender. Both draws are
+// pure in (seed, message, peers, attempt), which is what keeps socket and
+// in-process runs comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "fault/fault.hpp"
+
+namespace sel::runtime {
+
+/// One hop of a dissemination, as the transport sees it. The protocol
+/// meaning of the hop (tree edge, failover leg, retry) stays in the engine;
+/// the transport only needs addressing, sizing and the fault key.
+struct Message {
+  std::uint64_t msg = 0;       ///< pubsub message id (fault/provenance key)
+  std::uint32_t from = 0;      ///< sending peer
+  std::uint32_t to = 0;        ///< receiving peer
+  /// Attempt index *as the fault plan should key it* — the engine salts
+  /// failover/detour resends so shared edges never replay consumed fates.
+  std::uint32_t fault_attempt = 0;
+  double payload_bytes = 0.0;
+  double send_s = 0.0;  ///< virtual send time
+  /// Simultaneous transfers sharing the sender's uplink (tree fan-out).
+  std::uint32_t uplink_share = 1;
+  /// Never materialize a second copy even when the fault plan duplicates
+  /// the hop (the fate is still drawn, so the fault stream stays aligned).
+  /// The engine sets this on source-routed failover legs, where a duplicate
+  /// would double every remaining hop of the chain.
+  bool collapse_duplicates = false;
+};
+
+/// Synchronous result of a send: what the wire did with the hop.
+struct SendOutcome {
+  bool dropped = false;  ///< lost in transit; no arrival will ever fire
+  /// Arrival completions scheduled (0 when dropped; 2 when the fault plan
+  /// duplicated the hop).
+  std::uint32_t copies = 0;
+  /// Virtual arrival time of the (first) copy — also filled for dropped
+  /// hops (when the copy *would* have landed), for provenance records.
+  double arrive_s = 0.0;
+};
+
+/// One arriving copy, reported at its virtual arrival time.
+struct Arrival {
+  double arrive_s = 0.0;
+  /// Receiver condition drawn by the hosting process (kOk without faults).
+  fault::ReceiveState receiver = fault::ReceiveState::kOk;
+};
+
+class Transport {
+ public:
+  using ArrivalFn = std::function<void(const Arrival&)>;
+
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Ships one hop. `on_arrival` runs once per arriving copy (see
+  /// SendOutcome::copies), at that copy's virtual arrival time, via the
+  /// EventEngine — never synchronously from inside this call.
+  virtual SendOutcome send(const Message& m, ArrivalFn on_arrival) = 0;
+};
+
+}  // namespace sel::runtime

@@ -1,0 +1,203 @@
+#include "runtime/wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sel::runtime::wire {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& b, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(b, bits);
+}
+
+/// Bounds-checked little-endian reader over one decoded payload.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > buf_->size()) return false;
+    out = (*buf_)[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > buf_->size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>((*buf_)[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > buf_->size()) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>((*buf_)[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == buf_->size(); }
+
+ private:
+  const std::vector<std::uint8_t>* buf_;
+  std::size_t pos_ = 0;
+};
+
+bool expect_type(Reader& r, FrameType want) {
+  std::uint8_t t = 0;
+  return r.u8(t) && t == static_cast<std::uint8_t>(want);
+}
+
+/// Full-buffer write, retrying on EINTR and partial writes.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full-buffer read. Returns kClosed only on EOF before the first byte.
+IoStatus read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (n == 0) return off == 0 ? IoStatus::kClosed : IoStatus::kError;
+    off += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Hello& h) {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kHello));
+  put_u32(b, h.shard);
+  put_u32(b, h.num_shards);
+  put_u32(b, h.num_peers);
+  return b;
+}
+
+std::vector<std::uint8_t> encode(const Deliver& d) {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kDeliver));
+  put_u64(b, d.msg);
+  put_u32(b, d.from);
+  put_u32(b, d.to);
+  put_f64(b, d.arrive_s);
+  return b;
+}
+
+std::vector<std::uint8_t> encode(const DeliverAck& a) {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kDeliverAck));
+  put_u64(b, a.msg);
+  put_u32(b, a.to);
+  put_u8(b, a.receiver_state);
+  return b;
+}
+
+std::vector<std::uint8_t> encode_shutdown() {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kShutdown));
+  return b;
+}
+
+bool frame_type(const std::vector<std::uint8_t>& payload, FrameType& out) {
+  if (payload.empty()) return false;
+  const std::uint8_t t = payload.front();
+  if (t < static_cast<std::uint8_t>(FrameType::kHello) ||
+      t > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    return false;
+  }
+  out = static_cast<FrameType>(t);
+  return true;
+}
+
+bool decode(const std::vector<std::uint8_t>& payload, Hello& out) {
+  Reader r(payload);
+  return expect_type(r, FrameType::kHello) && r.u32(out.shard) &&
+         r.u32(out.num_shards) && r.u32(out.num_peers) && r.done();
+}
+
+bool decode(const std::vector<std::uint8_t>& payload, Deliver& out) {
+  Reader r(payload);
+  return expect_type(r, FrameType::kDeliver) && r.u64(out.msg) &&
+         r.u32(out.from) && r.u32(out.to) && r.f64(out.arrive_s) && r.done();
+}
+
+bool decode(const std::vector<std::uint8_t>& payload, DeliverAck& out) {
+  Reader r(payload);
+  return expect_type(r, FrameType::kDeliverAck) && r.u64(out.msg) &&
+         r.u32(out.to) && r.u8(out.receiver_state) && r.done();
+}
+
+IoStatus write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) return IoStatus::kError;
+  std::uint8_t prefix[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  if (!write_all(fd, prefix, sizeof(prefix))) return IoStatus::kError;
+  if (!write_all(fd, payload.data(), payload.size())) return IoStatus::kError;
+  return IoStatus::kOk;
+}
+
+IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t prefix[4];
+  const IoStatus st = read_all(fd, prefix, sizeof(prefix));
+  if (st != IoStatus::kOk) return st;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) return IoStatus::kError;
+  payload.resize(len);
+  if (len == 0) return IoStatus::kOk;
+  const IoStatus body = read_all(fd, payload.data(), len);
+  // EOF mid-frame is corruption, not a clean close.
+  return body == IoStatus::kOk ? IoStatus::kOk : IoStatus::kError;
+}
+
+}  // namespace sel::runtime::wire

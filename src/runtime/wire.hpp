@@ -1,0 +1,84 @@
+// Length-prefixed wire codec for the socket transport plane.
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   u32 length      payload bytes that follow (type byte included)
+//   u8  type        FrameType
+//   ...             type-specific fields, in declaration order
+//
+// Frames are small (< 100 bytes) and fixed-shape per type; the codec is a
+// hand-rolled byte writer/reader rather than a serialization framework so
+// the socket backend adds no dependencies. encode_* never fails; decode_*
+// returns false on truncated or mistyped payloads (the caller treats that
+// as a protocol error and tears the connection down).
+//
+// I/O helpers read/write whole frames over a connected stream socket with
+// EINTR-safe full-buffer loops; a clean EOF while reading a length prefix
+// returns kClosed so servers can distinguish shutdown from corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sel::runtime::wire {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       ///< handshake: shard id + shard count + peer count
+  kDeliver = 2,     ///< one hop copy arriving at a peer the remote hosts
+  kDeliverAck = 3,  ///< receiver state the remote drew for that arrival
+  kShutdown = 4,    ///< orderly teardown; the server exits its loop
+};
+
+struct Hello {
+  std::uint32_t shard = 0;
+  std::uint32_t num_shards = 0;
+  std::uint32_t num_peers = 0;
+};
+
+/// One arriving hop copy, shipped to the shard hosting `to`.
+struct Deliver {
+  std::uint64_t msg = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double arrive_s = 0.0;  ///< virtual arrival time at the receiver
+};
+
+struct DeliverAck {
+  std::uint64_t msg = 0;
+  std::uint32_t to = 0;
+  std::uint8_t receiver_state = 0;  ///< fault::ReceiveState
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const Hello& h);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Deliver& d);
+[[nodiscard]] std::vector<std::uint8_t> encode(const DeliverAck& a);
+[[nodiscard]] std::vector<std::uint8_t> encode_shutdown();
+
+/// Type of an encoded payload; returns false on an empty/unknown payload.
+[[nodiscard]] bool frame_type(const std::vector<std::uint8_t>& payload,
+                              FrameType& out);
+
+[[nodiscard]] bool decode(const std::vector<std::uint8_t>& payload, Hello& out);
+[[nodiscard]] bool decode(const std::vector<std::uint8_t>& payload,
+                          Deliver& out);
+[[nodiscard]] bool decode(const std::vector<std::uint8_t>& payload,
+                          DeliverAck& out);
+
+enum class IoStatus : std::uint8_t {
+  kOk,
+  kClosed,  ///< clean EOF at a frame boundary
+  kError,   ///< short read/write, oversized frame, or socket error
+};
+
+/// Writes `payload` as one length-prefixed frame (full-buffer, EINTR-safe).
+[[nodiscard]] IoStatus write_frame(int fd,
+                                   const std::vector<std::uint8_t>& payload);
+
+/// Reads one length-prefixed frame into `payload`.
+[[nodiscard]] IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+/// Frames above this are protocol errors (nothing legitimate comes close).
+inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+
+}  // namespace sel::runtime::wire

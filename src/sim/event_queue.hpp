@@ -3,16 +3,28 @@
 // the *message plane* — transfers with real durations, overlapping
 // disseminations — needs event-driven time. Events at equal times fire in
 // scheduling order (a monotone sequence number breaks ties), so runs are
-// deterministic.
+// deterministic. A non-zero tie seed replaces the FIFO tie-break with a
+// seeded permutation of equal-time events — a determinism-stress mode the
+// runtime layer uses to prove protocol results do not depend on accidental
+// scheduling order.
+//
+// schedule() returns a Handle; cancel(handle) removes a pending event
+// without firing it (timers whose ack arrived early, retries made moot by a
+// failover). Cancellation is lazy: the entry stays in the heap until it
+// would surface, but the queue maintains the invariant that the *front* of
+// the heap is never a cancelled entry, so next_time()/run_next() never see
+// one.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 
 namespace sel::sim {
 
@@ -20,25 +32,57 @@ class EventQueue {
  public:
   using Callback = std::function<void(double now_s)>;
 
+  /// Opaque reference to a scheduled event, for cancel(). Default
+  /// constructed handles are invalid (cancel() returns false).
+  class Handle {
+   public:
+    Handle() = default;
+    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+   private:
+    friend class EventQueue;
+    explicit Handle(std::uint64_t id) noexcept : id_(id) {}
+    std::uint64_t id_ = 0;  ///< seq + 1, so 0 stays the invalid sentinel
+  };
+
+  /// `tie_seed` 0 (default) breaks equal-time ties in schedule order (FIFO);
+  /// non-zero seeds permute equal-time firing deterministically.
+  explicit EventQueue(std::uint64_t tie_seed = 0) noexcept
+      : tie_seed_(tie_seed) {}
+
   /// Schedules `cb` at absolute time `time_s` (must not be in the past).
-  void schedule(double time_s, Callback cb) {
+  Handle schedule(double time_s, Callback cb) {
     SEL_EXPECTS(time_s >= now_);
-    heap_.push_back(Entry{time_s, next_seq_++, std::move(cb)});
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Entry{time_s, tie_for(seq), seq, std::move(cb)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    pending_.insert(seq);
+    return Handle(seq + 1);
   }
 
   /// Schedules `cb` at now + delay.
-  void schedule_in(double delay_s, Callback cb) {
+  Handle schedule_in(double delay_s, Callback cb) {
     SEL_EXPECTS(delay_s >= 0.0);
-    schedule(now_ + delay_s, std::move(cb));
+    return schedule(now_ + delay_s, std::move(cb));
   }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Removes a pending event without firing it. Returns false when the
+  /// handle is invalid, already fired, or already cancelled.
+  bool cancel(Handle h) {
+    if (!h.valid() || pending_.erase(h.id_ - 1) == 0) return false;
+    cancelled_.insert(h.id_ - 1);
+    prune_cancelled_front();
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  /// Live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
   [[nodiscard]] double now() const noexcept { return now_; }
 
   /// Time of the next pending event; infinity when empty.
   [[nodiscard]] double next_time() const {
+    // The front is never cancelled (prune_cancelled_front invariant).
     return heap_.empty() ? std::numeric_limits<double>::infinity()
                          : heap_.front().time;
   }
@@ -54,8 +98,12 @@ class EventQueue {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Entry entry = std::move(heap_.back());
     heap_.pop_back();
+    pending_.erase(entry.seq);
     now_ = entry.time;
     entry.callback(now_);
+    // The callback may have cancelled what is now the front, or the pop may
+    // have surfaced an entry cancelled earlier.
+    prune_cancelled_front();
     return true;
   }
 
@@ -83,21 +131,44 @@ class EventQueue {
  private:
   struct Entry {
     double time;
+    std::uint64_t tie;  ///< equal-time ordering key (== seq when unseeded)
     std::uint64_t seq;
     Callback callback;
   };
 
-  /// Max-heap comparator that puts the earliest (time, seq) at the front.
+  /// Max-heap comparator that puts the earliest (time, tie, seq) at the
+  /// front. seq is the final disambiguator so seeded tie keys that collide
+  /// still order deterministically.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint64_t tie_for(std::uint64_t seq) const noexcept {
+    return tie_seed_ == 0 ? seq : splitmix64(seq ^ tie_seed_);
+  }
+
+  /// Discards cancelled entries from the heap front until a live entry (or
+  /// nothing) remains — the invariant next_time()/run_next() rely on.
+  void prune_cancelled_front() {
+    while (!heap_.empty() && !cancelled_.empty() &&
+           cancelled_.erase(heap_.front().seq) != 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
   /// Binary heap ordered by Later{} (std::push_heap/std::pop_heap).
   std::vector<Entry> heap_;
+  /// Scheduled, not yet fired or cancelled (size() and cancel() source).
+  std::unordered_set<std::uint64_t> pending_;
+  /// Cancelled but still buried in the heap (lazy deletion).
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t tie_seed_ = 0;
   double now_ = 0.0;
 };
 

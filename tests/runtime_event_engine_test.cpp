@@ -1,0 +1,125 @@
+// Execution-runtime unit tests: EventEngine drain API, runtime options
+// parsing (SEL_RUNTIME / SEL_TRANSPORT / SEL_RUNTIME_ROUND_S), and
+// superstep quantization arithmetic.
+#include "runtime/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace sel::runtime {
+namespace {
+
+TEST(EventEngine, StepFiresExactlyOneEvent) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule(1.0, [&order](double) { order.push_back(1); });
+  e.schedule(2.0, [&order](double) { order.push_back(2); });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(e.now_s(), 1.0);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(EventEngine, RunUntilCountsFiredAndAdvancesClock) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule(1.0, [&fired](double) { ++fired; });
+  e.schedule(2.0, [&fired](double) { ++fired; });
+  e.schedule(9.0, [&fired](double) { ++fired; });
+  EXPECT_EQ(e.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now_s(), 5.0);
+  EXPECT_EQ(e.queue_depth(), 1u);
+  EXPECT_DOUBLE_EQ(e.next_event_s(), 9.0);
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(EventEngine, RunRespectsBackstop) {
+  EventEngine e;
+  std::function<void(double)> forever = [&](double now) {
+    e.schedule(now + 1.0, forever);
+  };
+  e.schedule(0.0, forever);
+  EXPECT_EQ(e.run(25), 25u);
+}
+
+TEST(EventEngine, CancelPreventsFiring) {
+  EventEngine e;
+  int fired = 0;
+  const auto h = e.schedule(1.0, [&fired](double) { ++fired; });
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));
+  EXPECT_EQ(e.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventEngine, TieSeedPermutesEqualTimeOrderDeterministically) {
+  const auto order_with = [](std::uint64_t tie_seed) {
+    EventEngine e(tie_seed);
+    std::vector<int> order;
+    for (int i = 0; i < 12; ++i) {
+      e.schedule(1.0, [&order, i](double) { order.push_back(i); });
+    }
+    e.run();
+    return order;
+  };
+  const auto a = order_with(99);
+  EXPECT_EQ(a, order_with(99));
+  EXPECT_NE(a, order_with(0));
+}
+
+TEST(RuntimeOptions, ModeParsingAcceptsAliases) {
+  EXPECT_EQ(parse_mode("async", Mode::kSuperstep), Mode::kAsync);
+  EXPECT_EQ(parse_mode("EVENT", Mode::kSuperstep), Mode::kAsync);
+  EXPECT_EQ(parse_mode("superstep", Mode::kAsync), Mode::kSuperstep);
+  EXPECT_EQ(parse_mode("Rounds", Mode::kAsync), Mode::kSuperstep);
+  EXPECT_EQ(parse_mode("bogus", Mode::kSuperstep), Mode::kSuperstep);
+}
+
+TEST(RuntimeOptions, ToStringRoundTrips) {
+  EXPECT_EQ(to_string(Mode::kAsync), "async");
+  EXPECT_EQ(to_string(Mode::kSuperstep), "superstep");
+  EXPECT_EQ(to_string(TransportKind::kInProc), "inproc");
+  EXPECT_EQ(to_string(TransportKind::kSocket), "socket");
+}
+
+TEST(RuntimeOptions, QuantizeRoundsUpToBarrierOnlyInSuperstep) {
+  Options async;
+  EXPECT_DOUBLE_EQ(async.quantize(3.14), 3.14);
+
+  Options rounds;
+  rounds.mode = Mode::kSuperstep;
+  rounds.superstep_round_s = 2.0;
+  EXPECT_DOUBLE_EQ(rounds.quantize(0.1), 2.0);
+  EXPECT_DOUBLE_EQ(rounds.quantize(2.0), 2.0);  // on-barrier stays put
+  EXPECT_DOUBLE_EQ(rounds.quantize(2.0001), 4.0);
+  EXPECT_DOUBLE_EQ(rounds.quantize(0.0), 0.0);
+}
+
+TEST(RuntimeOptions, FromEnvReadsKnobs) {
+  ::setenv("SEL_RUNTIME", "superstep", 1);
+  ::setenv("SEL_TRANSPORT", "socket", 1);
+  ::setenv("SEL_RUNTIME_ROUND_S", "0.25", 1);
+  const auto opts = Options::from_env();
+  ::unsetenv("SEL_RUNTIME");
+  ::unsetenv("SEL_TRANSPORT");
+  ::unsetenv("SEL_RUNTIME_ROUND_S");
+  EXPECT_EQ(opts.mode, Mode::kSuperstep);
+  EXPECT_EQ(opts.transport, TransportKind::kSocket);
+  EXPECT_DOUBLE_EQ(opts.superstep_round_s, 0.25);
+
+  const auto defaults = Options::from_env();
+  EXPECT_EQ(defaults.mode, Mode::kAsync);
+  EXPECT_EQ(defaults.transport, TransportKind::kInProc);
+  EXPECT_DOUBLE_EQ(defaults.superstep_round_s, 1.0);
+}
+
+}  // namespace
+}  // namespace sel::runtime

@@ -1,0 +1,179 @@
+// Cross-mode equivalence: the same protocol run under the event-driven
+// (kAsync) and barrier-quantized (kSuperstep) runtimes must deliver the
+// identical message multiset for the same seed.
+//
+// The equivalence boundary is deliberate: drop/duplicate/spike fates are a
+// pure hash of (seed, msg, edge, attempt) — time-independent — so *what*
+// happens to every hop is mode-invariant even though *when* differs.
+// Stall/crash fates are drawn at arrival times and may diverge across
+// modes by design; they are excluded here (and covered by the chaos suite
+// per mode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "graph/profiles.hpp"
+#include "pubsub/engine.hpp"
+#include "pubsub/multipath.hpp"
+#include "runtime/runtime.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+class ModeEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 300, 5);
+    net_ = std::make_unique<net::NetworkModel>(g_.num_nodes(), 5);
+    sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
+                                                net_.get());
+    sys_->build();
+  }
+
+  struct Outcome {
+    EngineStats stats;
+    /// Message id -> delivered subscriber set: the delivery multiset (the
+    /// dedup invariant makes per-message delivery a set).
+    std::map<MessageId, std::set<PeerId>> delivered;
+    std::map<MessageId, std::set<PeerId>> missed;
+  };
+
+  /// One fixed workload (10 publishers, staggered publishes) under the
+  /// given runtime options and optional time-independent fault mix.
+  Outcome run(runtime::Options opts, const fault::FaultSpec& spec,
+              std::uint64_t seed) {
+    std::unique_ptr<fault::FaultPlan> plan;
+    NotificationEngine engine(*sys_, *net_);
+    engine.set_runtime_options(opts);
+    if (spec.any()) {
+      plan = std::make_unique<fault::FaultPlan>(spec, seed, g_.num_nodes());
+      engine.set_fault_plan(plan.get());
+      RetryPolicy policy;
+      policy.enabled = true;
+      policy.ack_timeout_s = 2.0;
+      engine.set_retry_policy(policy);
+      engine.set_multipath_planner([this](PeerId b) {
+        return plan_multipath(sys_->overlay(), g_, b);
+      });
+    }
+    std::vector<MessageId> ids;
+    for (PeerId p = 0; p < 10; ++p) {
+      ids.push_back(engine.publish(p, static_cast<double>(p)));
+    }
+    engine.run_all();
+    Outcome out;
+    out.stats = engine.stats();
+    for (const auto id : ids) {
+      const auto& rec = engine.record(id);
+      out.delivered[id] = std::set<PeerId>(rec.delivered_to.begin(),
+                                           rec.delivered_to.end());
+      out.missed[id] = std::set<PeerId>(rec.missed.begin(),
+                                        rec.missed.end());
+    }
+    return out;
+  }
+
+  static runtime::Options async_opts() { return {}; }
+
+  static runtime::Options superstep_opts(double round_s) {
+    runtime::Options o;
+    o.mode = runtime::Mode::kSuperstep;
+    o.superstep_round_s = round_s;
+    return o;
+  }
+
+  /// The time-independent chaos mix: drops force the full retry +
+  /// failover ladder, duplicates exercise receiver dedup, spikes shift
+  /// arrival times — none of them depend on *when* a hop lands.
+  static fault::FaultSpec drop_dup_spike() {
+    fault::FaultSpec spec;
+    spec.drop = 0.08;
+    spec.duplicate = 0.02;
+    spec.spike = 0.02;
+    spec.spike_factor = 3.0;
+    return spec;
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<net::NetworkModel> net_;
+  std::unique_ptr<core::SelectSystem> sys_;
+};
+
+TEST_F(ModeEquivalenceTest, PerfectPlaneDeliversIdenticallyInBothModes) {
+  const auto async = run(async_opts(), {}, 1);
+  const auto rounds = run(superstep_opts(0.5), {}, 1);
+  EXPECT_GT(async.stats.deliveries, 0u);
+  EXPECT_EQ(async.stats.deliveries, rounds.stats.deliveries);
+  EXPECT_EQ(async.stats.wanted, rounds.stats.wanted);
+  EXPECT_EQ(async.stats.relay_forwards, rounds.stats.relay_forwards);
+}
+
+TEST_F(ModeEquivalenceTest, SuperstepArrivalsLandOnRoundBarriers) {
+  NotificationEngine engine(*sys_, *net_);
+  const double round_s = 0.5;
+  engine.set_runtime_options(superstep_opts(round_s));
+  const auto id = engine.publish(0, 0.0);
+  engine.run_all();
+  const auto& rec = engine.record(id);
+  EXPECT_EQ(rec.delivered, rec.wanted);
+  ASSERT_TRUE(rec.completed_at_s.has_value());
+  const double rounds = *rec.completed_at_s / round_s;
+  EXPECT_NEAR(rounds, std::round(rounds), 1e-9)
+      << "completion time " << *rec.completed_at_s
+      << " is not on a round barrier";
+  // Quantization can only delay: the async run completes no later.
+  NotificationEngine async_engine(*sys_, *net_);
+  const auto async_id = async_engine.publish(0, 0.0);
+  async_engine.run_all();
+  EXPECT_LE(*async_engine.record(async_id).completed_at_s,
+            *rec.completed_at_s);
+}
+
+TEST_F(ModeEquivalenceTest, DropDupSpikeMixDeliversIdenticalMultiset) {
+  const auto async = run(async_opts(), drop_dup_spike(), 42);
+  const auto rounds = run(superstep_opts(0.5), drop_dup_spike(), 42);
+  ASSERT_GT(async.stats.wanted, 0u);
+  EXPECT_GT(async.stats.retries, 0u);
+  // The acceptance property: same seed => identical delivered multiset,
+  // message by message, subscriber by subscriber.
+  EXPECT_EQ(async.delivered, rounds.delivered);
+  EXPECT_EQ(async.missed, rounds.missed);
+  EXPECT_EQ(async.stats.deliveries, rounds.stats.deliveries);
+  EXPECT_EQ(async.stats.duplicates_suppressed,
+            rounds.stats.duplicates_suppressed);
+}
+
+TEST_F(ModeEquivalenceTest, TieSeedStressDoesNotChangeDeliveredMultiset) {
+  // Determinism stress: permuting equal-time event order (tie_seed) must
+  // not change protocol outcomes, only accidental interleavings.
+  auto seeded = async_opts();
+  seeded.tie_seed = 0xfeedface;
+  const auto fifo = run(async_opts(), drop_dup_spike(), 7);
+  const auto permuted = run(seeded, drop_dup_spike(), 7);
+  EXPECT_EQ(fifo.delivered, permuted.delivered);
+  EXPECT_EQ(fifo.missed, permuted.missed);
+  EXPECT_EQ(fifo.stats.deliveries, permuted.stats.deliveries);
+}
+
+TEST_F(ModeEquivalenceTest, SameSeedSameModeIsBitIdentical) {
+  const auto a = run(superstep_opts(0.5), drop_dup_spike(), 9);
+  const auto b = run(superstep_opts(0.5), drop_dup_spike(), 9);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.delivery_latency_s.mean(),
+            b.stats.delivery_latency_s.mean());
+  EXPECT_EQ(a.stats.delivery_latency_s.max(),
+            b.stats.delivery_latency_s.max());
+}
+
+}  // namespace
+}  // namespace sel::pubsub

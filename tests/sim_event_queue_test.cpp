@@ -142,5 +142,107 @@ TEST(EventQueue, PastSchedulingAborts) {
   EXPECT_DEATH(q.schedule(1.0, [](double) {}), "Precondition");
 }
 
+TEST(EventQueue, CancelPendingEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&order](double) { order.push_back(1); });
+  const auto h = q.schedule(2.0, [&order](double) { order.push_back(2); });
+  q.schedule(3.0, [&order](double) { order.push_back(3); });
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 2u);
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelReturnsFalseForInvalidFiredOrDoubleCancel) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventQueue::Handle{}));
+  const auto fired = q.schedule(1.0, [](double) {});
+  const auto cancelled = q.schedule(2.0, [](double) {});
+  EXPECT_TRUE(q.run_next());
+  EXPECT_FALSE(q.cancel(fired));  // already fired
+  EXPECT_TRUE(q.cancel(cancelled));
+  EXPECT_FALSE(q.cancel(cancelled));  // double cancel
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledFrontNeverSurfacesInNextTime) {
+  EventQueue q;
+  const auto front = q.schedule(1.0, [](double) {});
+  q.schedule(2.0, [](double) {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_TRUE(q.cancel(front));
+  // The cancelled entry must be invisible: next_time() reports the live
+  // event and run_until(1.5) fires nothing.
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.run_until(1.5), 0u);
+  EXPECT_EQ(q.run_until(2.5), 1u);
+}
+
+TEST(EventQueue, CallbackCanCancelLaterEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  EventQueue::Handle doomed;
+  q.schedule(1.0, [&](double) {
+    order.push_back(1);
+    EXPECT_TRUE(q.cancel(doomed));
+  });
+  doomed = q.schedule(1.0, [&order](double) { order.push_back(2); });
+  q.schedule(1.0, [&order](double) { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EqualTimeFifoHoldsAcrossMidRunScheduling) {
+  // Regression: a callback scheduling events *at the current time* while
+  // run_next() is mid-drain must still see them fire after every
+  // already-scheduled equal-time event (FIFO by sequence number).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double now) {
+    order.push_back(0);
+    q.schedule(now, [&order](double) { order.push_back(10); });
+    q.schedule(now, [&order](double) { order.push_back(11); });
+  });
+  q.schedule(1.0, [&order](double) { order.push_back(1); });
+  q.schedule(1.0, [&order](double) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11}));
+}
+
+TEST(EventQueue, SeededTieBreakPermutesEqualTimeOrder) {
+  const auto order_with_seed = [](std::uint64_t seed) {
+    EventQueue q(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+      q.schedule(1.0, [&order, i](double) { order.push_back(i); });
+    }
+    q.run_all();
+    return order;
+  };
+  const auto fifo = order_with_seed(0);
+  const auto seeded = order_with_seed(0x5eed);
+  std::vector<int> expected(16);
+  for (int i = 0; i < 16; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(fifo, expected);
+  // Same multiset, different order — and reproducible per seed.
+  auto sorted = seeded;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, expected);
+  EXPECT_NE(seeded, expected);
+  EXPECT_EQ(order_with_seed(0x5eed), seeded);
+}
+
+TEST(EventQueue, SeededTieBreakKeepsTimeOrder) {
+  EventQueue q(0x5eed);
+  std::vector<int> order;
+  q.schedule(3.0, [&order](double) { order.push_back(3); });
+  q.schedule(1.0, [&order](double) { order.push_back(1); });
+  q.schedule(2.0, [&order](double) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace sel::sim
