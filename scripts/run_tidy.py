@@ -111,6 +111,19 @@ def load_baseline(path: str) -> set[str]:
         }
 
 
+def stale_file_entries(baseline: set[str]) -> list[str]:
+    """Baseline entries whose `path:` prefix names a file that no longer
+    exists. Those can never fire again, so carrying them is dead debt that
+    hides the real baseline size — the gate fails on them (mirrors
+    sel_analyze.py)."""
+    stale = []
+    for entry in sorted(baseline):
+        rel = entry.split(":", 1)[0].strip()
+        if rel and not os.path.exists(os.path.join(REPO_ROOT, rel)):
+            stale.append(entry)
+    return stale
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -124,6 +137,20 @@ def main() -> int:
     )
     ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
     args = ap.parse_args()
+
+    # Stale-entry gate runs even without clang-tidy installed: it needs only
+    # the filesystem, and a baseline pointing at deleted files should fail
+    # fast everywhere, not just on CI runners with LLVM.
+    if not args.update_baseline:
+        stale_files = stale_file_entries(load_baseline(args.baseline))
+        if stale_files:
+            print(
+                f"run_tidy: {len(stale_files)} baseline entr(y|ies) "
+                "reference missing files — delete them:"
+            )
+            for entry in stale_files:
+                print(f"  stale-file: {entry}")
+            return 1
 
     tidy = find_clang_tidy()
     if tidy is None:

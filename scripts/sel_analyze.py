@@ -1,0 +1,893 @@
+#!/usr/bin/env python3
+"""Determinism static analyzer for the SELECT tree (DESIGN.md §15).
+
+The repo's core guarantee — same seed ⇒ bit-identical overlays, delivered
+multisets and reports — is enforced dynamically by the CI chaos soaks. This
+analyzer is the static complement: it proves the *absence* of whole hazard
+classes instead of waiting for a soak to diverge.
+
+Rules (suppress with ``// SEL_NONDET_OK(<rule>): reason`` on or above the
+offending line):
+
+  unordered-iteration      range-for / iteration over std::unordered_map or
+                           std::unordered_set inside the deterministic
+                           subsystems. Hash-table iteration order is a
+                           standard-library implementation detail; it leaks
+                           into link choice, delivery order and report
+                           bytes. Use sel::FlatSet / sorted vectors / sorted
+                           key snapshots instead.
+  wall-clock               steady_clock/system_clock (or libc time) reads
+                           outside src/obs/. Virtual time must come from
+                           runtime::EventEngine; instrumentation timing goes
+                           through the obs/time.hpp helpers.
+  unseeded-rng             std::random_device or a standard random engine
+                           outside common/rng.hpp. All randomness flows
+                           through sel::Rng so runs stay seeded.
+  parallel-shared-mutation non-atomic writes to reference-captured locals
+                           inside bodies handed to sel::Executor /
+                           parallel_for. Racy accumulation makes results
+                           depend on thread interleaving.
+
+Engines:
+
+  * AST mode (``--mode=ast``): consumes ``clang++ -Xclang -ast-dump=json``
+    per translation unit listed in build/compile_commands.json. Type-accurate
+    for the iteration/clock/rng rules.
+  * Token mode (``--mode=token``): pure-Python scanner, no toolchain needed.
+    Tracks unordered declarations (including those of the paired header and
+    a repo-wide map of functions returning unordered containers) and flags
+    iteration over them.
+  * ``--mode=auto`` (default): AST when clang++ and compile_commands.json
+    are available, token otherwise. A TU whose AST dump fails falls back to
+    the token scanner for that file.
+
+The parallel-shared-mutation rule always runs on the token engine (lambda
+capture provenance is not reliably recoverable from the JSON AST dump).
+
+Baseline: ``scripts/analyze_baseline.txt`` holds known findings as
+``path: rule: normalized-line`` entries (regenerate with
+``--update-baseline``). The gate fails on any finding not in the baseline,
+and on baseline entries that name files which no longer exist — stale debt
+must be deleted, not carried.
+
+Exit status: 0 clean, 1 findings (or stale baseline), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+# Overridable so the self-test can point the path-scoped rules at a fixture
+# tree (scripts/test_sel_analyze.py).
+REPO_ROOT = os.environ.get("SEL_ANALYZE_ROOT") or os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+)
+
+# Subsystems whose visit order reaches overlay structure, message delivery
+# or report bytes. obs/ is included: run reports and Perfetto traces must be
+# byte-stable so compare_reports.py can diff them.
+DETERMINISTIC_DIRS = (
+    "src/select",
+    "src/overlay",
+    "src/pubsub",
+    "src/sim",
+    "src/runtime",
+    "src/fault",
+    "src/graph",
+    "src/lsh",
+    "src/baselines",
+    "src/obs",
+)
+
+RULES = {
+    "unordered-iteration": {
+        "description": "iteration over std::unordered_map/set",
+        "include": DETERMINISTIC_DIRS,
+        "exclude": (),
+    },
+    "wall-clock": {
+        "description": "wall-clock read outside src/obs/",
+        "include": ("src",),
+        "exclude": ("src/obs",),
+    },
+    "unseeded-rng": {
+        "description": "randomness not flowing through common/rng.hpp",
+        "include": ("src",),
+        "exclude": ("src/common/rng.hpp", "src/common/rng.cpp"),
+    },
+    "parallel-shared-mutation": {
+        "description": "non-atomic write to shared state in a parallel body",
+        "include": DETERMINISTIC_DIRS,
+        "exclude": (),
+    },
+}
+
+SUPPRESS_RE = re.compile(r"SEL_NONDET_OK\(([a-z-]+)\)")
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|[^\w:.]time\s*\(\s*(?:NULL|nullptr|0|&)"
+)
+RNG_RE = re.compile(
+    r"\bstd::(?:random_device|mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine|ranlux\w+|knuth_b)\b"
+)
+
+CPP_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative
+    line: int  # 1-indexed
+    rule: str
+    text: str  # stripped source line
+
+    def key(self) -> str:
+        """Line-number-free fingerprint used by the baseline (mirrors
+        tidy_baseline.txt): unrelated edits must not churn entries."""
+        return f"{self.path}: {self.rule}: {normalize_text(self.text)}"
+
+
+def normalize_text(text: str) -> str:
+    return re.sub(r"\s+", " ", text.strip())
+
+
+def rule_applies(rule: str, rel_path: str) -> bool:
+    spec = RULES[rule]
+    rel = rel_path.replace(os.sep, "/")
+    if not any(
+        rel == inc or rel.startswith(inc + "/") for inc in spec["include"]
+    ):
+        return False
+    return not any(
+        rel == exc or rel.startswith(exc + "/") for exc in spec["exclude"]
+    )
+
+
+# --------------------------------------------------------------------------
+# Shared lexical helpers
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(source: str) -> list[str]:
+    """Returns source lines with comments and string/char literals blanked
+    (replaced by spaces), preserving line structure. Handles // and block
+    comments spanning lines; raw strings are treated as plain strings (good
+    enough for this tree)."""
+    out = []
+    i = 0
+    n = len(source)
+    in_block = False
+    line: list[str] = []
+
+    def flush() -> None:
+        out.append("".join(line))
+        line.clear()
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            flush()
+            i += 1
+            continue
+        if in_block:
+            if c == "*" and i + 1 < n and source[i + 1] == "/":
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if c == "/" and i + 1 < n:
+            if source[i + 1] == "/":
+                while i < n and source[i] != "\n":
+                    i += 1
+                continue
+            if source[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+        if c in "\"'":
+            quote = c
+            line.append(" ")
+            i += 1
+            while i < n and source[i] != "\n":
+                if source[i] == "\\":
+                    i += 2
+                    continue
+                if source[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        line.append(c)
+        i += 1
+    flush()
+    return out
+
+
+def suppressions(raw_lines: list[str]) -> list[set[str]]:
+    """Per-line suppression sets: SEL_NONDET_OK on the line or the line
+    above covers a finding."""
+    allows: list[set[str]] = []
+    for idx, raw in enumerate(raw_lines):
+        cur = set(SUPPRESS_RE.findall(raw))
+        if idx > 0:
+            cur |= set(SUPPRESS_RE.findall(raw_lines[idx - 1]))
+        allows.append(cur)
+    return allows
+
+
+def list_cpp_files(paths: list[str]) -> list[str]:
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isdir(full):
+            for root, _dirs, names in os.walk(full):
+                for name in sorted(names):
+                    if name.endswith(CPP_EXTS):
+                        files.append(os.path.join(root, name))
+        elif full.endswith(CPP_EXTS):
+            files.append(full)
+    return sorted(set(files))
+
+
+# --------------------------------------------------------------------------
+# Token engine
+# --------------------------------------------------------------------------
+
+# `std::unordered_set<PeerId> name` / `FlatSet` exoneration happens naturally:
+# only unordered declarations are recorded.
+DECL_RE = re.compile(
+    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s*&?\s*"
+    r"(\w+)\s*[;={(,)]"
+)
+# `auto subs = expr;` — subs inherits unorderedness from expr.
+AUTO_DECL_RE = re.compile(r"\b(?:const\s+)?auto&?\s+(\w+)\s*=\s*([^;]+);")
+# Range-for only: `::` is consumed whole and `;` is banned, so classic
+# three-clause for loops (including `for (std::size_t ...;...)`) never match.
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\("
+    r"((?:[^;:()\[\]]|::|\([^()]*\)|\[[^\]]*\])+?)"
+    r":(?!:)"
+    r"((?:[^();]|\([^()]*\))+)"
+    r"\)"
+)
+# Explicit iterator traversal: x.begin() ... x.end() on one line.
+ITER_PAIR_RE = re.compile(r"(\w[\w.\->]*)\s*\.\s*begin\s*\(\)")
+FUNC_RET_UNORDERED_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*\("
+)
+
+
+def collect_unordered_returning_functions(files: list[str]) -> set[str]:
+    """Repo-wide set of function names declared to return an unordered
+    container (so `for (x : obj.fn(...))` and `auto s = fn(...)` are caught
+    across translation units)."""
+    names: set[str] = set()
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                code_lines = strip_comments_and_strings(fh.read())
+        except OSError:
+            continue
+        for line in code_lines:
+            for m in FUNC_RET_UNORDERED_RE.finditer(line):
+                names.add(m.group(1))
+    return names
+
+
+def paired_header(path: str) -> str | None:
+    base, ext = os.path.splitext(path)
+    if ext not in (".cpp", ".cc"):
+        return None
+    for hext in (".hpp", ".h"):
+        cand = base + hext
+        if os.path.exists(cand):
+            return cand
+    return None
+
+
+def unordered_decls_in(code_lines: list[str], unordered_fns: set[str]) -> set[str]:
+    decls: set[str] = set()
+    for line in code_lines:
+        for m in DECL_RE.finditer(line):
+            decls.add(m.group(1))
+        for m in AUTO_DECL_RE.finditer(line):
+            name, expr = m.group(1), m.group(2)
+            if UNORDERED_TYPE_RE.search(expr):
+                decls.add(name)
+                continue
+            call = re.search(r"(\w+)\s*\(", expr)
+            if call and call.group(1) in unordered_fns:
+                decls.add(name)
+    return decls
+
+
+def last_identifier(expr: str) -> str | None:
+    """The trailing identifier of `a.b.c` / `a->b` / plain `c` expressions
+    (what a member-qualified range expression resolves to)."""
+    expr = expr.strip()
+    m = re.search(r"(\w+)\s*$", expr)
+    return m.group(1) if m else None
+
+
+def token_scan_file(
+    path: str, unordered_fns: set[str], rules: list[str]
+) -> list[Finding]:
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        source = fh.read()
+    raw_lines = source.splitlines()
+    code_lines = strip_comments_and_strings(source)
+    allows = suppressions(raw_lines)
+    findings: list[Finding] = []
+
+    def add(idx: int, rule: str) -> None:
+        if rule in allows[idx]:
+            return
+        findings.append(Finding(rel, idx + 1, rule, raw_lines[idx].strip()))
+
+    # Declarations visible to this file: its own plus its paired header's
+    # (members like InFlight::subscribers are declared in the .hpp and
+    # iterated in the .cpp).
+    decls = unordered_decls_in(code_lines, unordered_fns)
+    header = paired_header(path)
+    if header is not None:
+        with open(header, encoding="utf-8", errors="replace") as fh:
+            decls |= unordered_decls_in(
+                strip_comments_and_strings(fh.read()), unordered_fns
+            )
+
+    check_unordered = "unordered-iteration" in rules and rule_applies(
+        "unordered-iteration", rel
+    )
+    check_clock = "wall-clock" in rules and rule_applies("wall-clock", rel)
+    check_rng = "unseeded-rng" in rules and rule_applies("unseeded-rng", rel)
+
+    for idx, line in enumerate(code_lines):
+        if check_unordered:
+            flagged = False
+            for m in RANGE_FOR_RE.finditer(line):
+                range_expr = m.group(2)
+                if UNORDERED_TYPE_RE.search(range_expr):
+                    add(idx, "unordered-iteration")
+                    flagged = True
+                    break
+                call = re.search(r"(\w+)\s*\([^()]*\)\s*$", range_expr)
+                if call and call.group(1) in unordered_fns:
+                    add(idx, "unordered-iteration")
+                    flagged = True
+                    break
+                name = last_identifier(
+                    re.sub(r"\([^()]*\)\s*$", "", range_expr)
+                )
+                if name in decls:
+                    add(idx, "unordered-iteration")
+                    flagged = True
+                    break
+            if not flagged:
+                for m in ITER_PAIR_RE.finditer(line):
+                    name = last_identifier(m.group(1).replace("->", "."))
+                    if name in decls and ".end()" in line:
+                        add(idx, "unordered-iteration")
+                        break
+        if check_clock and WALL_CLOCK_RE.search(line):
+            add(idx, "wall-clock")
+        if check_rng and RNG_RE.search(line):
+            add(idx, "unseeded-rng")
+
+    if "parallel-shared-mutation" in rules and rule_applies(
+        "parallel-shared-mutation", rel
+    ):
+        findings.extend(
+            scan_parallel_mutation(rel, raw_lines, code_lines, allows)
+        )
+    return findings
+
+
+# ----- parallel-shared-mutation (token engine, always) ---------------------
+
+PARALLEL_CALL_RE = re.compile(
+    r"\b(?:for_chunks|parallel_for|parallel_for_chunks)\s*\("
+)
+LAMBDA_REF_CAPTURE_RE = re.compile(r"\[\s*&|\[[^\]]*[,\s]&")
+MUTATION_RE = re.compile(
+    r"(?:\+\+|--)\s*(\w+)\b"  # ++x / --x
+    r"|\b(\w+)\s*(?:\+\+|--)"  # x++ / x--
+    r"|\b(\w+)\s*(?:[-+*/|&^]|<<|>>)?=(?![=>])"  # x =, x +=, ...
+    r"|\b(\w+)\s*\.\s*(?:push_back|emplace_back|insert|emplace|clear|erase)\s*\("
+)
+ATOMIC_DECL_RE = re.compile(r"\batomic\b[^;]*?\b(\w+)\s*[;={(]")
+
+
+def find_lambda_body(code_lines: list[str], start_idx: int) -> tuple[int, int]:
+    """(first, last) line indices of the first lambda body at/after
+    start_idx; (-1, -1) when none found nearby."""
+    depth = 0
+    opened = False
+    for idx in range(start_idx, min(start_idx + 80, len(code_lines))):
+        line = code_lines[idx]
+        pos = 0
+        if not opened:
+            lm = re.search(r"\[[^\]]*\]", line)
+            if lm is None:
+                continue
+            pos = lm.end()
+        for j in range(pos, len(line)):
+            if line[j] == "{":
+                depth += 1
+                opened = True
+            elif line[j] == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return (start_idx, idx)
+        if opened and depth == 0:
+            return (start_idx, idx)
+        if not opened:
+            continue
+    return (start_idx, min(start_idx + 80, len(code_lines) - 1)) if opened else (-1, -1)
+
+
+def scan_parallel_mutation(
+    rel: str,
+    raw_lines: list[str],
+    code_lines: list[str],
+    allows: list[set[str]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    atomics: set[str] = set()
+    for line in code_lines:
+        for m in ATOMIC_DECL_RE.finditer(line):
+            atomics.add(m.group(1))
+
+    for idx, line in enumerate(code_lines):
+        call = PARALLEL_CALL_RE.search(line)
+        if call is None:
+            continue
+        # The parallel body either starts on this line or is a named lambda
+        # defined earlier and passed by name; only inline/nearby lambdas are
+        # analyzed — a named lambda is caught where it is *defined* if it is
+        # later passed (best-effort: scan backwards for `auto name = [`).
+        region = find_lambda_body(code_lines, idx)
+        arg = line[call.end():]
+        named = re.match(r"\s*[^,]*,\s*(\w+)\s*\)", arg)
+        if region[0] < 0 and named:
+            # for_chunks(a, b, body_name): find `body_name = [...]` above.
+            pat = re.compile(r"\b" + re.escape(named.group(1)) + r"\s*=\s*\[")
+            for back in range(idx - 1, max(-1, idx - 120), -1):
+                if pat.search(code_lines[back]):
+                    region = find_lambda_body(code_lines, back)
+                    break
+        if region[0] < 0:
+            continue
+        first, last = region
+        # Reference-captured lambda? By-value bodies cannot race.
+        header_txt = " ".join(code_lines[first : min(first + 3, last + 1)])
+        if not LAMBDA_REF_CAPTURE_RE.search(header_txt):
+            continue
+        # Locals declared inside the body are per-invocation, not shared.
+        local_decl_re = re.compile(
+            r"\b(?:auto|int|long|double|float|bool|std::\w+|[A-Z]\w*)"
+            r"[\w:<>,&*\s]*?\b(\w+)\s*[=;{(]"
+        )
+        locals_in_body: set[str] = set()
+        for j in range(first, last + 1):
+            for m in local_decl_re.finditer(code_lines[j]):
+                locals_in_body.add(m.group(1))
+        for j in range(first, last + 1):
+            body_line = code_lines[j]
+            for m in MUTATION_RE.finditer(body_line):
+                name = next(g for g in m.groups() if g)
+                if name in atomics or name in locals_in_body:
+                    continue
+                if name in ("this",) or body_line.lstrip().startswith("for"):
+                    continue
+                # Only reference-captured outer names: a name that is never
+                # declared in the body and not atomic. Heuristic guard: skip
+                # obvious keywords/calls.
+                if re.match(r"^(if|while|return|case|else)$", name):
+                    continue
+                if "parallel-shared-mutation" in allows[j]:
+                    continue
+                findings.append(
+                    Finding(
+                        rel,
+                        j + 1,
+                        "parallel-shared-mutation",
+                        raw_lines[j].strip(),
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# AST engine (clang -ast-dump=json)
+# --------------------------------------------------------------------------
+
+
+def find_clang() -> str | None:
+    env = os.environ.get("SEL_ANALYZE_CLANG")
+    if env:
+        return env if shutil.which(env) else None
+    for name in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_commands(build_dir: str) -> dict[str, list[str]]:
+    """Maps absolute source path -> compile argv (without the -o/-c tail)."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        return {}
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    cmds: dict[str, list[str]] = {}
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if "command" in entry:
+            argv = shlex.split(entry["command"])
+        else:
+            argv = list(entry.get("arguments", []))
+        cmds[path] = argv
+    return cmds
+
+
+def ast_dump(clang: str, argv: list[str], path: str) -> dict | None:
+    """JSON AST for one TU, or None when the dump fails."""
+    args = [clang, "-x", "c++", "-fsyntax-only", "-Xclang", "-ast-dump=json"]
+    keep = False
+    for i, a in enumerate(argv[1:], 1):
+        if a in ("-o", "-c"):
+            keep = False
+            continue
+        if a.startswith(("-I", "-D", "-std", "-isystem", "-W", "-f")):
+            args.append(a)
+            keep = a in ("-I", "-D", "-isystem")
+            continue
+        if keep:
+            args.append(a)
+            keep = False
+    args.append(path)
+    try:
+        proc = subprocess.run(
+            args, capture_output=True, text=True, check=False,
+            cwd=REPO_ROOT, timeout=300,
+        )
+        if proc.returncode != 0 or not proc.stdout:
+            return None
+        return json.loads(proc.stdout)
+    except (OSError, subprocess.TimeoutExpired, json.JSONDecodeError):
+        return None
+
+
+def walk_ast(node: dict, visit, path_filter: str) -> None:
+    """Depth-first walk keeping track of the current source file (clang only
+    emits `file` on location changes)."""
+    stack = [(node, "")]
+    while stack:
+        cur, cur_file = stack.pop()
+        if not isinstance(cur, dict):
+            continue
+        loc = cur.get("loc") or {}
+        spelling = loc.get("spellingLoc") or loc
+        f = spelling.get("file")
+        if f:
+            cur_file = os.path.normpath(
+                f if os.path.isabs(f) else os.path.join(REPO_ROOT, f)
+            )
+        if not path_filter or path_filter in (cur_file or ""):
+            visit(cur, cur_file)
+        for child in cur.get("inner", []) or []:
+            stack.append((child, cur_file))
+
+
+def ast_line(node: dict) -> int:
+    loc = node.get("loc") or {}
+    spelling = loc.get("spellingLoc") or loc
+    if "line" in spelling:
+        return spelling["line"]
+    rng = node.get("range") or {}
+    begin = rng.get("begin") or {}
+    sp = begin.get("spellingLoc") or begin
+    return sp.get("line", 0)
+
+
+def node_type(node: dict) -> str:
+    t = node.get("type") or {}
+    return t.get("desugaredQualType") or t.get("qualType") or ""
+
+
+def ast_scan_tu(
+    tu_json: dict, rules: list[str], file_cache: dict[str, tuple[list[str], list[set[str]]]]
+) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def lines_allows(abs_path: str) -> tuple[list[str], list[set[str]]]:
+        if abs_path not in file_cache:
+            try:
+                with open(abs_path, encoding="utf-8", errors="replace") as fh:
+                    raw = fh.read().splitlines()
+            except OSError:
+                raw = []
+            file_cache[abs_path] = (raw, suppressions(raw))
+        return file_cache[abs_path]
+
+    def emit(abs_path: str, line: int, rule: str) -> None:
+        rel = os.path.relpath(abs_path, REPO_ROOT)
+        if rel.startswith("..") or not rule_applies(rule, rel):
+            return
+        raw, allows = lines_allows(abs_path)
+        if 1 <= line <= len(allows) and rule in allows[line - 1]:
+            return
+        text = raw[line - 1].strip() if 1 <= line <= len(raw) else ""
+        findings.append(Finding(rel, line, rule, text))
+
+    def visit(node: dict, cur_file: str) -> None:
+        if not cur_file or "/src/" not in cur_file.replace(os.sep, "/"):
+            return
+        kind = node.get("kind")
+        if kind == "CXXForRangeStmt" and "unordered-iteration" in rules:
+            # The range variable's initializer type names the container.
+            for child in node.get("inner", []) or []:
+                if not isinstance(child, dict):
+                    continue
+                if UNORDERED_TYPE_RE.search(json.dumps(child.get("type", {}))):
+                    emit(cur_file, ast_line(node), "unordered-iteration")
+                    return
+                for sub in child.get("inner", []) or []:
+                    if isinstance(sub, dict) and UNORDERED_TYPE_RE.search(
+                        node_type(sub)
+                    ):
+                        emit(cur_file, ast_line(node), "unordered-iteration")
+                        return
+        elif kind in ("DeclRefExpr", "MemberExpr") and "wall-clock" in rules:
+            ref = node.get("referencedDecl") or {}
+            name = ref.get("name") or node.get("name") or ""
+            qual = node_type(node)
+            if name == "now" and re.search(
+                r"steady_clock|system_clock|high_resolution_clock", qual
+            ):
+                emit(cur_file, ast_line(node), "wall-clock")
+        elif kind in ("CXXConstructExpr", "VarDecl") and "unseeded-rng" in rules:
+            if re.search(
+                r"\b(?:random_device|mt19937(?:_64)?|minstd_rand0?|"
+                r"default_random_engine)\b",
+                node_type(node),
+            ):
+                emit(cur_file, ast_line(node), "unseeded-rng")
+
+    walk_ast(tu_json, visit, path_filter="")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Baseline
+# --------------------------------------------------------------------------
+
+BASELINE_HEADER = """\
+# Determinism-analyzer baseline (scripts/sel_analyze.py, DESIGN.md §15).
+# One `path: rule: normalized-line` entry per known finding; regenerate with
+#   scripts/sel_analyze.py --update-baseline
+# Shrink it when you fix debt; never grow it silently. Entries for files
+# that no longer exist fail the gate: delete stale debt, don't carry it.
+"""
+
+
+def load_baseline(path: str) -> list[str]:
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return [
+            line.rstrip("\n")
+            for line in fh
+            if line.strip() and not line.startswith("#")
+        ]
+
+
+def stale_baseline_entries(entries: list[str]) -> list[str]:
+    stale = []
+    for entry in entries:
+        rel = entry.split(":", 1)[0].strip()
+        if rel and not os.path.exists(os.path.join(REPO_ROOT, rel)):
+            stale.append(entry)
+    return stale
+
+
+def write_baseline(path: str, keys: list[str]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(BASELINE_HEADER)
+        for key in sorted(set(keys)):
+            fh.write(key + "\n")
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def analyze(
+    paths: list[str],
+    mode: str,
+    build_dir: str,
+    rules: list[str],
+) -> tuple[list[Finding], str]:
+    """Returns (findings, engine_used)."""
+    files = list_cpp_files(paths)
+    unordered_fns = collect_unordered_returning_functions(
+        list_cpp_files(["src"])
+    )
+
+    clang = find_clang()
+    cmds = load_compile_commands(build_dir) if mode in ("auto", "ast") else {}
+    use_ast = mode == "ast" or (mode == "auto" and clang and cmds)
+    if mode == "ast" and (not clang or not cmds):
+        print(
+            "sel_analyze: --mode=ast requires clang++ and "
+            f"{build_dir}/compile_commands.json",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    findings: list[Finding] = []
+    engine = "ast" if use_ast else "token"
+    token_rules_all = list(rules)
+
+    if use_ast:
+        ast_rules = [r for r in rules if r != "parallel-shared-mutation"]
+        file_cache: dict[str, tuple[list[str], list[set[str]]]] = {}
+        seen_headers: set[str] = set()
+        covered: set[str] = set()
+        for path in files:
+            if path not in cmds:
+                continue  # headers: covered via including TUs below
+            tu = ast_dump(clang, cmds[path], path)
+            if tu is None:
+                print(
+                    f"sel_analyze: AST dump failed for "
+                    f"{os.path.relpath(path, REPO_ROOT)}; token fallback",
+                    file=sys.stderr,
+                )
+                findings.extend(
+                    token_scan_file(path, unordered_fns, token_rules_all)
+                )
+                covered.add(path)
+                continue
+            for f in ast_scan_tu(tu, ast_rules, file_cache):
+                abs_f = os.path.join(REPO_ROOT, f.path)
+                if abs_f == path or abs_f not in files or abs_f not in seen_headers:
+                    seen_headers.add(abs_f)
+                    findings.append(f)
+            covered.add(path)
+            # parallel rule is token-engine-only:
+            findings.extend(
+                token_scan_file(
+                    path, unordered_fns, ["parallel-shared-mutation"]
+                )
+            )
+        # Files with no compile command (headers, sources outside the build)
+        # still get the token scan so nothing is silently skipped.
+        for path in files:
+            if path not in covered:
+                findings.extend(
+                    token_scan_file(path, unordered_fns, token_rules_all)
+                )
+    else:
+        for path in files:
+            findings.extend(
+                token_scan_file(path, unordered_fns, token_rules_all)
+            )
+
+    # One finding per (path, rule, normalized line): the AST pass can visit
+    # a line once per template instantiation.
+    unique: dict[tuple[str, str, str, int], Finding] = {}
+    for f in findings:
+        unique.setdefault((f.path, f.rule, normalize_text(f.text), f.line), f)
+    ordered = sorted(
+        unique.values(), key=lambda f: (f.path, f.line, f.rule)
+    )
+    return ordered, engine
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    ap.add_argument(
+        "--mode", choices=("auto", "ast", "token"), default="auto",
+        help="analysis engine (default: auto = AST when clang++ and "
+        "compile_commands.json are available)",
+    )
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "scripts", "analyze_baseline.txt"),
+    )
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    ap.add_argument(
+        "--rules", default=",".join(RULES),
+        help="comma-separated rule subset (default: all)",
+    )
+    args = ap.parse_args()
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        print(f"sel_analyze: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    findings, engine = analyze(args.paths, args.mode, args.build_dir, rules)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, [f.key() for f in findings])
+        print(
+            f"sel_analyze: baseline updated with {len(findings)} finding(s)"
+        )
+        return 0
+
+    baseline = set() if args.no_baseline else set(load_baseline(args.baseline))
+    stale = stale_baseline_entries(sorted(baseline))
+    new = [f for f in findings if f.key() not in baseline]
+    fixed = baseline - {f.key() for f in findings}
+
+    status = 0
+    if stale:
+        print(
+            f"sel_analyze: {len(stale)} baseline entr(y|ies) reference "
+            "missing files — delete them:"
+        )
+        for entry in stale:
+            print(f"  stale: {entry}")
+        status = 1
+    if fixed and not args.no_baseline:
+        print(
+            f"sel_analyze: {len(fixed)} baseline entr(y|ies) no longer "
+            "fire; shrink the baseline:",
+            file=sys.stderr,
+        )
+        for entry in sorted(fixed)[:20]:
+            print(f"  fixed: {entry}", file=sys.stderr)
+    if new:
+        print(f"sel_analyze[{engine}]: {len(new)} violation(s):")
+        for f in new:
+            print(f"  {f.path}:{f.line}: [{f.rule}] {f.text}")
+        print(
+            "suppress a legitimate use with "
+            "`// SEL_NONDET_OK(<rule>): reason` on or above the line, or "
+            "record accepted debt with --update-baseline"
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"sel_analyze[{engine}]: OK "
+            f"({len(findings)} finding(s), all baselined; "
+            f"{len(baseline)} baseline entr(y|ies))"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Self-test for sel_analyze.py, the determinism analyzer (stdlib only).
+
+Builds a fixture repo tree (SEL_ANALYZE_ROOT override) with one synthetic
+violation per rule plus clean/suppressed/out-of-scope twins, then asserts:
+  * each rule fires where it should and ONLY there;
+  * SEL_NONDET_OK on the line or the line above suppresses;
+  * rule path scoping (obs/ clock exemption, common/rng.hpp rng exemption,
+    tests/ ignored entirely);
+  * baseline round-trip: --update-baseline then a clean gate, and a fixed
+    finding is reported as shrinkable;
+  * a baseline entry naming a missing file fails the gate (stale debt);
+  * exit codes: 0 clean, 1 findings, 2 unknown rule.
+
+Run directly (CI and ctest do): python3 scripts/test_sel_analyze.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "sel_analyze.py")
+
+# --- fixture sources -------------------------------------------------------
+
+UNORDERED_BAD = """\
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+namespace sel {
+std::unordered_set<int> leak_set();
+void iterate_decl() {
+  std::unordered_map<int, int> m;
+  for (const auto& [k, v] : m) { (void)k; (void)v; }
+}
+void iterate_call() {
+  for (const int s : leak_set()) { (void)s; }
+}
+void iterate_auto_alias() {
+  auto s = leak_set();
+  for (const int x : s) { (void)x; }
+}
+}  // namespace sel
+"""
+
+UNORDERED_OK = """\
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+namespace sel {
+void clean() {
+  std::vector<int> v{3, 1, 2};
+  for (const int x : v) { (void)x; }          // ordered: fine
+  std::unordered_set<int> member_only;
+  (void)member_only.count(1);                  // lookup, no iteration: fine
+  for (std::size_t i = 0; i < v.size(); ++i) { (void)i; }  // classic for
+}
+void suppressed() {
+  std::unordered_map<int, int> m;
+  std::size_t n = 0;
+  // SEL_NONDET_OK(unordered-iteration): order-independent sum.
+  for (const auto& [k, v] : m) { n += v; (void)k; }
+  (void)n;
+}
+}  // namespace sel
+"""
+
+CLOCK_BAD = """\
+#include <chrono>
+namespace sel {
+long bad_now() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+}  // namespace sel
+"""
+
+RNG_BAD = """\
+#include <random>
+namespace sel {
+int bad_draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen());
+}
+}  // namespace sel
+"""
+
+PARALLEL_BAD = """\
+#include <atomic>
+#include <cstddef>
+namespace sel {
+struct Executor {
+  template <typename F> void for_chunks(std::size_t a, std::size_t b, F f) {
+    f(a, b);
+  }
+};
+void racy(Executor& exec) {
+  std::size_t shared_count = 0;
+  std::atomic<long> safe_count{0};
+  exec.for_chunks(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      shared_count += i;      // racy: non-atomic ref capture
+      safe_count += 1;        // atomic: fine
+      std::size_t local = i;  // per-invocation local: fine
+      (void)local;
+    }
+  });
+}
+}  // namespace sel
+"""
+
+
+def run(root, args, env_extra=None):
+    env = dict(os.environ, SEL_ANALYZE_ROOT=root)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run([sys.executable, SCRIPT, "--mode=token", *args],
+                          capture_output=True, text=True, env=env)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+
+
+failures = []
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"ok: {name}")
+    else:
+        failures.append(f"{name}: {detail}")
+        print(f"FAIL: {name}: {detail}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as root:
+        write(root, "src/overlay/unordered_bad.cpp", UNORDERED_BAD)
+        write(root, "src/overlay/unordered_ok.cpp", UNORDERED_OK)
+        write(root, "src/select/clock_bad.cpp", CLOCK_BAD)
+        write(root, "src/obs/clock_ok.cpp", CLOCK_BAD)  # obs/ is exempt
+        write(root, "src/graph/rng_bad.cpp", RNG_BAD)
+        write(root, "src/common/rng.hpp", RNG_BAD)      # the one rng home
+        write(root, "src/sim/parallel_bad.cpp", PARALLEL_BAD)
+        write(root, "tests/out_of_scope.cpp", UNORDERED_BAD)
+        baseline = os.path.join(root, "baseline.txt")
+
+        # 1. Every planted violation fires; nothing else does.
+        rc, out = run(root, ["--no-baseline", "src", "tests"])
+        check("exit 1 on findings", rc == 1, f"rc={rc}\n{out}")
+        check("unordered: declared map iteration",
+              "unordered_bad.cpp:8: [unordered-iteration]" in out, out)
+        check("unordered: unordered-returning call",
+              "unordered_bad.cpp:11: [unordered-iteration]" in out, out)
+        check("unordered: auto alias of unordered call",
+              "unordered_bad.cpp:15: [unordered-iteration]" in out, out)
+        check("unordered: clean file silent",
+              "unordered_ok.cpp" not in out, out)
+        check("wall-clock fires outside obs/",
+              "clock_bad.cpp:4: [wall-clock]" in out, out)
+        check("wall-clock exempt inside obs/",
+              "clock_ok.cpp" not in out, out)
+        check("rng fires", "rng_bad.cpp:4: [unseeded-rng]" in out, out)
+        check("rng exempt in common/rng.hpp",
+              "src/common/rng.hpp" not in out, out)
+        check("parallel mutation fires",
+              "parallel_bad.cpp:14: [parallel-shared-mutation]" in out, out)
+        check("atomic write not flagged",
+              "safe_count" not in out, out)
+        check("tests/ out of scope", "out_of_scope.cpp" not in out, out)
+
+        # 2. Baseline round-trip: record, then gate passes.
+        rc, out = run(root, ["--baseline", baseline, "--update-baseline",
+                             "src"])
+        check("update-baseline exits 0", rc == 0, f"rc={rc}\n{out}")
+        rc, out = run(root, ["--baseline", baseline, "src"])
+        check("baselined findings gate clean", rc == 0, f"rc={rc}\n{out}")
+
+        # 3. Fixing a finding reports the baseline as shrinkable.
+        write(root, "src/select/clock_bad.cpp",
+              "namespace sel { int fixed() { return 1; } }\n")
+        rc, out = run(root, ["--baseline", baseline, "src"])
+        check("fixed finding still exits 0", rc == 0, f"rc={rc}\n{out}")
+        check("fixed finding reported shrinkable", "fixed:" in out, out)
+
+        # 4. Suppression must name the right rule.
+        write(root, "src/select/clock_bad.cpp", CLOCK_BAD.replace(
+            "  auto t",
+            "  // SEL_NONDET_OK(unordered-iteration): wrong rule\n  auto t"))
+        rc, out = run(root, ["--no-baseline", "src/select"])
+        check("wrong-rule suppression does not apply",
+              rc == 1 and "[wall-clock]" in out, f"rc={rc}\n{out}")
+        write(root, "src/select/clock_bad.cpp", CLOCK_BAD.replace(
+            "  auto t",
+            "  // SEL_NONDET_OK(wall-clock): fixture timing\n  auto t"))
+        rc, out = run(root, ["--no-baseline", "src/select"])
+        check("right-rule suppression applies", rc == 0, f"rc={rc}\n{out}")
+
+        # 5. Stale baseline entries (missing file) fail the gate.
+        with open(baseline, "a", encoding="utf-8") as fh:
+            fh.write("src/gone/removed.cpp: wall-clock: auto t = now();\n")
+        rc, out = run(root, ["--baseline", baseline, "src"])
+        check("stale baseline entry fails gate",
+              rc == 1 and "stale:" in out, f"rc={rc}\n{out}")
+
+        # 6. Unknown rule is a usage error.
+        rc, out = run(root, ["--rules", "no-such-rule", "src"])
+        check("unknown rule exits 2", rc == 2, f"rc={rc}\n{out}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall sel_analyze self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+// Sorted-vector set with deterministic iteration order.
+//
+// The repo's determinism contract (DESIGN.md §13-15) forbids iterating
+// std::unordered_map/set anywhere the visit order can leak into link
+// choice, delivery order, or report bytes — hash-table order is an
+// implementation detail of the standard library, not a property of the
+// seed. FlatSet is the drop-in replacement for those sites: membership
+// queries are O(log n) over one contiguous allocation, and iteration is
+// always ascending, so any loop over it is reproducible byte-for-byte
+// across runs, thread counts, and standard libraries.
+//
+// The element sets it replaces (subscriber sets, rewiring adjacency,
+// attachment targets) are small — tens to a few hundred entries — where
+// the binary search beats hashing on locality anyway. Inserts are O(n)
+// (vector shift); callers that build large sets should insert in roughly
+// ascending order or use reserve().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace sel {
+
+template <typename T>
+class FlatSet {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  FlatSet() = default;
+
+  FlatSet(std::initializer_list<T> init) : values_(init) { normalize(); }
+
+  template <typename InputIt>
+  FlatSet(InputIt first, InputIt last) : values_(first, last) {
+    normalize();
+  }
+
+  /// Inserts `value`; returns true when it was not already present.
+  bool insert(const T& value) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+    if (it != values_.end() && *it == value) return false;
+    values_.insert(it, value);
+    return true;
+  }
+
+  /// Removes `value`; returns true when it was present.
+  bool erase(const T& value) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+    if (it == values_.end() || *it != value) return false;
+    values_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    return std::binary_search(values_.begin(), values_.end(), value);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  void clear() noexcept { values_.clear(); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Ascending, duplicate-free — the deterministic iteration order.
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return values_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return values_.end(); }
+
+  [[nodiscard]] const std::vector<T>& values() const noexcept {
+    return values_;
+  }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  void normalize() {
+    std::sort(values_.begin(), values_.end());
+    values_.erase(std::unique(values_.begin(), values_.end()),
+                  values_.end());
+  }
+
+  std::vector<T> values_;
+};
+
+}  // namespace sel

@@ -137,6 +137,15 @@ FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed, std::size_t num_peers)
       receive_seq_(num_peers, 0) {
   SEL_EXPECTS(spec.spike_factor >= 1.0);
   SEL_EXPECTS(spec.stall_s >= 0.0);
+  // Register the whole fault.* counter family up front so run reports carry
+  // a seed-independent schema: a fault class that never fires reports 0
+  // instead of omitting the key. CI's exact-match report gates (--fail-on
+  // fault.crashes=0 etc.) rely on the key existing in both runs.
+  drops_counter();
+  duplicates_counter();
+  spikes_counter();
+  stalls_counter();
+  crashes_counter();
 }
 
 double FaultPlan::u01(std::uint64_t salt, std::uint64_t a, std::uint64_t b,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/flat_set.hpp"
+
 namespace sel::graph {
 
 SocialGraph erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
@@ -42,8 +44,10 @@ SocialGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
   SEL_EXPECTS(beta >= 0.0 && beta <= 1.0);
   Rng rng(seed);
   GraphBuilder builder(n);
-  // has_edge bookkeeping so rewiring avoids duplicates.
-  std::vector<std::unordered_set<NodeId>> adj(n);
+  // has_edge bookkeeping so rewiring avoids duplicates. FlatSet: the final
+  // per-node edge emission below iterates these sets, and that order must
+  // not depend on hash-table internals (same seed ⇒ same graph bytes).
+  std::vector<FlatSet<NodeId>> adj(n);
   auto connect = [&adj](NodeId u, NodeId v) {
     adj[u].insert(v);
     adj[v].insert(u);
@@ -110,7 +114,10 @@ SocialGraph holme_kim(std::size_t n, std::size_t m, double triad_p,
   for (NodeId u = 0; u <= m; ++u) {
     for (NodeId v = u + 1; v <= m; ++v) link(u, v);
   }
-  std::unordered_set<NodeId> targets;
+  // FlatSet: the link loop below iterates the drawn target set, and its
+  // order feeds back into repeated_nodes (hence every later draw) — it must
+  // be a function of the seed alone, not of hash-table iteration order.
+  FlatSet<NodeId> targets;
   for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
     targets.clear();
     NodeId last_target = kInvalidNode;

@@ -5,7 +5,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace sel::obs {
 
@@ -57,14 +57,19 @@ void add_provenance(json::Value::Array& events,
 
   // Completion time per trace: the latest hop arrival.
   std::unordered_map<TraceId, double> completed_s;
-  std::unordered_set<std::uint32_t> peers;
+  std::vector<std::uint32_t> peers;
+  peers.reserve(prov.hops.size() * 2 + prov.publishes.size());
   for (const auto& h : prov.hops) {
     auto [it, inserted] = completed_s.try_emplace(h.trace, h.arrive_s);
     if (!inserted) it->second = std::max(it->second, h.arrive_s);
-    peers.insert(h.from);
-    peers.insert(h.to);
+    peers.push_back(h.from);
+    peers.push_back(h.to);
   }
-  for (const auto& p : prov.publishes) peers.insert(p.publisher);
+  for (const auto& p : prov.publishes) peers.push_back(p.publisher);
+  // Ascending peer id — the trace JSON must be byte-stable across runs so
+  // compare_reports.py can diff traces.
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
   for (const std::uint32_t p : peers) {
     add_thread_name(events, kPeersPid, p, "peer " + std::to_string(p));
   }

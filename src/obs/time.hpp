@@ -1,0 +1,41 @@
+// Wall-clock access for instrumentation, fenced into obs/.
+//
+// The determinism analyzer (scripts/sel_analyze.py, DESIGN.md §15) forbids
+// raw steady_clock/system_clock reads outside src/obs/: virtual time in the
+// simulation and runtime subsystems must come from runtime::EventEngine,
+// and the only legitimate wall-clock consumers are the observability
+// timers, which never feed back into protocol behaviour. Code that wants
+// to time a phase for metrics/tracing uses these helpers; the alias keeps
+// call sites free of any chrono clock spelling, so the analyzer can prove
+// the absence of wall-clock reads in deterministic code by inspection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sel::obs {
+
+/// Monotonic wall-clock instant for instrumentation timing. Opaque outside
+/// obs/: deterministic subsystems may hold and subtract these, never mint
+/// them from a clock directly.
+using WallTimePoint = std::chrono::steady_clock::time_point;
+
+/// The one sanctioned wall-clock read.
+[[nodiscard]] inline WallTimePoint wall_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+/// Nanoseconds from `start` to `end`.
+[[nodiscard]] inline std::int64_t ns_between(WallTimePoint start,
+                                             WallTimePoint end) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+      .count();
+}
+
+/// Milliseconds (fractional) from `start` to `end`.
+[[nodiscard]] inline double ms_between(WallTimePoint start,
+                                       WallTimePoint end) noexcept {
+  return static_cast<double>(ns_between(start, end)) / 1e6;
+}
+
+}  // namespace sel::obs

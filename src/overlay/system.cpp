@@ -2,9 +2,9 @@
 
 namespace sel::overlay {
 
-std::unordered_set<PeerId> PubSubSystem::subscribers_of(
-    PeerId publisher) const {
-  std::unordered_set<PeerId> subs;
+FlatSet<PeerId> PubSubSystem::subscribers_of(PeerId publisher) const {
+  // neighbors() is CSR-ascending, so these inserts are appends.
+  FlatSet<PeerId> subs;
   for (const graph::NodeId friend_id : social().neighbors(publisher)) {
     if (interest_ != nullptr && !interest_->interested(friend_id, publisher)) {
       continue;
@@ -24,8 +24,8 @@ DisseminationTree PubSubSystem::build_tree(PeerId publisher) const {
 }
 
 DisseminationTree subscriber_first_tree(
-    const Overlay& ov, const std::unordered_set<PeerId>& subscribers,
-    PeerId publisher, const RouteOptions& route_options) {
+    const Overlay& ov, const FlatSet<PeerId>& subscribers, PeerId publisher,
+    const RouteOptions& route_options) {
   DisseminationTree tree(publisher);
   // Phase 1: flood over subscriber-to-subscriber links (plus the
   // publisher's own links). Every node on these branches is interested in

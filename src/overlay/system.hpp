@@ -9,6 +9,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "common/flat_set.hpp"
 #include "graph/social_graph.hpp"
 #include "overlay/overlay.hpp"
 #include "overlay/tree.hpp"
@@ -68,8 +69,10 @@ class PubSubSystem {
 
   /// The subscriber set S_b of a publisher: its social friends, filtered by
   /// the interest function when one is installed (f ≡ true otherwise,
-  /// matching the paper's evaluation).
-  [[nodiscard]] std::unordered_set<PeerId> subscribers_of(PeerId publisher) const;
+  /// matching the paper's evaluation). Ascending-ordered so every loop over
+  /// it (tree construction, delivery accounting, report metrics) is
+  /// deterministic.
+  [[nodiscard]] FlatSet<PeerId> subscribers_of(PeerId publisher) const;
 
   /// Installs an interest function (not owned; may be null to reset).
   void set_interest_function(const InterestFunction* f) { interest_ = f; }
@@ -88,8 +91,8 @@ class PubSubSystem {
 /// through the overlay. SELECT (Sec. III-E, lookahead trees over friend
 /// links) and OMen (topic-connected overlays) disseminate this way.
 [[nodiscard]] DisseminationTree subscriber_first_tree(
-    const Overlay& ov, const std::unordered_set<PeerId>& subscribers,
-    PeerId publisher, const RouteOptions& route_options);
+    const Overlay& ov, const FlatSet<PeerId>& subscribers, PeerId publisher,
+    const RouteOptions& route_options);
 
 /// Base for systems whose routing runs on the shared Overlay substrate
 /// (SELECT, Symphony, Vitis, OMen). Bayeux routes on digit prefixes and

@@ -57,7 +57,7 @@ std::size_t DisseminationTree::depth(PeerId p) const {
 }
 
 std::vector<PeerId> DisseminationTree::relay_nodes(
-    const std::unordered_set<PeerId>& subscribers) const {
+    const FlatSet<PeerId>& subscribers) const {
   std::vector<PeerId> relays;
   for (const PeerId node : order_) {
     if (node == root_) continue;

@@ -9,9 +9,9 @@
 
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "overlay/overlay.hpp"
 
 namespace sel::check::testing {
@@ -61,7 +61,7 @@ class DisseminationTree {
 
   /// Nodes that are neither the root nor in `subscribers` — pure relays.
   [[nodiscard]] std::vector<PeerId> relay_nodes(
-      const std::unordered_set<PeerId>& subscribers) const;
+      const FlatSet<PeerId>& subscribers) const;
 
  private:
   // Test backdoor for seeding invariant violations (check/corrupt.hpp).

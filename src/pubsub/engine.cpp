@@ -707,6 +707,7 @@ std::size_t NotificationEngine::replay_missed(PeerId subscriber,
 
 std::size_t NotificationEngine::pending_replays() const {
   std::size_t n = 0;
+  // SEL_NONDET_OK(unordered-iteration): order-independent integer sum.
   for (const auto& [peer, msgs] : missed_) n += msgs.size();
   return n;
 }

@@ -245,7 +245,9 @@ class NotificationEngine {
   /// Per-message subscriber set + tree (kept while events are pending).
   struct InFlight {
     overlay::DisseminationTree tree;
-    std::unordered_set<overlay::PeerId> subscribers;
+    /// Ascending-ordered (FlatSet) so loops over it — delivery accounting,
+    /// store-and-forward marking — visit subscribers deterministically.
+    FlatSet<overlay::PeerId> subscribers;
     std::size_t pending_events = 0;
     /// Subscribers present in the tree — the exactly-once delivery bound
     /// (always maintained so SEL_CHECK can be enabled mid-flight; see

@@ -1,7 +1,6 @@
 #include "select/protocol.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
 
@@ -10,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/sampler.hpp"
+#include "obs/time.hpp"
 #include "obs/trace.hpp"
 
 namespace sel::core {
@@ -184,10 +184,9 @@ std::size_t SelectSystem::run_to_convergence() {
 
 bool SelectSystem::run_round() {
   SEL_TRACE_SCOPE("select.round");
-  using Clock = std::chrono::steady_clock;
   const bool obs_on = obs::enabled();
-  Clock::time_point t_start{};
-  if (obs_on) t_start = Clock::now();
+  obs::WallTimePoint t_start{};
+  if (obs_on) t_start = obs::wall_now();
 
   double movement = 0.0;
   std::size_t relocations = 0;
@@ -227,8 +226,8 @@ bool SelectSystem::run_round() {
     link_changes += changed;
   }
 
-  Clock::time_point t_compute{};
-  if (obs_on) t_compute = Clock::now();
+  obs::WallTimePoint t_compute{};
+  if (obs_on) t_compute = obs::wall_now();
 
   overlay_.rebuild_ring();
 
@@ -240,22 +239,17 @@ bool SelectSystem::run_round() {
   }
 
   if (obs_on) {
-    const auto ms = [](auto d) {
-      return static_cast<double>(
-                 std::chrono::duration_cast<std::chrono::nanoseconds>(d)
-                     .count()) /
-             1e6;
-    };
     rounds_counter().add(1);
     link_reassignments_counter().add(static_cast<std::int64_t>(link_changes));
     // Round telemetry: the gossip/relink peer loop is the compute phase; the
     // ring rebuild is the delivery/synchronization phase (no barrier — the
     // loop is sequential). One gossip exchange moves two routing tables.
     const std::uint64_t tel_round = telemetry_round_++;
-    const auto t_end = Clock::now();
+    const auto t_end = obs::wall_now();
     obs::MetricsRegistry::global().add_round(obs::RoundSample{
-        "select.round", tel_round, ms(t_compute - t_start), 0.0,
-        ms(t_end - t_compute), static_cast<std::uint64_t>(exchanges * 2)});
+        "select.round", tel_round, obs::ms_between(t_start, t_compute), 0.0,
+        obs::ms_between(t_compute, t_end),
+        static_cast<std::uint64_t>(exchanges * 2)});
     // Phase timeline for the Perfetto exporter.
     auto& buf = obs::TraceBuffer::global();
     buf.add({"select.round", "compute", tel_round, obs::wall_us(t_start),

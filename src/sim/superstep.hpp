@@ -27,7 +27,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <span>
 #include <type_traits>
@@ -39,6 +38,7 @@
 #include "common/executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/time.hpp"
 
 namespace sel::sim {
 
@@ -114,10 +114,9 @@ class SuperstepEngine {
   /// minus that — i.e. idle waiting on stragglers), delivery time (count +
   /// scatter + offset build) and the message count into the global registry.
   std::size_t step() {
-    using Clock = std::chrono::steady_clock;
     const bool obs_on = obs::enabled();
-    Clock::time_point t_start{};
-    if (obs_on) t_start = Clock::now();
+    obs::WallTimePoint t_start{};
+    if (obs_on) t_start = obs::wall_now();
     // Slowest chunk's busy nanoseconds; the gap to compute wall-time is the
     // barrier wait.
     std::atomic<std::int64_t> busy_max_ns{0};
@@ -126,8 +125,8 @@ class SuperstepEngine {
 
     auto run_chunk = [this, obs_on, &busy_max_ns](std::size_t lo,
                                                   std::size_t hi) {
-      Clock::time_point chunk_start{};
-      if (obs_on) chunk_start = Clock::now();
+      obs::WallTimePoint chunk_start{};
+      if (obs_on) chunk_start = obs::wall_now();
       // Identify the chunk by its start; chunks are contiguous so this is
       // collision-free (the split mirrors ThreadPool::parallel_for_chunks).
       const std::size_t per =
@@ -145,10 +144,7 @@ class SuperstepEngine {
             mailbox);
       }
       if (obs_on) {
-        const auto busy =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - chunk_start)
-                .count();
+        const auto busy = obs::ns_between(chunk_start, obs::wall_now());
         std::int64_t cur = busy_max_ns.load(std::memory_order_relaxed);
         while (busy > cur && !busy_max_ns.compare_exchange_weak(
                                  cur, busy, std::memory_order_relaxed)) {
@@ -158,8 +154,8 @@ class SuperstepEngine {
 
     exec_.for_chunks(0, num_vertices_, run_chunk);
 
-    Clock::time_point t_compute{};
-    if (obs_on) t_compute = Clock::now();
+    obs::WallTimePoint t_compute{};
+    if (obs_on) t_compute = obs::wall_now();
 
     deliver();
 
@@ -183,12 +179,8 @@ class SuperstepEngine {
     }
 
     if (obs_on) {
-      const auto t_end = Clock::now();
-      const auto ns = [](auto d) {
-        return static_cast<double>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
-      };
-      const double compute_wall_ms = ns(t_compute - t_start) / 1e6;
+      const auto t_end = obs::wall_now();
+      const double compute_wall_ms = obs::ms_between(t_start, t_compute);
       const double compute_ms =
           static_cast<double>(busy_max_ns.load(std::memory_order_relaxed)) /
           1e6;
@@ -200,7 +192,7 @@ class SuperstepEngine {
       reg.add_round(obs::RoundSample{
           "sim.superstep", static_cast<std::uint64_t>(round_), compute_ms,
           std::max(0.0, compute_wall_ms - compute_ms),
-          ns(t_end - t_compute) / 1e6,
+          obs::ms_between(t_compute, t_end),
           static_cast<std::uint64_t>(inbox_.size())});
       // Phase timeline for the Perfetto exporter: compute / barrier /
       // deliver slices per round, on wall-clock µs.

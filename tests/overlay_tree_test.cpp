@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/flat_set.hpp"
 #include "overlay/system.hpp"
 
 namespace sel::overlay {
@@ -86,7 +87,7 @@ TEST(DisseminationTree, RelayNodesExcludesRootAndSubscribers) {
   DisseminationTree t(0);
   t.add_path(std::vector<PeerId>{0, 9, 1});  // 9 is a relay
   t.add_path(std::vector<PeerId>{0, 2});
-  const std::unordered_set<PeerId> subs{1, 2};
+  const FlatSet<PeerId> subs{1, 2};
   const auto relays = t.relay_nodes(subs);
   ASSERT_EQ(relays.size(), 1u);
   EXPECT_EQ(relays[0], 9u);
@@ -96,7 +97,7 @@ TEST(DisseminationTree, SubscriberRelaysNotCounted) {
   // A subscriber that forwards is not a relay node (paper Sec. II-B).
   DisseminationTree t(0);
   t.add_path(std::vector<PeerId>{0, 1, 2});  // 1 forwards to 2, both subs
-  const std::unordered_set<PeerId> subs{1, 2};
+  const FlatSet<PeerId> subs{1, 2};
   EXPECT_TRUE(t.relay_nodes(subs).empty());
 }
 
@@ -107,7 +108,7 @@ TEST(SubscriberFirstTree, ZeroRelaysOnConnectedSubscribers) {
   ov.rebuild_ring();
   ov.add_long_link(0, 1);
   ov.add_long_link(1, 2);
-  const std::unordered_set<PeerId> subs{1, 2};
+  const FlatSet<PeerId> subs{1, 2};
   const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
   EXPECT_TRUE(tree.contains(1));
   EXPECT_TRUE(tree.contains(2));
@@ -122,7 +123,7 @@ TEST(SubscriberFirstTree, TwoHopAttachUsesSingleRelay) {
   // Disconnect ring effects by using far ids? ring links exist; subscriber
   // 3's ring neighbours include 2 and 4 (non-subscribers), so phase 1 can't
   // reach it; phase 2 attaches through one of them.
-  const std::unordered_set<PeerId> subs{3};
+  const FlatSet<PeerId> subs{3};
   const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
   EXPECT_TRUE(tree.contains(3));
   const auto relays = tree.relay_nodes(subs);
@@ -135,7 +136,7 @@ TEST(SubscriberFirstTree, SkipsOfflineSubscribers) {
   ov.rebuild_ring();
   ov.add_long_link(0, 1);
   ov.set_online(1, false);
-  const std::unordered_set<PeerId> subs{1};
+  const FlatSet<PeerId> subs{1};
   const auto tree = subscriber_first_tree(ov, subs, 0, RouteOptions{});
   EXPECT_FALSE(tree.contains(1));
 }

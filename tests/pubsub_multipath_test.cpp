@@ -97,14 +97,16 @@ TEST_F(MultipathTest, FaultToleranceIsDeterministicInSeed) {
 TEST_F(MultipathTest, FaultTolerancePinnedEstimateForFixedSeed) {
   // Regression pin: the Monte-Carlo estimate for this exact configuration
   // (graph seed 3, publishers {0, 17, 42}, p = 0.2, 40 rounds, seed 9) must
-  // not drift — a change here means the trial loop, the RNG stream layout
-  // or the path planner changed behaviour.
+  // not drift — a change here means the trial loop, the RNG stream layout,
+  // the path planner or the graph generator changed behaviour. (Re-pinned
+  // when holme_kim switched to sorted attachment-target iteration so
+  // same-seed graphs stopped depending on hash-table order.)
   const std::vector<PeerId> publishers{0, 17, 42};
   const auto r = measure_fault_tolerance(sys_->overlay(), g_, publishers,
                                          0.2, 40, 9);
-  EXPECT_EQ(r.trials, 7581u);
-  EXPECT_NEAR(r.single_path_delivery, 0.75517741722727871, 1e-12);
-  EXPECT_NEAR(r.multi_path_delivery, 0.88998812821527507, 1e-12);
+  EXPECT_EQ(r.trials, 7838u);
+  EXPECT_NEAR(r.single_path_delivery, 0.760398060729778, 1e-12);
+  EXPECT_NEAR(r.multi_path_delivery, 0.89793314621076803, 1e-12);
   // Half-widths follow 1.96 * sqrt(p (1-p) / n) exactly.
   const auto hw = [&r](double p) {
     return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(r.trials));
