@@ -14,13 +14,22 @@
 // for the reliable row. `--runtime=superstep|async` (or SEL_RUNTIME)
 // selects the execution mode; the superstep run writes its own
 // chaos_superstep.csv/report so cross-mode artifacts sit side by side.
+//
+// `--runtime=socket` (or SEL_TRANSPORT=socket) hosts the peers on
+// SEL_SHARDS forked shard-server processes behind the wire codec; the
+// driver pulls every child's MetricsSnapshot at the end and merges it into
+// the single report, so pubsub.*/fault.*/mem.* totals match the inproc run
+// for the same seed (receiver-side draws are pure functions of the shared
+// plan parameters, not of which process hosts the peer).
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "bench/bench_common.hpp"
 #include "fault/fault.hpp"
 #include "pubsub/engine.hpp"
 #include "pubsub/multipath.hpp"
+#include "runtime/socket_transport.hpp"
 #include "select/protocol.hpp"
 #include "sim/churn.hpp"
 
@@ -39,7 +48,8 @@ struct SoakRow {
 SoakRow run_soak(const sel::graph::SocialGraph& g,
                  sel::core::SelectSystem& sys, sel::net::NetworkModel& net,
                  const sel::fault::FaultSpec& spec, std::uint64_t seed,
-                 bool reliable, const sel::runtime::Options& runtime_opts) {
+                 bool reliable, const sel::runtime::Options& runtime_opts,
+                 const sel::runtime::SpawnedShards* shards) {
   using namespace sel;
   for (overlay::PeerId p = 0; p < g.num_nodes(); ++p) {
     sys.set_peer_online(p, true);
@@ -48,6 +58,19 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
   pubsub::NotificationEngine engine(sys, net);
   engine.set_runtime_options(runtime_opts);
   engine.set_fault_plan(&plan);
+  // Socket backend: hop arrivals to remote-shard peers do their
+  // receiver-side draw in the child process over the wire. Both soak rows
+  // reuse the same shard servers, so each row starts by resetting the
+  // shards' plan state (stall windows, crash set, draw sequence) to match
+  // the fresh driver-side plan above — without it, row 2's draws diverge
+  // from an in-process run.
+  std::optional<runtime::SocketTransport> socket_transport;
+  if (shards != nullptr) {
+    shards->reset_plans();
+    socket_transport.emplace(engine.event_engine(), net, *shards,
+                             runtime_opts, &plan);
+    engine.set_transport(&*socket_transport);
+  }
   pubsub::RetryPolicy policy = pubsub::RetryPolicy::from_env();
   policy.enabled = reliable;
   policy.ack_timeout_s = std::min(policy.ack_timeout_s, 2.0);
@@ -123,6 +146,19 @@ int main(int argc, char** argv) {
 
   const auto g =
       graph::make_dataset_graph(graph::profile_by_name("facebook"), n, seed);
+
+  // Fork the shard servers BEFORE anything that might create threads
+  // (SelectSystem::build uses the executor pool); children only run the
+  // serve loop. SEL_SHARDS sizes the fleet (driver included).
+  std::optional<runtime::SpawnedShards> shards;
+  if (runtime_opts.transport == runtime::TransportKind::kSocket) {
+    const auto num_shards = static_cast<std::uint32_t>(
+        env::get_int("SEL_SHARDS", 2, 1, 64));
+    shards.emplace(runtime::SpawnedShards::spawn_loopback(
+        num_shards, spec, seed, g.num_nodes()));
+    std::printf("transport: socket (%u shards)\n", num_shards);
+  }
+
   net::NetworkModel net(g.num_nodes(), seed);
   core::SelectSystem sys(g, core::SelectParams{}, seed, &net);
   sys.build();
@@ -139,7 +175,8 @@ int main(int argc, char** argv) {
   SoakRow reliable_row;
   for (const bool reliable : {true, false}) {
     const auto row = run_soak(g, sys, net, spec, seed, reliable,
-                              runtime_opts);
+                              runtime_opts,
+                              shards ? &*shards : nullptr);
     if (reliable) reliable_row = row;
     const char* name = reliable ? "reliable" : "control";
     table.add_row({name, fmt(row.stats.delivery_rate(), 4),
@@ -166,12 +203,27 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry::global().gauge("pubsub.delivery_rate")
       .set(reliable_row.stats.delivery_rate());
 
+  // Socket backend: pull every child's full metrics snapshot and merge it
+  // into the driver registry (ascending shard id) so the report below is
+  // the single source of truth for the whole process fleet — child-side
+  // fault.* draws included, per-shard mem.* republished as mem.shard<k>.*.
+  // NOTE the CSV's injected_* columns count only driver-side plan draws;
+  // the merged fault.* counters in the report are the fleet totals.
+  if (shards) {
+    const std::size_t merged =
+        shards->collect_snapshots(obs::MetricsRegistry::global());
+    std::printf("merged %zu shard snapshot(s)\n", merged);
+    shards->shutdown();
+  }
+
   std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report(
       "chaos", csv.path(),
       {{"seed", std::to_string(seed)},
        {"fault_mix", spec.to_string()},
        {"n", std::to_string(n)},
-       {"runtime", std::string(runtime::to_string(runtime_opts.mode))}});
+       {"runtime", std::string(runtime::to_string(runtime_opts.mode))},
+       {"transport",
+        std::string(runtime::to_string(runtime_opts.transport))}});
   return 0;
 }

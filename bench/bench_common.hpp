@@ -14,11 +14,13 @@
 #include <string_view>
 #include <vector>
 
+#include "check/memory_checks.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "graph/profiles.hpp"
+#include "obs/memory.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
@@ -64,27 +66,43 @@ inline std::vector<overlay::PeerId> workload_publishers(
 }
 
 /// Runtime options for a harness: SEL_RUNTIME/SEL_TRANSPORT from the
-/// environment, overridden by a `--runtime=superstep|async` CLI flag.
-/// Unknown arguments are ignored (harnesses have no other flags).
+/// environment, overridden by a `--runtime=superstep|async|socket|inproc`
+/// CLI flag (mode and transport share the flag — the values are disjoint).
+/// Other arguments are ignored here; `--mem-profile` is picked up
+/// process-wide by obs::mem_profile_enabled() without per-harness parsing.
 inline runtime::Options parse_runtime_flag(int argc, char** argv) {
   runtime::Options opts = runtime::Options::from_env();
   constexpr std::string_view kPrefix = "--runtime=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.substr(0, kPrefix.size()) == kPrefix) {
-      opts.mode = runtime::parse_mode(arg.substr(kPrefix.size()), opts.mode);
+      const std::string_view value = arg.substr(kPrefix.size());
+      if (value == "socket") {
+        opts.transport = runtime::TransportKind::kSocket;
+      } else if (value == "inproc") {
+        opts.transport = runtime::TransportKind::kInProc;
+      } else {
+        opts.mode = runtime::parse_mode(value, opts.mode);
+      }
     }
   }
   return opts;
 }
 
-/// Per-mode artifact name: `<stem>.csv` for the default async runtime,
-/// `<stem>_superstep.csv` for the barrier-quantized one — so cross-mode
+/// Per-mode artifact name: `<stem>.csv` for the default async/inproc
+/// runtime, `<stem>_superstep.csv` / `<stem>_socket.csv` for the
+/// barrier-quantized mode and the multi-process transport — so cross-mode
 /// report JSONs land side by side instead of clobbering each other.
 inline std::string runtime_csv_name(const runtime::Options& opts,
                                     const std::string& stem) {
-  if (opts.mode == runtime::Mode::kAsync) return stem + ".csv";
-  return stem + "_" + std::string(runtime::to_string(opts.mode)) + ".csv";
+  std::string name = stem;
+  if (opts.mode != runtime::Mode::kAsync) {
+    name += "_" + std::string(runtime::to_string(opts.mode));
+  }
+  if (opts.transport != runtime::TransportKind::kInProc) {
+    name += "_" + std::string(runtime::to_string(opts.transport));
+  }
+  return name + ".csv";
 }
 
 inline void print_banner(const char* experiment, const char* paper_ref,
@@ -121,8 +139,14 @@ inline void write_run_report(
   report.metadata.emplace("scale", fmt(bench_scale(), 2));
   report.metadata.emplace("trials", std::to_string(trial_count()));
   report.metadata.emplace("obs", obs::enabled() ? "on" : "off");
+  // End-of-run resource summary (schema v3): refresh the mem.* gauges so
+  // the snapshot and the flat `memory` section agree, and give
+  // SEL_MEM_BUDGET one last chance to fire before the artifact is written.
+  obs::poll_memory_gauges();
+  check::check_memory_budget();
   report.snapshot = reg.snapshot();
   report.timeseries = obs::RoundSampler::global().snapshot();
+  report.memory = obs::memory_values();
   const std::string path = obs::report_path_for_csv(csv_path);
   if (report.write(path)) {
     std::printf("wrote %s\n", path.c_str());

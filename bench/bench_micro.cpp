@@ -161,7 +161,7 @@ class SortDeliveryEngine {
       : n_(n), program_(program), offsets_(n + 1, 0) {}
 
   std::size_t step() {
-    std::vector<sim::Envelope<TPayload>> outbox;
+    sim::EnvelopeArena<TPayload> outbox;
     for (std::size_t v = 0; v < n_; ++v) {
       const auto vid = static_cast<sim::VertexId>(v);
       sim::Mailbox<TPayload> mailbox(vid, outbox);
@@ -187,7 +187,7 @@ class SortDeliveryEngine {
  private:
   std::size_t n_;
   Program& program_;
-  std::vector<sim::Envelope<TPayload>> inbox_;
+  sim::EnvelopeArena<TPayload> inbox_;
   std::vector<std::size_t> offsets_;
 };
 

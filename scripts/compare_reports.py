@@ -13,11 +13,18 @@ round-telemetry comparisons (total/mean phase times, message volume).
 
 Without --fail-on the exit code is always 0 (reporting mode). Each
 --fail-on METRIC=TOLERANCE names a flat metric (counter, gauge, span as
-"span.<name>.total_ms", or round aggregate like "select.round.rounds") and
-the maximum allowed relative change, as a fraction (0.25 = 25%; 0 = must be
-identical). Any named metric whose change exceeds its tolerance — or which
-is missing from either report — makes the script exit 1, so CI can gate on
-it. Run scripts/test_compare_reports.py for the self-test.
+"span.<name>.total_ms", memory as "mem.rss_peak_bytes", or round aggregate
+like "select.round.rounds") and the maximum allowed relative change, as a
+fraction (0.25 = 25%; 0 = must be identical). Any named metric whose change
+exceeds its tolerance — or which is missing from either report — makes the
+script exit 1, so CI can gate on it.
+
+--allow-missing downgrades the missing-key case to a warning (exit stays 0
+for that metric): use it when gating a schema-v3 candidate (which carries
+the `memory` section) against a v2 baseline that predates it, without
+giving up the gate on the metrics both schemas share. A metric missing from
+BOTH reports still fails — that is a typo in the gate, not a schema skew.
+Run scripts/test_compare_reports.py for the self-test.
 """
 
 import argparse
@@ -117,6 +124,10 @@ def flat_metrics(doc):
         flat[f"span.{name}.total_ms"] = span.get("total_ns", 0) / 1e6
         flat[f"span.{name}.count"] = span.get("count", 0)
     flat.update(round_aggregates(m.get("rounds", [])))
+    # Schema v3: flat end-of-run memory section (mem.* keys). Overrides the
+    # gauge of the same name — the section is written last, so it is the
+    # authoritative end-of-run value.
+    flat.update(doc.get("memory", {}))
     return flat
 
 
@@ -136,21 +147,35 @@ def parse_fail_on(specs):
     return thresholds
 
 
-def check_thresholds(thresholds, flat_a, flat_b):
-    """Returns a list of violation strings (empty = all within tolerance)."""
+def check_thresholds(thresholds, flat_a, flat_b, allow_missing=False):
+    """Returns (violations, warnings) — each a list of strings.
+
+    A metric missing from exactly one report is a violation unless
+    `allow_missing` (schema transitions: a v2 baseline has no `memory`
+    section). Missing from both is always a violation — the gate names a
+    metric neither run produces, which no schema skew explains.
+    """
     violations = []
+    warnings = []
     for metric, tol in thresholds:
         va, vb = flat_a.get(metric), flat_b.get(metric)
+        if va is None and vb is None:
+            violations.append(f"{metric}: missing from both reports")
+            continue
         if va is None or vb is None:
             where = "baseline" if va is None else "candidate"
-            violations.append(f"{metric}: missing from {where} report")
+            msg = f"{metric}: missing from {where} report"
+            if allow_missing:
+                warnings.append(f"{msg} (skipped: --allow-missing)")
+            else:
+                violations.append(msg)
             continue
         rel = rel_change(va, vb)
         if rel > tol:
             violations.append(
                 f"{metric}: {fmt_num(va)} -> {fmt_num(vb)} "
                 f"(changed {100.0 * rel:.1f}%, tolerance {100.0 * tol:.1f}%)")
-    return violations
+    return violations, warnings
 
 
 def main():
@@ -164,6 +189,10 @@ def main():
                     metavar="METRIC=TOLERANCE",
                     help="exit 1 when METRIC's relative change exceeds "
                          "TOLERANCE (a fraction; repeatable)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="a --fail-on metric missing from one report is a "
+                         "warning, not a failure (schema v2 -> v3 "
+                         "transitions); missing from both still fails")
     args = ap.parse_args()
     thresholds = parse_fail_on(args.fail_on)
 
@@ -189,14 +218,18 @@ def main():
     print()
 
     if thresholds:
-        violations = check_thresholds(thresholds, flat_metrics(a),
-                                      flat_metrics(b))
+        violations, warnings = check_thresholds(
+            thresholds, flat_metrics(a), flat_metrics(b),
+            allow_missing=args.allow_missing)
+        for w in warnings:
+            print(f"  WARN {w}")
         if violations:
             print("## threshold violations")
             for v in violations:
                 print(f"  FAIL {v}")
             sys.exit(1)
-        print(f"all {len(thresholds)} threshold(s) within tolerance")
+        print(f"all {len(thresholds)} threshold(s) within tolerance "
+              f"({len(warnings)} skipped)")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,9 @@ Builds two synthetic run reports, then asserts the exit codes:
   * within tolerance        -> 0
   * beyond tolerance        -> 1
   * metric missing          -> 1
+  * metric missing with --allow-missing (v2 baseline vs v3 candidate) -> 0
+  * metric missing from BOTH reports, even with --allow-missing       -> 1
+  * mem.* keys from the schema-v3 `memory` section gate like any metric
   * malformed spec          -> nonzero usage error
 
 Run directly (CI does): python3 scripts/test_compare_reports.py
@@ -21,8 +24,9 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "compare_reports.py")
 
 
-def make_report(deliveries, compute_ms):
-    return {
+def make_report(deliveries, compute_ms, memory=None):
+    """Synthetic report; `memory` (a dict) upgrades it to schema v3."""
+    report = {
         "schema_version": 2,
         "experiment": "selftest",
         "git_describe": "test",
@@ -42,6 +46,10 @@ def make_report(deliveries, compute_ms):
         },
         "timeseries": [],
     }
+    if memory is not None:
+        report["schema_version"] = 3
+        report["memory"] = memory
+    return report
 
 
 def run(args):
@@ -86,6 +94,45 @@ def main():
 
         code, out = run([base, cand, "--fail-on", "no.such.metric=0.5"])
         check("missing metric gates", code, 1, out)
+
+        # Schema transition: v2 baseline (no memory section) vs v3
+        # candidate. Without --allow-missing the mem gate fails; with it
+        # the missing key downgrades to a warning while the shared metrics
+        # keep gating.
+        cand3 = os.path.join(tmp, "cand3.report.json")
+        with open(cand3, "w") as f:
+            json.dump(make_report(deliveries=1000, compute_ms=1.0,
+                                  memory={"mem.rss_peak_bytes": 1e8,
+                                          "mem.bytes_per_peer": 5e4}), f)
+
+        code, out = run([base, cand3,
+                         "--fail-on", "mem.rss_peak_bytes=0.05"])
+        check("v2 baseline missing mem key gates", code, 1, out)
+
+        code, out = run([base, cand3, "--allow-missing",
+                         "--fail-on", "mem.rss_peak_bytes=0.05",
+                         "--fail-on", "pubsub.deliveries=0"])
+        check("--allow-missing skips schema-skew key", code, 0, out)
+
+        code, out = run([base, cand3, "--allow-missing",
+                         "--fail-on", "no.such.metric=0.5"])
+        check("missing from both still gates with --allow-missing",
+              code, 1, out)
+
+        # Both reports v3: mem.* keys gate like any other flat metric.
+        base3 = os.path.join(tmp, "base3.report.json")
+        with open(base3, "w") as f:
+            json.dump(make_report(deliveries=1000, compute_ms=1.0,
+                                  memory={"mem.rss_peak_bytes": 2e8,
+                                          "mem.bytes_per_peer": 5e4}), f)
+
+        code, out = run([base3, cand3,
+                         "--fail-on", "mem.rss_peak_bytes=0.05"])
+        check("mem regression beyond tolerance gates", code, 1, out)
+
+        code, out = run([base3, cand3,
+                         "--fail-on", "mem.bytes_per_peer=0.05"])
+        check("unchanged mem metric passes", code, 0, out)
 
         code, out = run([base, cand, "--fail-on", "pubsub.deliveries"])
         if code == 0:

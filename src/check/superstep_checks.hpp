@@ -3,22 +3,23 @@
 // offset table partitions it exactly — the property that makes rounds
 // deterministic regardless of thread count (sim/superstep.hpp).
 //
-// Templated on the message type (any struct with dst/src/seq members) so
-// this header does not depend on sim/superstep.hpp, which includes it.
+// Templated on the container types (any indexable sequences; messages are
+// any struct with dst/src/seq members) so this header depends neither on
+// sim/superstep.hpp, which includes it, nor on the arena's allocator
+// (obs/memory.hpp tags the engine's buffers).
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <vector>
 
 #include "check/check.hpp"
 
 namespace sel::check {
 
-template <typename Msg>
-inline Result validate_superstep_inbox(
-    const std::vector<Msg>& inbox, const std::vector<std::size_t>& offsets,
-    std::size_t num_vertices) {
+template <typename Inbox, typename Offsets>
+inline Result validate_superstep_inbox(const Inbox& inbox,
+                                       const Offsets& offsets,
+                                       std::size_t num_vertices) {
   if (offsets.size() != num_vertices + 1 || offsets.front() != 0 ||
       offsets.back() != inbox.size()) {
     return Violation{"superstep.offsets.shape",

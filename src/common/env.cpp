@@ -141,6 +141,11 @@ const std::vector<EnvKnob>& env_knobs() {
       {"SEL_RUNTIME", "execution mode: async | superstep (default async)"},
       {"SEL_TRANSPORT", "transport backend: inproc | socket (default inproc)"},
       {"SEL_RUNTIME_ROUND_S", "superstep barrier length, seconds (default 1)"},
+      {"SEL_SHARDS", "socket runtime: shard process count (default 2)"},
+      {"SEL_MEM_BUDGET",
+       "soft memory budget for tracked bytes, e.g. 512m (k/m/g suffixes)"},
+      {"SEL_MEM_PROFILE",
+       "per-round memory sampling in reports (same as --mem-profile)"},
       {"SELECT_BENCH_SCALE", "experiment network-size multiplier"},
       {"SELECT_TRIALS", "independent trials per data point"},
       {"SELECT_THREADS", "worker threads for the global pool (0 = hardware)"},

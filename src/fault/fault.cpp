@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -218,6 +219,13 @@ std::vector<std::uint32_t> FaultPlan::crashed_peers() const {
     if (crashed_[p]) out.push_back(static_cast<std::uint32_t>(p));
   }
   return out;
+}
+
+void FaultPlan::reset() {
+  std::fill(stalled_until_.begin(), stalled_until_.end(), 0.0);
+  std::fill(crashed_.begin(), crashed_.end(), false);
+  std::fill(receive_seq_.begin(), receive_seq_.end(), 0);
+  stats_ = Stats{};
 }
 
 }  // namespace sel::fault

@@ -95,6 +95,14 @@ class FaultPlan {
   /// Peers marked crashed so far (sorted ascending).
   [[nodiscard]] std::vector<std::uint32_t> crashed_peers() const;
 
+  /// Clears the accumulated receiver state (stall windows, crash set,
+  /// per-peer draw sequence) and the local stats, restoring the plan to its
+  /// just-constructed draws. Long-lived plan holders (shard servers that
+  /// outlive one engine run) call this between runs so their draws line up
+  /// with a driver that constructed a fresh plan; global fault.* counters
+  /// are untouched and keep accumulating across runs.
+  void reset();
+
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 

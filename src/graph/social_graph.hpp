@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/memory.hpp"
 
 namespace sel::graph {
 
@@ -68,8 +69,13 @@ class SocialGraph {
  private:
   friend class GraphBuilder;
 
-  std::vector<std::size_t> offsets_;  // size num_nodes + 1
-  std::vector<NodeId> adjacency_;     // concatenated sorted neighbour lists
+  // CSR storage is the process's largest long-lived allocation at scale;
+  // attributed to `mem.graph` (obs/memory.hpp). Exposed only through spans,
+  // so the allocator is invisible to callers.
+  obs::AccountedVector<std::size_t, obs::Subsystem::kGraph>
+      offsets_;  // size num_nodes + 1
+  obs::AccountedVector<NodeId, obs::Subsystem::kGraph>
+      adjacency_;  // concatenated sorted neighbour lists
 };
 
 /// Accumulates undirected edges, deduplicates, drops self-loops, and

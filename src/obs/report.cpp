@@ -5,8 +5,6 @@
 
 namespace sel::obs {
 
-namespace {
-
 json::Value snapshot_to_json(const Snapshot& snap) {
   json::Value::Object counters;
   for (const auto& c : snap.counters) {
@@ -98,8 +96,6 @@ Snapshot snapshot_from_json(const json::Value& v) {
   return snap;
 }
 
-}  // namespace
-
 json::Value RunReport::to_json() const {
   json::Value::Object out;
   out.emplace("schema_version", kSchemaVersion);
@@ -121,6 +117,9 @@ json::Value RunReport::to_json() const {
     series.emplace_back(std::move(p));
   }
   out.emplace("timeseries", std::move(series));
+  json::Value::Object mem;
+  for (const auto& [k, v] : memory) mem.emplace(k, json::Value(v));
+  out.emplace("memory", std::move(mem));
   return json::Value(std::move(out));
 }
 
@@ -143,6 +142,12 @@ RunReport RunReport::from_json(const json::Value& v) {
         point.values.emplace(k, val.as_double());
       }
       rep.timeseries.push_back(std::move(point));
+    }
+  }
+  // Optional since schema v3 — v1/v2 reports stay readable.
+  if (v.contains("memory")) {
+    for (const auto& [k, val] : v.at("memory").as_object()) {
+      rep.memory.emplace(k, val.as_double());
     }
   }
   return rep;

@@ -17,8 +17,10 @@ namespace sel::obs {
 struct RunReport {
   /// Schema version for tooling; bump when the layout changes.
   /// v2: adds the `timeseries` section (per-round counter deltas + gauges
-  /// from obs/sampler.hpp). v1 reports parse fine (section optional).
-  static constexpr int kSchemaVersion = 2;
+  /// from obs/sampler.hpp). v3: adds the `memory` section (flat mem.*
+  /// values from obs/memory.hpp). Both optional on parse, so older
+  /// reports stay readable.
+  static constexpr int kSchemaVersion = 3;
 
   std::string experiment;  ///< e.g. "fig5_convergence"
   /// Free-form run metadata (profile, n, seed, rounds, scale, trials, ...).
@@ -28,6 +30,10 @@ struct RunReport {
   Snapshot snapshot;
   /// Per-round time-series (one point per sampled protocol round).
   std::vector<TimeSeriesPoint> timeseries;
+  /// End-of-run resource summary (obs::memory_values()): subsystem
+  /// live/peak bytes, RSS, bytes-per-peer. Ordered map: deterministic
+  /// serialization. Since schema v3.
+  std::map<std::string, double> memory;
 
   [[nodiscard]] json::Value to_json() const;
   [[nodiscard]] static RunReport from_json(const json::Value& v);
@@ -37,6 +43,11 @@ struct RunReport {
   /// CsvWriter does.
   bool write(const std::string& path) const;
 };
+
+/// Metrics snapshot <-> JSON, shared by RunReport and the socket
+/// transport's cross-process MetricsSnapshot frame (runtime/wire.hpp).
+[[nodiscard]] json::Value snapshot_to_json(const Snapshot& snap);
+[[nodiscard]] Snapshot snapshot_from_json(const json::Value& v);
 
 /// `git describe --always --dirty` for the current working tree, cached for
 /// the process. "unknown" when git or the repo is unavailable.

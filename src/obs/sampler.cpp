@@ -1,6 +1,7 @@
 #include "obs/sampler.hpp"
 
 #include "common/env.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -41,6 +42,17 @@ void RoundSampler::sample(std::string_view label, std::uint64_t round,
   if (deliveries > 0.0) {
     point.values.emplace("relay_ratio", relay_forwards / deliveries);
     point.values.emplace("avg_route_hops", delivery_hops / deliveries);
+  }
+
+  // --mem-profile / SEL_MEM_PROFILE: fold the memory gauges into every
+  // round point so per-round footprint curves come out of the same report
+  // (DESIGN.md §16). Off by default — an RSS poll per round is an I/O
+  // syscall benchmark inner loops should not pay unasked.
+  if (mem_profile_enabled()) {
+    poll_memory_gauges();
+    for (const auto& [name, value] : memory_values()) {
+      point.values.emplace(name, value);
+    }
   }
 
   // Alg. 2 stability: the gauge tracks how many movement-carrying rounds

@@ -12,7 +12,11 @@
 
 namespace sel::overlay {
 
-Overlay::Overlay(std::size_t num_peers) : peers_(num_peers) {}
+Overlay::Overlay(std::size_t num_peers) : peers_(num_peers) {
+  // Feed the mem.bytes_per_peer gauge (obs/memory.hpp). Last overlay wins,
+  // which is what size sweeps want.
+  obs::set_peer_count(num_peers);
+}
 
 void Overlay::join(PeerId p, net::OverlayId id) {
   auto& pr = peer(p);
@@ -101,9 +105,11 @@ bool Overlay::remove_long_link(PeerId from, PeerId to) {
 
 void Overlay::clear_long_links(PeerId p) {
   // Copy: remove_long_link mutates the vectors we iterate.
-  const std::vector<PeerId> outs(peer(p).out_links);
+  const std::vector<PeerId> outs(peer(p).out_links.begin(),
+                                 peer(p).out_links.end());
   for (const PeerId to : outs) remove_long_link(p, to);
-  const std::vector<PeerId> ins(peer(p).in_links);
+  const std::vector<PeerId> ins(peer(p).in_links.begin(),
+                                peer(p).in_links.end());
   for (const PeerId from : ins) remove_long_link(from, p);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/id_space.hpp"
+#include "obs/memory.hpp"
 
 namespace sel::check::testing {
 struct Corruptor;
@@ -146,14 +147,19 @@ class Overlay {
   // refuses to create (see check/corrupt.hpp).
   friend struct ::sel::check::testing::Corruptor;
 
+  /// Per-peer link vectors are attributed to `mem.overlay`
+  /// (obs/memory.hpp): with bounded long-link budgets this IS the overlay's
+  /// per-node state cost, the quantity ROADMAP item 1 budgets per peer.
+  using LinkVector = obs::AccountedVector<PeerId, obs::Subsystem::kOverlay>;
+
   struct Peer {
     net::OverlayId id;
     bool joined = false;
     bool online = true;
     PeerId succ = kInvalidPeer;
     PeerId pred = kInvalidPeer;
-    std::vector<PeerId> out_links;
-    std::vector<PeerId> in_links;
+    LinkVector out_links;
+    LinkVector in_links;
   };
 
   [[nodiscard]] const Peer& peer(PeerId p) const {
@@ -165,7 +171,7 @@ class Overlay {
     return peers_[p];
   }
 
-  std::vector<Peer> peers_;
+  obs::AccountedVector<Peer, obs::Subsystem::kOverlay> peers_;
   std::size_t joined_count_ = 0;
 };
 

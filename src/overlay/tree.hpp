@@ -7,11 +7,14 @@
 // message it is not itself subscribed to.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/flat_set.hpp"
+#include "obs/memory.hpp"
 #include "overlay/overlay.hpp"
 
 namespace sel::check::testing {
@@ -67,9 +70,17 @@ class DisseminationTree {
   // Test backdoor for seeding invariant violations (check/corrupt.hpp).
   friend struct ::sel::check::testing::Corruptor;
 
+  /// Node tables attributed to `mem.overlay` — trees are per-publisher
+  /// state the dissemination layer caches, so their footprint matters at
+  /// scale. Lookup-only access (never iterated; order_ carries ordering).
+  template <typename V>
+  using NodeMap = std::unordered_map<
+      PeerId, V, std::hash<PeerId>, std::equal_to<PeerId>,
+      obs::Tagged<std::pair<const PeerId, V>, obs::Subsystem::kOverlay>>;
+
   PeerId root_;
-  std::unordered_map<PeerId, PeerId> parent_;
-  std::unordered_map<PeerId, std::vector<PeerId>> children_;
+  NodeMap<PeerId> parent_;
+  NodeMap<std::vector<PeerId>> children_;
   std::vector<PeerId> order_;
   static const std::vector<PeerId> kNoChildren;
 };

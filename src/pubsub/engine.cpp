@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/memory_checks.hpp"
 #include "check/tree_checks.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
@@ -185,6 +186,9 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   records_.emplace(id, rec);
   auto& stored = in_flight_.emplace(id, std::move(flight)).first->second;
   in_flight_gauge().set(static_cast<double>(in_flight_.size()));
+  // SEL_MEM_BUDGET: publish grows the message plane's tracked state, so it
+  // is the natural soft-fail point (two relaxed loads when the knob is off).
+  check::check_memory_budget();
   // Store-and-forward: subscribers offline right now (in the tree or not)
   // get the message queued for replay on their return.
   if (retry_.enabled && retry_.replay) {

@@ -59,6 +59,7 @@
 
 #include "common/stats.hpp"
 #include "net/network_model.hpp"
+#include "obs/memory.hpp"
 #include "obs/provenance.hpp"
 #include "overlay/system.hpp"
 #include "pubsub/multipath.hpp"
@@ -74,6 +75,18 @@ class FaultPlan;
 namespace sel::pubsub {
 
 using MessageId = std::uint64_t;
+
+/// Message-plane hash containers are attributed to `mem.pubsub`
+/// (obs/memory.hpp): per-message dedup/replay state plus the per-publisher
+/// tree and multipath caches are the engine's dominant long-lived footprint.
+template <typename K>
+using PubsubSet =
+    std::unordered_set<K, std::hash<K>, std::equal_to<K>,
+                       obs::Tagged<K, obs::Subsystem::kPubsub>>;
+template <typename K, typename V>
+using PubsubMap = std::unordered_map<
+    K, V, std::hash<K>, std::equal_to<K>,
+    obs::Tagged<std::pair<const K, V>, obs::Subsystem::kPubsub>>;
 
 /// Ack/timeout recovery parameters. Default-constructed (enabled = false)
 /// the engine performs no retries — the control configuration for chaos
@@ -114,9 +127,9 @@ struct MessageRecord {
   /// Subscribers that received the message (in-flight or replayed) — the
   /// receiver dedup set behind the at-least-once invariant. Outlives the
   /// in-flight state so late replays stay deduplicated.
-  std::unordered_set<overlay::PeerId> delivered_to;
+  PubsubSet<overlay::PeerId> delivered_to;
   /// Subscribers given up on in-flight, awaiting store-and-forward replay.
-  std::unordered_set<overlay::PeerId> missed;
+  PubsubSet<overlay::PeerId> missed;
   RunningStats delivery_latency_s;
   /// Completion time (max subscriber arrival, Eq. 1); set when all wanted
   /// subscribers were reached.
@@ -256,7 +269,7 @@ class NotificationEngine {
     /// Reliable mode: peers that acked a copy already — only the first
     /// receipt forwards down the tree, so injected duplicates and
     /// retransmission races cannot multiply traffic.
-    std::unordered_set<overlay::PeerId> received;
+    PubsubSet<overlay::PeerId> received;
   };
 
   /// Shared source-routed path for failover resends (immutable once built).
@@ -341,18 +354,18 @@ class NotificationEngine {
   std::unique_ptr<runtime::InProcTransport> default_transport_;
   runtime::Transport* external_transport_ = nullptr;  ///< not owned
   MessageId next_id_ = 1;
-  std::unordered_map<MessageId, MessageRecord> records_;
-  std::unordered_map<MessageId, InFlight> in_flight_;
-  std::unordered_map<overlay::PeerId, overlay::DisseminationTree> tree_cache_;
+  PubsubMap<MessageId, MessageRecord> records_;
+  PubsubMap<MessageId, InFlight> in_flight_;
+  PubsubMap<overlay::PeerId, overlay::DisseminationTree> tree_cache_;
   EngineStats stats_;
 
   fault::FaultPlan* fault_ = nullptr;  ///< not owned
   RetryPolicy retry_;
   std::function<void(overlay::PeerId, bool)> observer_;
   std::function<MultipathPlan(overlay::PeerId)> planner_;
-  std::unordered_map<overlay::PeerId, MultipathPlan> multipath_cache_;
+  PubsubMap<overlay::PeerId, MultipathPlan> multipath_cache_;
   /// Store-and-forward queue: per subscriber, messages awaiting replay.
-  std::unordered_map<overlay::PeerId, std::vector<MessageId>> missed_;
+  PubsubMap<overlay::PeerId, std::vector<MessageId>> missed_;
 };
 
 }  // namespace sel::pubsub

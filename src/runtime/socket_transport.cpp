@@ -8,7 +8,10 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "runtime/wire.hpp"
 
 namespace sel::runtime {
@@ -72,10 +75,34 @@ int ShardServer::serve() {
         }
         break;
       }
+      case wire::FrameType::kSnapshotRequest: {
+        // Ship this process's full registry state to the driver, memory
+        // gauges freshly polled so the merged report carries a per-shard
+        // mem.* breakdown.
+        obs::poll_memory_gauges();
+        wire::MetricsSnapshot snap;
+        snap.shard = shard_;
+        snap.json = obs::snapshot_to_json(
+                        obs::MetricsRegistry::global().snapshot())
+                        .dump();
+        if (wire::write_frame(fd_, wire::encode(snap)) !=
+            wire::IoStatus::kOk) {
+          return 1;
+        }
+        break;
+      }
+      case wire::FrameType::kPlanReset: {
+        // Fire-and-forget: the socket is an ordered stream, so the reset is
+        // applied before any kDeliver the driver sends afterwards. No reply
+        // keeps the frame usable between engine runs without a sync point.
+        plan_.reset();
+        break;
+      }
       case wire::FrameType::kShutdown:
         return 0;
       case wire::FrameType::kDeliverAck:
-        return 1;  // acks only ever flow server -> driver
+      case wire::FrameType::kSnapshot:
+        return 1;  // these only ever flow server -> driver
     }
   }
 }
@@ -107,6 +134,13 @@ SpawnedShards SpawnedShards::spawn_loopback(std::uint32_t num_shards,
       for (std::uint32_t prev = 1; prev < s; ++prev) {
         if (shards.fds_[prev] >= 0) ::close(shards.fds_[prev]);
       }
+      // The child inherits the parent's metric/byte totals at fork; zero
+      // them so its end-of-run snapshot holds only shard-local activity —
+      // otherwise the driver-side merge would double-count everything the
+      // parent did before spawning.
+      obs::MetricsRegistry::global().reset();
+      obs::RoundSampler::global().reset();
+      obs::MemTracker::global().reset();
       ShardServer server(pair[1], s, spec, seed, num_peers);
       const int rc = server.serve();
       ::close(pair[1]);
@@ -136,6 +170,45 @@ SpawnedShards::SpawnedShards(SpawnedShards&& other) noexcept
       pids_(std::move(other.pids_)) {
   other.fds_.clear();
   other.pids_.clear();
+}
+
+std::vector<std::pair<std::uint32_t, obs::Snapshot>>
+SpawnedShards::fetch_snapshots() const {
+  std::vector<std::pair<std::uint32_t, obs::Snapshot>> out;
+  for (std::size_t s = 0; s < fds_.size(); ++s) {
+    if (fds_[s] < 0) continue;  // driver shard (or already shut down)
+    SEL_ASSERT(wire::write_frame(fds_[s], wire::encode_snapshot_request()) ==
+               wire::IoStatus::kOk);
+    std::vector<std::uint8_t> reply;
+    SEL_ASSERT(wire::read_frame(fds_[s], reply) == wire::IoStatus::kOk);
+    wire::MetricsSnapshot frame;
+    SEL_ASSERT(wire::decode(reply, frame) &&
+               frame.shard == static_cast<std::uint32_t>(s));
+    out.emplace_back(frame.shard,
+                     obs::snapshot_from_json(obs::json::Value::parse(
+                         frame.json)));
+  }
+  return out;
+}
+
+void SpawnedShards::reset_plans() const {
+  for (std::size_t s = 0; s < fds_.size(); ++s) {
+    if (fds_[s] < 0) continue;
+    SEL_ASSERT(wire::write_frame(fds_[s], wire::encode_plan_reset()) ==
+               wire::IoStatus::kOk);
+  }
+}
+
+std::size_t SpawnedShards::collect_snapshots(obs::MetricsRegistry& reg) {
+  // fds_ is indexed by shard id, so iteration order IS ascending shard
+  // order — the merge is deterministic by construction.
+  const auto snapshots = fetch_snapshots();
+  for (const auto& [shard, snap] : snapshots) {
+    reg.merge_snapshot(snap, shard);
+  }
+  reg.gauge("runtime.shard.count")
+      .set(static_cast<double>(map_.num_shards));
+  return snapshots.size();
 }
 
 bool SpawnedShards::shutdown() {

@@ -24,9 +24,11 @@
 #include <sys/types.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "net/network_model.hpp"
 #include "runtime/event_engine.hpp"
 #include "runtime/runtime.hpp"
@@ -86,6 +88,26 @@ class SpawnedShards {
   [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
   /// Driver-side socket per shard; fd -1 for shard 0 (local, no socket).
   [[nodiscard]] const std::vector<int>& fds() const noexcept { return fds_; }
+
+  /// Asks every live shard server for its registry snapshot (ascending
+  /// shard id, one blocking round-trip each). Returns (shard, snapshot)
+  /// pairs; the children keep serving afterwards, so this composes with a
+  /// later shutdown(). Empty once the sockets are closed.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, obs::Snapshot>>
+  fetch_snapshots() const;
+
+  /// Clears every shard server's fault-plan receiver state (stall windows,
+  /// crash set, draw sequence) with a kPlanReset frame. Call at the start
+  /// of each engine run when one fleet serves several runs back to back —
+  /// a driver that constructs a fresh FaultPlan per run needs the shards'
+  /// plans equally fresh, or receiver draws diverge from an in-process run.
+  void reset_plans() const;
+
+  /// fetch_snapshots() + deterministic merge into `reg` (ascending shard
+  /// id; see MetricsRegistry::merge_snapshot). Publishes the shard count as
+  /// `runtime.shard.count` and returns the number of snapshots merged.
+  /// Call once, after the run drains and before shutdown().
+  std::size_t collect_snapshots(obs::MetricsRegistry& reg);
 
   /// Shuts the servers down and reaps them; returns true when every child
   /// exited cleanly (status 0). Idempotent; the destructor calls it too.

@@ -137,9 +137,30 @@ std::vector<std::uint8_t> encode(const DeliverAck& a) {
   return b;
 }
 
+std::vector<std::uint8_t> encode(const MetricsSnapshot& s) {
+  std::vector<std::uint8_t> b;
+  b.reserve(1 + 4 + s.json.size());
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kSnapshot));
+  put_u32(b, s.shard);
+  b.insert(b.end(), s.json.begin(), s.json.end());
+  return b;
+}
+
 std::vector<std::uint8_t> encode_shutdown() {
   std::vector<std::uint8_t> b;
   put_u8(b, static_cast<std::uint8_t>(FrameType::kShutdown));
+  return b;
+}
+
+std::vector<std::uint8_t> encode_snapshot_request() {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kSnapshotRequest));
+  return b;
+}
+
+std::vector<std::uint8_t> encode_plan_reset() {
+  std::vector<std::uint8_t> b;
+  put_u8(b, static_cast<std::uint8_t>(FrameType::kPlanReset));
   return b;
 }
 
@@ -147,7 +168,7 @@ bool frame_type(const std::vector<std::uint8_t>& payload, FrameType& out) {
   if (payload.empty()) return false;
   const std::uint8_t t = payload.front();
   if (t < static_cast<std::uint8_t>(FrameType::kHello) ||
-      t > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+      t > static_cast<std::uint8_t>(FrameType::kPlanReset)) {
     return false;
   }
   out = static_cast<FrameType>(t);
@@ -170,6 +191,17 @@ bool decode(const std::vector<std::uint8_t>& payload, DeliverAck& out) {
   Reader r(payload);
   return expect_type(r, FrameType::kDeliverAck) && r.u64(out.msg) &&
          r.u32(out.to) && r.u8(out.receiver_state) && r.done();
+}
+
+bool decode(const std::vector<std::uint8_t>& payload, MetricsSnapshot& out) {
+  Reader r(payload);
+  if (!expect_type(r, FrameType::kSnapshot) || !r.u32(out.shard)) {
+    return false;
+  }
+  // Everything after the fixed header is the JSON text.
+  constexpr std::size_t kHeader = 1 + 4;
+  out.json.assign(payload.begin() + kHeader, payload.end());
+  return true;
 }
 
 IoStatus write_frame(int fd, const std::vector<std::uint8_t>& payload) {

@@ -24,10 +24,13 @@
 namespace sel::runtime::wire {
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,       ///< handshake: shard id + shard count + peer count
-  kDeliver = 2,     ///< one hop copy arriving at a peer the remote hosts
-  kDeliverAck = 3,  ///< receiver state the remote drew for that arrival
-  kShutdown = 4,    ///< orderly teardown; the server exits its loop
+  kHello = 1,            ///< handshake: shard id + shard count + peer count
+  kDeliver = 2,          ///< one hop copy arriving at a peer the remote hosts
+  kDeliverAck = 3,       ///< receiver state the remote drew for that arrival
+  kShutdown = 4,         ///< orderly teardown; the server exits its loop
+  kSnapshotRequest = 5,  ///< driver asks the shard for its metrics state
+  kSnapshot = 6,         ///< shard id + JSON-serialized registry snapshot
+  kPlanReset = 7,        ///< clear the shard's fault-plan receiver state
 };
 
 struct Hello {
@@ -50,10 +53,22 @@ struct DeliverAck {
   std::uint8_t receiver_state = 0;  ///< fault::ReceiveState
 };
 
+/// End-of-run metrics hand-off: a shard child's full registry state
+/// (counters/gauges/histograms/spans) serialized with obs snapshot JSON.
+/// The driver merges these into its own registry (sorted by shard id) so
+/// multi-process reports cover every process, not just the parent.
+struct MetricsSnapshot {
+  std::uint32_t shard = 0;
+  std::string json;  ///< obs::snapshot_to_json(...).dump()
+};
+
 [[nodiscard]] std::vector<std::uint8_t> encode(const Hello& h);
 [[nodiscard]] std::vector<std::uint8_t> encode(const Deliver& d);
 [[nodiscard]] std::vector<std::uint8_t> encode(const DeliverAck& a);
+[[nodiscard]] std::vector<std::uint8_t> encode(const MetricsSnapshot& s);
 [[nodiscard]] std::vector<std::uint8_t> encode_shutdown();
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_plan_reset();
 
 /// Type of an encoded payload; returns false on an empty/unknown payload.
 [[nodiscard]] bool frame_type(const std::vector<std::uint8_t>& payload,
@@ -64,6 +79,8 @@ struct DeliverAck {
                           Deliver& out);
 [[nodiscard]] bool decode(const std::vector<std::uint8_t>& payload,
                           DeliverAck& out);
+[[nodiscard]] bool decode(const std::vector<std::uint8_t>& payload,
+                          MetricsSnapshot& out);
 
 enum class IoStatus : std::uint8_t {
   kOk,
@@ -78,7 +95,10 @@ enum class IoStatus : std::uint8_t {
 /// Reads one length-prefixed frame into `payload`.
 [[nodiscard]] IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload);
 
-/// Frames above this are protocol errors (nothing legitimate comes close).
-inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+/// Frames above this are protocol errors. Hop frames stay < 100 bytes; the
+/// cap exists for kSnapshot, whose JSON payload grows with the number of
+/// registered instruments (a full registry serializes to tens of KiB —
+/// 4 MiB is far beyond any legitimate snapshot).
+inline constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
 
 }  // namespace sel::runtime::wire

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "check/memory_checks.hpp"
 #include "check/overlay_checks.hpp"
 #include "check/protocol_checks.hpp"
 #include "obs/metrics.hpp"
@@ -265,6 +266,9 @@ bool SelectSystem::run_round() {
          {"link_changes", static_cast<double>(link_changes)},
          {"exchanges", static_cast<double>(exchanges)}});
   }
+  // SEL_MEM_BUDGET: one validation per protocol round covers the overlay's
+  // link growth (the engine covers the message plane at publish).
+  check::check_memory_budget();
 
   last_movement_ = movement;
   last_link_changes_ = link_changes;

@@ -33,9 +33,11 @@
 #include <utility>
 #include <vector>
 
+#include "check/memory_checks.hpp"
 #include "check/superstep_checks.hpp"
 #include "common/assert.hpp"
 #include "common/executor.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/time.hpp"
@@ -55,11 +57,19 @@ struct Envelope {
   TPayload payload;
 };
 
+/// Arena storage for envelopes: heap bytes attributed to `mem.arena` via
+/// the tagged allocator (obs/memory.hpp). Same layout and reallocation
+/// behaviour as std::vector — the zero-steady-state-allocation guarantee
+/// (buffer_growth_events) is unaffected.
+template <typename TPayload>
+using EnvelopeArena =
+    obs::AccountedVector<Envelope<TPayload>, obs::Subsystem::kArena>;
+
 /// Per-vertex send interface handed to compute().
 template <typename TPayload>
 class Mailbox {
  public:
-  Mailbox(VertexId src, std::vector<Envelope<TPayload>>& sink)
+  Mailbox(VertexId src, EnvelopeArena<TPayload>& sink)
       : src_(src), sink_(sink) {}
 
   void send(VertexId dst, TPayload payload) {
@@ -69,7 +79,7 @@ class Mailbox {
  private:
   VertexId src_;
   std::uint32_t seq_ = 0;
-  std::vector<Envelope<TPayload>>& sink_;
+  EnvelopeArena<TPayload>& sink_;
 };
 
 /// Runs synchronized supersteps of a vertex program over `num_vertices`
@@ -176,6 +186,10 @@ class SuperstepEngine {
       } else {
         check::enforce(std::nullopt);
       }
+      // Soft memory budget (SEL_MEM_BUDGET): the arenas are the engine's
+      // dominant allocation, so the superstep barrier is a natural trip
+      // point.
+      check::check_memory_budget();
     }
 
     if (obs_on) {
@@ -270,11 +284,13 @@ class SuperstepEngine {
   std::size_t chunk_count_;
   std::size_t round_ = 0;
   std::size_t growth_events_ = 0;
-  std::vector<std::vector<Envelope<TPayload>>> outboxes_;  ///< per chunk
-  std::vector<Envelope<TPayload>> inbox_;    ///< delivered, (dst,src,seq) order
-  std::vector<Envelope<TPayload>> scatter_;  ///< spare arena (double buffer)
-  std::vector<std::size_t> inbox_offsets_;   ///< per-vertex inbox runs
-  std::vector<std::size_t> cursors_;         ///< scatter write positions
+  std::vector<EnvelopeArena<TPayload>> outboxes_;  ///< per chunk
+  EnvelopeArena<TPayload> inbox_;    ///< delivered, (dst,src,seq) order
+  EnvelopeArena<TPayload> scatter_;  ///< spare arena (double buffer)
+  obs::AccountedVector<std::size_t, obs::Subsystem::kArena>
+      inbox_offsets_;  ///< per-vertex inbox runs
+  obs::AccountedVector<std::size_t, obs::Subsystem::kArena>
+      cursors_;  ///< scatter write positions
 };
 
 }  // namespace sel::sim

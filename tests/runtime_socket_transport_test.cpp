@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "graph/profiles.hpp"
 #include "net/network_model.hpp"
+#include "obs/report.hpp"
 #include "pubsub/engine.hpp"
 #include "runtime/event_engine.hpp"
 #include "select/protocol.hpp"
@@ -153,6 +156,101 @@ TEST(SocketTransport, ChaosRunMatchesInProcBackendBitForBit) {
             inproc.delivery_latency_s.count());
   EXPECT_EQ(socket.delivery_latency_s.mean(),
             inproc.delivery_latency_s.mean());
+
+  // Shard servers outlive one engine run; their plans accumulate receiver
+  // state (stall windows, crash set, draw sequence). reset_plans() must
+  // restore them so a second same-seed run over the same fleet still
+  // matches the in-process backend — without the reset, row 2 of a soak
+  // diverges (the bug this guards against).
+  shards.reset_plans();
+  const auto again = run(true);
+  EXPECT_EQ(again.deliveries, inproc.deliveries);
+  EXPECT_EQ(again.missed, inproc.missed);
+  EXPECT_EQ(again.retries, inproc.retries);
+  EXPECT_EQ(again.delivery_latency_s.mean(),
+            inproc.delivery_latency_s.mean());
+  EXPECT_TRUE(shards.shutdown());
+}
+
+TEST(SocketTransport, SnapshotMergeIsDeterministicAndComplete) {
+  // Three processes (driver + 2 children). After traffic drains, the
+  // drivers-side merge must be (a) ascending by shard id, (b) byte-stable
+  // across repeated fetches of a quiescent fleet, and (c) exactly the sum
+  // of the per-shard counter snapshots — the property the single merged
+  // bench report rides on.
+  fault::FaultSpec spec;
+  spec.stall = 1.0;
+  spec.stall_s = 5.0;
+  auto shards = SpawnedShards::spawn_loopback(3, spec, 9, 32);
+
+  EventEngine engine;
+  net::NetworkModel net(32, 3);
+  fault::FaultPlan plan(spec, 9, 32);
+  SocketTransport t(engine, net, shards, {}, &plan);
+  for (std::uint32_t to = 1; to <= 8; ++to) {
+    Message m;
+    m.msg = to;
+    m.from = 0;
+    m.to = to;
+    m.payload_bytes = 100.0;
+    m.send_s = engine.now_s();
+    t.send(m, [](const Arrival&) {});
+  }
+  engine.run();
+  EXPECT_GT(t.remote_deliveries(), 0u);
+
+  const auto snaps = shards.fetch_snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].first, 1u);
+  EXPECT_EQ(snaps[1].first, 2u);
+
+  // Quiescent fleet: a second fetch returns byte-identical protocol state.
+  // Gauges are excluded — the child re-polls RSS per request, and resident
+  // bytes may legitimately move between polls.
+  const auto again = shards.fetch_snapshots();
+  ASSERT_EQ(again.size(), 2u);
+  const auto stable_dump = [](obs::Snapshot s) {
+    s.gauges.clear();
+    return obs::snapshot_to_json(s).dump();
+  };
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(stable_dump(snaps[i].second), stable_dump(again[i].second));
+  }
+
+  // Same snapshots merged in the same order -> identical serialized state.
+  const auto merge_all = [&snaps] {
+    obs::MetricsRegistry reg;
+    for (const auto& [shard, snap] : snaps) {
+      reg.merge_snapshot(snap, shard);
+    }
+    return obs::snapshot_to_json(reg.snapshot()).dump();
+  };
+  EXPECT_EQ(merge_all(), merge_all());
+
+  // collect_snapshots into a fresh registry: counters are exactly the
+  // per-shard sums, per-shard memory arrives namespaced, and the fleet
+  // size is published.
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(shards.collect_snapshots(reg), 2u);
+  const auto merged = reg.snapshot();
+  std::map<std::string, std::int64_t> want;
+  for (const auto& [shard, snap] : snaps) {
+    (void)shard;
+    for (const auto& c : snap.counters) want[c.name] += c.value;
+  }
+  want["runtime.shard.snapshots_merged"] += 2;
+  for (const auto& c : merged.counters) {
+    EXPECT_EQ(c.value, want[c.name]) << c.name;
+  }
+  double shard1_rss = 0.0;
+  double shard_count = 0.0;
+  for (const auto& g : merged.gauges) {
+    if (g.name == "mem.shard1.rss_bytes") shard1_rss = g.value;
+    if (g.name == "runtime.shard.count") shard_count = g.value;
+  }
+  EXPECT_GT(shard1_rss, 0.0);
+  EXPECT_DOUBLE_EQ(shard_count, 3.0);
+
   EXPECT_TRUE(shards.shutdown());
 }
 
