@@ -21,13 +21,25 @@
 // the single report, so pubsub.*/fault.*/mem.* totals match the inproc run
 // for the same seed (receiver-side draws are pure functions of the shared
 // plan parameters, not of which process hosts the peer).
+//
+// `--adversarial` (ISSUE 9) escalates to the durability tier: the fault mix
+// gains byzantine mailbox acceptors and correlated crash bursts
+// (byz=0.15,bursts=2,burst_width=16,burst_spacing_s=450 over the default
+// mix), the replicated-mailbox tier is armed (CMA-aware placement, quorum
+// writes, anti-entropy handoff), and one publisher is force-crashed
+// mid-dissemination each burst epoch. The report is written as
+// `chaos_adversarial` and carries the full mailbox.* family next to
+// fault.*/pubsub.*, which CI's durability job gates on. SEL_MAILBOX=1 arms
+// the mailbox in the plain soak too (to isolate its overhead).
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 
 #include "bench/bench_common.hpp"
 #include "fault/fault.hpp"
 #include "pubsub/engine.hpp"
+#include "pubsub/mailbox.hpp"
 #include "pubsub/multipath.hpp"
 #include "runtime/socket_transport.hpp"
 #include "select/protocol.hpp"
@@ -37,18 +49,30 @@ namespace {
 
 constexpr const char* kDefaultMix =
     "drop=0.05,dup=0.01,spike=0.02,stall=0.01,crash=0.001";
+constexpr const char* kAdversarialMix =
+    "drop=0.05,dup=0.01,spike=0.02,stall=0.01,crash=0.001,"
+    "byz=0.15,bursts=2,burst_width=16,burst_spacing_s=450";
+
+bool parse_adversarial_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adversarial") == 0) return true;
+  }
+  return false;
+}
 
 struct SoakRow {
   sel::pubsub::EngineStats stats;
   std::size_t replayed_on_return = 0;  ///< natural-return replays mid-soak
   std::size_t pending_replays = 0;     ///< queue depth at soak end
   sel::fault::FaultPlan::Stats faults;
+  sel::pubsub::MailboxStats mailbox;   ///< zero when the tier is unarmed
 };
 
 SoakRow run_soak(const sel::graph::SocialGraph& g,
                  sel::core::SelectSystem& sys, sel::net::NetworkModel& net,
                  const sel::fault::FaultSpec& spec, std::uint64_t seed,
-                 bool reliable, const sel::runtime::Options& runtime_opts,
+                 bool reliable, bool use_mailbox, bool adversarial,
+                 const sel::runtime::Options& runtime_opts,
                  const sel::runtime::SpawnedShards* shards) {
   using namespace sel;
   for (overlay::PeerId p = 0; p < g.num_nodes(); ++p) {
@@ -58,6 +82,17 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
   pubsub::NotificationEngine engine(sys, net);
   engine.set_runtime_options(runtime_opts);
   engine.set_fault_plan(&plan);
+  // Durability tier: replicate every store-and-forward miss to k mailbox
+  // peers, placed by the recovery layer's CMA (paper Sec. III-F).
+  std::optional<pubsub::MailboxManager> mailbox;
+  if (reliable && use_mailbox) {
+    mailbox.emplace(engine.event_engine(), sys.overlay(), net,
+                    pubsub::MailboxPolicy::from_env(), seed);
+    mailbox->set_fault_plan(&plan);
+    mailbox->set_availability_fn(
+        [&sys](overlay::PeerId p) { return sys.cma_of(p); });
+    engine.set_mailbox(&*mailbox);
+  }
   // Socket backend: hop arrivals to remote-shard peers do their
   // receiver-side draw in the child process over the wire. Both soak rows
   // reuse the same shard servers, so each row starts by resetting the
@@ -95,8 +130,27 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
   const std::size_t epochs = std::max<std::size_t>(4, trial_count());
   SoakRow row;
   std::size_t next_pub = 0;
+  std::size_t next_burst = 0;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     const double t0 = static_cast<double>(epoch) * kEpochS;
+    // Correlated crash bursts: whole failure domains die together on the
+    // plan's precomputed schedule, and the engine drops their local replay
+    // queues (the mailbox replicas, when armed, survive the burst).
+    while (adversarial && next_burst < plan.bursts().size() &&
+           plan.bursts()[next_burst].at_s <= t0) {
+      const auto& burst = plan.bursts()[next_burst++];
+      plan.apply_burst(burst);
+      for (const auto p : burst.peers) {
+        sys.set_peer_online(p, false);
+        engine.on_peer_crashed(p, t0);
+      }
+      // The adversarial scenario of ROADMAP item 4: a *publisher* crashes
+      // with disseminations (and its store-and-forward queue) in flight.
+      const auto victim = publishers[next_burst % publishers.size()];
+      plan.force_crash(victim);
+      sys.set_peer_online(victim, false);
+      engine.on_peer_crashed(victim, t0);
+    }
     churn.advance_to(t0);
     for (const auto p : churn.last_departures()) {
       sys.set_peer_online(p, false);
@@ -112,8 +166,17 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
     }
     engine.invalidate_trees();
     for (std::size_t m = 0; m < 5; ++m) {
-      engine.publish(publishers[next_pub++ % publishers.size()],
-                     t0 + static_cast<double>(m));
+      auto pub = publishers[next_pub++ % publishers.size()];
+      // Adversarial tier: dead publishers publish nothing — rotate to the
+      // next surviving one (same-seed runs rotate identically).
+      if (adversarial) {
+        std::size_t scanned = 0;
+        while (plan.crashed(pub) && ++scanned < publishers.size()) {
+          pub = publishers[next_pub++ % publishers.size()];
+        }
+        if (plan.crashed(pub)) break;
+      }
+      engine.publish(pub, t0 + static_cast<double>(m));
     }
     engine.run_until(t0 + kEpochS);
   }
@@ -121,6 +184,7 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
   row.stats = engine.stats();
   row.pending_replays = engine.pending_replays();
   row.faults = plan.stats();
+  if (mailbox) row.mailbox = mailbox->stats();
   return row;
 }
 
@@ -129,18 +193,30 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
 int main(int argc, char** argv) {
   using namespace sel;
   const runtime::Options runtime_opts = bench::parse_runtime_flag(argc, argv);
+  const bool adversarial = parse_adversarial_flag(argc, argv);
+  const bool use_mailbox =
+      adversarial || env::get_bool("SEL_MAILBOX", false);
   bench::print_banner(
-      "Chaos soak — reliable dissemination under faults",
-      "robustness extension (ISSUE 4): acks + retry/backoff + failover + "
-      "offline replay vs a fault plan",
-      "reliable delivery rate stays near 1.0 under drops/crashes; the "
-      "control row (no retries, same fault seed) visibly loses messages");
+      adversarial ? "Chaos soak — adversarial durability tier"
+                  : "Chaos soak — reliable dissemination under faults",
+      adversarial
+          ? "durability extension (ISSUE 9): replicated mailboxes + quorum "
+            "acks vs byzantine acceptors, crash bursts and publisher crashes"
+          : "robustness extension (ISSUE 4): acks + retry/backoff + failover "
+            "+ offline replay vs a fault plan",
+      adversarial
+          ? "queued messages survive publisher crashes via mailbox replicas; "
+            "mailbox.quorum_writes > 0 and the control row loses messages"
+          : "reliable delivery rate stays near 1.0 under drops/crashes; the "
+            "control row (no retries, same fault seed) visibly loses "
+            "messages");
 
   const std::size_t n = scaled(300, 128);
   const std::uint64_t seed = 42;
-  const fault::FaultSpec spec =
-      fault::FaultSpec::parse(env::get_string("SEL_FAULT", kDefaultMix));
+  const fault::FaultSpec spec = fault::FaultSpec::parse(env::get_string(
+      "SEL_FAULT", adversarial ? kAdversarialMix : kDefaultMix));
   std::printf("fault mix: %s\n", spec.to_string().c_str());
+  std::printf("mailbox: %s\n", use_mailbox ? "armed" : "off");
   std::printf("runtime: %s\n",
               std::string(runtime::to_string(runtime_opts.mode)).c_str());
 
@@ -163,19 +239,22 @@ int main(int argc, char** argv) {
   core::SelectSystem sys(g, core::SelectParams{}, seed, &net);
   sys.build();
 
+  const char* base_name = adversarial ? "chaos_adversarial" : "chaos";
   CsvWriter csv(bench::output_path(
-                    bench::runtime_csv_name(runtime_opts, "chaos")),
+                    bench::runtime_csv_name(runtime_opts, base_name)),
                 {"config", "published", "wanted", "delivered",
                  "delivery_rate", "retries", "failovers", "replays",
-                 "missed", "dup_suppressed", "pending_replays",
-                 "injected_drops", "injected_crashes"});
+                 "mailbox_replays", "missed", "dup_suppressed",
+                 "pending_replays", "injected_drops", "injected_crashes",
+                 "burst_crashes", "quorum_writes", "quorum_degraded",
+                 "handoffs"});
   TablePrinter table({"config", "delivery", "retries", "failovers",
-                      "replays", "missed"});
+                      "replays", "mbox_replays", "missed"});
 
   SoakRow reliable_row;
   for (const bool reliable : {true, false}) {
     const auto row = run_soak(g, sys, net, spec, seed, reliable,
-                              runtime_opts,
+                              use_mailbox, adversarial, runtime_opts,
                               shards ? &*shards : nullptr);
     if (reliable) reliable_row = row;
     const char* name = reliable ? "reliable" : "control";
@@ -183,6 +262,7 @@ int main(int argc, char** argv) {
                    std::to_string(row.stats.retries),
                    std::to_string(row.stats.failovers),
                    std::to_string(row.stats.replays),
+                   std::to_string(row.stats.mailbox_replays),
                    std::to_string(row.stats.missed)});
     csv.row(std::vector<std::string>{
         name, std::to_string(row.stats.messages_published),
@@ -190,11 +270,17 @@ int main(int argc, char** argv) {
         std::to_string(row.stats.deliveries),
         fmt(row.stats.delivery_rate(), 6), std::to_string(row.stats.retries),
         std::to_string(row.stats.failovers),
-        std::to_string(row.stats.replays), std::to_string(row.stats.missed),
+        std::to_string(row.stats.replays),
+        std::to_string(row.stats.mailbox_replays),
+        std::to_string(row.stats.missed),
         std::to_string(row.stats.duplicates_suppressed),
         std::to_string(row.pending_replays),
         std::to_string(row.faults.drops),
-        std::to_string(row.faults.crashes)});
+        std::to_string(row.faults.crashes),
+        std::to_string(row.faults.burst_crashes),
+        std::to_string(row.mailbox.quorum_writes),
+        std::to_string(row.mailbox.quorum_degraded),
+        std::to_string(row.mailbox.handoffs)});
   }
   table.print();
 
@@ -218,10 +304,11 @@ int main(int argc, char** argv) {
 
   std::printf("wrote %s\n", csv.path().c_str());
   bench::write_run_report(
-      "chaos", csv.path(),
+      base_name, csv.path(),
       {{"seed", std::to_string(seed)},
        {"fault_mix", spec.to_string()},
        {"n", std::to_string(n)},
+       {"mailbox", use_mailbox ? "1" : "0"},
        {"runtime", std::string(runtime::to_string(runtime_opts.mode))},
        {"transport",
         std::string(runtime::to_string(runtime_opts.transport))}});

@@ -1,0 +1,89 @@
+// Replicated-mailbox invariants (SEL_CHECK; see check.hpp for levels).
+//
+// The mailbox tier (pubsub/mailbox.hpp) claims two properties the
+// adversarial chaos suite leans on:
+//
+//   durability   every entry ends either quorum-acknowledged (>= ⌈(k+1)/2⌉
+//                distinct acks) or explicitly quorum-degraded (candidate
+//                pool exhausted below quorum) — never silently in between;
+//   exactly-once a mailbox replay hands a message to the engine at most
+//                once per subscriber, and never one the subscriber already
+//                received in-flight (the engine's `delivered` set is the
+//                shared dedup authority).
+//
+// Validators return check::Result (std::nullopt = invariant holds) and are
+// wired behind `if (check::enabled(...))` at the mailbox settle and replay
+// sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace sel::check {
+
+/// Quorum accounting at entry settle time: a settled entry must have
+/// reached quorum or carry the degraded flag; `acks` must never exceed the
+/// replica slots that could have produced them.
+[[nodiscard]] inline Result validate_mailbox_quorum(
+    std::uint64_t msg, std::uint32_t subscriber, std::size_t acks,
+    std::size_t quorum, std::size_t slots, bool quorum_reached,
+    bool degraded) {
+  if (acks > slots) {
+    return Violation{"mailbox.acks.bounded",
+                     "message " + std::to_string(msg) + " subscriber " +
+                         std::to_string(subscriber) + ": " +
+                         std::to_string(acks) + " acks from " +
+                         std::to_string(slots) + " replica slots"};
+  }
+  if (quorum_reached && acks < quorum) {
+    return Violation{"mailbox.quorum.reached",
+                     "message " + std::to_string(msg) + " subscriber " +
+                         std::to_string(subscriber) + ": quorum flagged at " +
+                         std::to_string(acks) + "/" + std::to_string(quorum) +
+                         " acks"};
+  }
+  if (!quorum_reached && !degraded) {
+    return Violation{"mailbox.quorum.settled",
+                     "message " + std::to_string(msg) + " subscriber " +
+                         std::to_string(subscriber) +
+                         ": settled below quorum without degraded flag"};
+  }
+  return std::nullopt;
+}
+
+/// Replay hand-off: `delivering` must be exactly "not yet delivered" —
+/// the engine's dedup set is authoritative, and a mailbox must never
+/// re-serve an entry it already resolved.
+[[nodiscard]] inline Result validate_mailbox_replay(
+    std::uint64_t msg, std::uint32_t subscriber, bool entry_resolved,
+    bool already_delivered, bool delivering) {
+  const bool expect = !entry_resolved && !already_delivered;
+  if (delivering == expect) return std::nullopt;
+  return Violation{"mailbox.replay.exactly_once",
+                   "message " + std::to_string(msg) + " subscriber " +
+                       std::to_string(subscriber) +
+                       (delivering ? ": double replay (resolved="
+                                   : ": withheld replay (resolved=") +
+                       (entry_resolved ? "1" : "0") + ", delivered=" +
+                       (already_delivered ? "1" : "0") + ")"};
+}
+
+/// Full-level durability walk after a mailbox-peer crash: a live
+/// quorum-acknowledged entry must keep at least one genuinely stored
+/// replica on a non-crashed peer, unless anti-entropy already flagged it
+/// degraded (handoff pool exhausted).
+[[nodiscard]] inline Result validate_mailbox_durability(
+    std::uint64_t msg, std::uint32_t subscriber, std::size_t live_stored,
+    bool quorum_reached, bool degraded) {
+  if (!quorum_reached || degraded || live_stored > 0) return std::nullopt;
+  return Violation{"mailbox.durability.live_replica",
+                   "message " + std::to_string(msg) + " subscriber " +
+                       std::to_string(subscriber) +
+                       ": quorum-acked entry has no live stored replica "
+                       "and no degraded flag"};
+}
+
+}  // namespace sel::check

@@ -138,6 +138,11 @@ const std::vector<EnvKnob>& env_knobs() {
       {"SEL_RETRY_TIMEOUT_S", "base ack timeout, seconds (default 5)"},
       {"SEL_RETRY_BACKOFF", "exponential backoff factor per retry (default 2)"},
       {"SEL_RETRY_JITTER", "+/- jitter fraction on each timeout (default 0.2)"},
+      {"SEL_REPLAY_CAP",
+       "store-and-forward queue bound, oldest evicted (0 = unbounded)"},
+      {"SEL_MAILBOX",
+       "replicated-mailbox durability tier master switch (chaos drivers)"},
+      {"SEL_MAILBOX_K", "mailbox replicas per queued message (default 3)"},
       {"SEL_RUNTIME", "execution mode: async | superstep (default async)"},
       {"SEL_TRANSPORT", "transport backend: inproc | socket (default inproc)"},
       {"SEL_RUNTIME_ROUND_S", "superstep barrier length, seconds (default 1)"},

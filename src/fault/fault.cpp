@@ -40,6 +40,31 @@ obs::Counter& crashes_counter() {
       obs::MetricsRegistry::global().counter("fault.crashes");
   return c;
 }
+obs::Counter& bursts_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.bursts");
+  return c;
+}
+obs::Counter& burst_crashes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.burst_crashes");
+  return c;
+}
+obs::Counter& false_acks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.byzantine_false_acks");
+  return c;
+}
+obs::Counter& duplicate_acks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.byzantine_duplicate_acks");
+  return c;
+}
+obs::Counter& withheld_replays_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "fault.byzantine_withheld_replays");
+  return c;
+}
 
 // Draw salts: distinct streams per fault class so e.g. the drop and
 // duplicate decisions of one hop are independent.
@@ -48,6 +73,12 @@ constexpr std::uint64_t kDupSalt = 0x5e1d0002;
 constexpr std::uint64_t kSpikeSalt = 0x5e1d0003;
 constexpr std::uint64_t kStallSalt = 0x5e1d0004;
 constexpr std::uint64_t kCrashSalt = 0x5e1d0005;
+// Adversarial tier.
+constexpr std::uint64_t kDomainSalt = 0x5e1d0006;
+constexpr std::uint64_t kBurstSalt = 0x5e1d0007;
+constexpr std::uint64_t kByzSalt = 0x5e1d0008;
+constexpr std::uint64_t kByzStoreSalt = 0x5e1d0009;
+constexpr std::uint64_t kByzDupSalt = 0x5e1d000a;
 
 double parse_value(std::string_view key, std::string_view text, double fallback) {
   char* end = nullptr;
@@ -105,6 +136,16 @@ FaultSpec FaultSpec::parse(std::string_view spec) {
       out.stall_s = parse_value(key, val, out.stall_s);
     } else if (key == "crash") {
       out.crash = parse_value(key, val, out.crash);
+    } else if (key == "byz" || key == "byzantine") {
+      out.byzantine = parse_value(key, val, out.byzantine);
+    } else if (key == "bursts") {
+      out.bursts = static_cast<std::size_t>(std::max(
+          0.0, parse_value(key, val, static_cast<double>(out.bursts))));
+    } else if (key == "burst_width") {
+      out.burst_width = static_cast<std::size_t>(std::max(
+          1.0, parse_value(key, val, static_cast<double>(out.burst_width))));
+    } else if (key == "burst_spacing_s") {
+      out.burst_spacing_s = parse_value(key, val, out.burst_spacing_s);
     } else {
       log_warn("SEL_FAULT: unknown fault knob '" + std::string(key) + "'");
     }
@@ -127,6 +168,13 @@ std::string FaultSpec::to_string() const {
   append_knob(out, "stall", stall, defaults.stall);
   append_knob(out, "stall_s", stall_s, defaults.stall_s);
   append_knob(out, "crash", crash, defaults.crash);
+  append_knob(out, "byz", byzantine, defaults.byzantine);
+  append_knob(out, "bursts", static_cast<double>(bursts),
+              static_cast<double>(defaults.bursts));
+  append_knob(out, "burst_width", static_cast<double>(burst_width),
+              static_cast<double>(defaults.burst_width));
+  append_knob(out, "burst_spacing_s", burst_spacing_s,
+              defaults.burst_spacing_s);
   return out;
 }
 
@@ -147,6 +195,28 @@ FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed, std::size_t num_peers)
   spikes_counter();
   stalls_counter();
   crashes_counter();
+  bursts_counter();
+  burst_crashes_counter();
+  false_acks_counter();
+  duplicate_acks_counter();
+  withheld_replays_counter();
+  // The burst schedule is fixed at construction — a pure function of
+  // (seed, spec, num_peers) — so same-seed runs burst identically and
+  // reset() need not (and must not) touch it.
+  const std::size_t domains = num_domains();
+  bursts_.reserve(spec_.bursts);
+  for (std::size_t i = 0; i < spec_.bursts; ++i) {
+    BurstEvent burst;
+    burst.at_s = static_cast<double>(i + 1) * spec_.burst_spacing_s;
+    burst.domain = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(u01(kBurstSalt, i, 0, 0) *
+                                   static_cast<double>(domains)) %
+        domains);
+    for (std::uint32_t p = 0; p < num_peers; ++p) {
+      if (failure_domain(p) == burst.domain) burst.peers.push_back(p);
+    }
+    bursts_.push_back(std::move(burst));
+  }
 }
 
 double FaultPlan::u01(std::uint64_t salt, std::uint64_t a, std::uint64_t b,
@@ -226,6 +296,78 @@ void FaultPlan::reset() {
   std::fill(crashed_.begin(), crashed_.end(), false);
   std::fill(receive_seq_.begin(), receive_seq_.end(), 0);
   stats_ = Stats{};
+}
+
+std::uint32_t FaultPlan::failure_domain(std::uint32_t peer) const {
+  const std::size_t domains = num_domains();
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(u01(kDomainSalt, peer, 0, 0) *
+                                 static_cast<double>(domains)) %
+      domains);
+}
+
+std::size_t FaultPlan::num_domains() const {
+  const std::size_t width = std::max<std::size_t>(1, spec_.burst_width);
+  return std::max<std::size_t>(1, crashed_.size() / width);
+}
+
+bool FaultPlan::mark_crashed(std::uint32_t peer, const char* counter) {
+  SEL_EXPECTS(peer < crashed_.size());
+  if (crashed_[peer]) return false;
+  crashed_[peer] = true;
+  obs::MetricsRegistry::global().counter(counter).add(1);
+  return true;
+}
+
+void FaultPlan::apply_burst(const BurstEvent& burst) {
+  bursts_counter().add(1);
+  for (const auto p : burst.peers) {
+    if (mark_crashed(p, "fault.burst_crashes")) ++stats_.burst_crashes;
+  }
+}
+
+void FaultPlan::force_crash(std::uint32_t peer) {
+  if (mark_crashed(peer, "fault.crashes")) ++stats_.crashes;
+}
+
+bool FaultPlan::byzantine(std::uint32_t peer) const {
+  return spec_.byzantine > 0.0 &&
+         u01(kByzSalt, peer, 0, 0) < spec_.byzantine;
+}
+
+AckFate FaultPlan::mailbox_ack(std::uint32_t peer, std::uint64_t msg,
+                               std::uint32_t subscriber,
+                               std::uint32_t attempt) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(subscriber) << 32) | attempt;
+  AckFate fate;
+  fate.acked = true;
+  if (!byzantine(peer)) {
+    fate.stored = true;
+    return fate;
+  }
+  // Byzantine acceptors always ack but persist only half the time — the
+  // false ack is what ⌈(k+1)/2⌉-quorums with ⌊(k−1)/2⌋ byzantine members
+  // are sized to tolerate (at least one acked replica is honest).
+  fate.stored = u01(kByzStoreSalt, peer, msg, key) < 0.5;
+  if (!fate.stored) {
+    ++stats_.false_acks;
+    false_acks_counter().add(1);
+  }
+  fate.duplicated = u01(kByzDupSalt, peer, msg, key) < 0.5;
+  if (fate.duplicated) {
+    ++stats_.duplicate_acks;
+    duplicate_acks_counter().add(1);
+  }
+  return fate;
+}
+
+bool FaultPlan::withholds_replay(std::uint32_t peer, std::uint64_t msg) {
+  (void)msg;
+  if (!byzantine(peer)) return false;
+  ++stats_.withheld_replays;
+  withheld_replays_counter().add(1);
+  return true;
 }
 
 }  // namespace sel::fault

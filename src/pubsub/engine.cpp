@@ -1,7 +1,9 @@
 #include "pubsub/engine.hpp"
 
 #include <algorithm>
+#include <iterator>
 
+#include "check/mailbox_checks.hpp"
 #include "check/memory_checks.hpp"
 #include "check/tree_checks.hpp"
 #include "common/env.hpp"
@@ -10,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "pubsub/mailbox.hpp"
 
 namespace sel::pubsub {
 
@@ -91,6 +94,24 @@ obs::Counter& missed_counter() {
   return c;
 }
 
+obs::Counter& replay_evicted_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.replay_evicted");
+  return c;
+}
+
+obs::Counter& replay_dropped_crash_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.replay_dropped_crash");
+  return c;
+}
+
+obs::Counter& mailbox_replays_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pubsub.mailbox_replays");
+  return c;
+}
+
 // Messages whose dissemination still has events pending — the protocol-side
 // in-flight picture next to the transport-side runtime.queue_depth.
 obs::Gauge& in_flight_gauge() {
@@ -117,6 +138,9 @@ RetryPolicy RetryPolicy::from_env() {
   p.jitter = env::get_double("SEL_RETRY_JITTER", p.jitter, 0.0, 1.0);
   p.max_attempts = static_cast<std::size_t>(env::get_int(
       "SEL_RETRY_MAX", static_cast<std::int64_t>(p.max_attempts), 1, 1024));
+  p.replay_cap = static_cast<std::size_t>(env::get_int(
+      "SEL_REPLAY_CAP", static_cast<std::int64_t>(p.replay_cap), 0,
+      std::int64_t{1} << 32));
   return p;
 }
 
@@ -131,6 +155,12 @@ NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
       default_transport_(std::make_unique<runtime::InProcTransport>(
           queue_, net, runtime_opts_)) {
   SEL_EXPECTS(payload_bytes > 0.0);
+  // Pre-register the replay-lifecycle counters the durability tier reports
+  // on, so chaos report schemas don't depend on whether a given seed ever
+  // evicted or dropped an entry.
+  replay_evicted_counter();
+  replay_dropped_crash_counter();
+  mailbox_replays_counter();
 }
 
 void NotificationEngine::set_runtime_options(runtime::Options options) {
@@ -193,7 +223,7 @@ MessageId NotificationEngine::publish(PeerId publisher, double time_s) {
   // get the message queued for replay on their return.
   if (retry_.enabled && retry_.replay) {
     for (const PeerId s : stored.subscribers) {
-      if (!sys_->peer_online(s)) mark_missed(id, s);
+      if (!sys_->peer_online(s)) mark_missed(id, s, time_s);
     }
   }
   stored.pending_events = 1;  // the initial forward below
@@ -431,6 +461,7 @@ void NotificationEngine::deliver_to_subscriber(MessageId id, PeerId to,
     return;
   }
   rec.missed.erase(to);  // a late copy beat the replay queue — delivered
+  if (mailbox_ != nullptr) mailbox_->on_delivered(id, to);
   ++rec.delivered;
   ++stats_.deliveries;
   deliveries_counter().add(1);
@@ -537,7 +568,7 @@ void NotificationEngine::lost_subtree(MessageId id, PeerId dead,
       send_failover_hop(id, std::move(reroute), /*hop=*/0, /*attempt=*/0,
                         now_s, /*detour=*/rerouted);
     } else {
-      mark_missed(id, s);
+      mark_missed(id, s, now_s);
     }
   }
 }
@@ -667,46 +698,127 @@ void NotificationEngine::failover_hop_failure(MessageId id,
       return;
     }
   }
-  mark_missed(id, subscriber);
+  mark_missed(id, subscriber, now_s);
 }
 
-void NotificationEngine::mark_missed(MessageId id, PeerId subscriber) {
+void NotificationEngine::mark_missed(MessageId id, PeerId subscriber,
+                                     double t_s) {
   auto& rec = records_.at(id);
   if (rec.delivered_to.contains(subscriber)) return;
   if (!rec.missed.insert(subscriber).second) return;
   ++stats_.missed;
   missed_counter().add(1);
-  if (retry_.enabled && retry_.replay) {
-    missed_[subscriber].push_back(id);
+  if (!(retry_.enabled && retry_.replay)) return;
+  missed_[subscriber].push_back(id);
+  replay_fifo_.emplace_back(id, subscriber);
+  ++replay_queued_;
+  // Durability tier: replicate the queued copy to k mailbox peers so a
+  // publisher crash (or a cap eviction below) cannot lose it.
+  if (mailbox_ != nullptr) mailbox_->replicate(id, subscriber, rec.publisher, t_s);
+  // SEL_REPLAY_CAP: oldest-first eviction keeps the publisher-local queue
+  // bounded across long offline periods. FIFO entries already replayed are
+  // stale — skipped without counting.
+  while (retry_.replay_cap != 0 && replay_queued_ > retry_.replay_cap &&
+         !replay_fifo_.empty()) {
+    const auto [old_id, old_sub] = replay_fifo_.front();
+    replay_fifo_.pop_front();
+    const auto it = missed_.find(old_sub);
+    if (it == missed_.end()) continue;
+    const auto pos = std::find(it->second.begin(), it->second.end(), old_id);
+    if (pos == it->second.end()) continue;
+    it->second.erase(pos);
+    if (it->second.empty()) missed_.erase(it);
+    --replay_queued_;
+    ++stats_.replay_evicted;
+    replay_evicted_counter().add(1);
   }
 }
 
 std::size_t NotificationEngine::replay_missed(PeerId subscriber,
                                               double t_s) {
-  const auto it = missed_.find(subscriber);
-  if (it == missed_.end()) return 0;
   std::size_t replayed = 0;
-  std::unordered_set<MessageId> seen;
-  for (const MessageId id : it->second) {
-    const bool queued_twice = !seen.insert(id).second;
-    auto& rec = records_.at(id);
-    const bool already_delivered = rec.delivered_to.contains(subscriber);
-    const bool delivering = !queued_twice && !already_delivered;
-    if (check::enabled()) {
-      check::enforce(check::validate_replay_dedup(
-          id, subscriber, queued_twice, already_delivered, delivering));
+  const auto it = missed_.find(subscriber);
+  if (it != missed_.end()) {
+    std::unordered_set<MessageId> seen;
+    for (const MessageId id : it->second) {
+      const bool queued_twice = !seen.insert(id).second;
+      auto& rec = records_.at(id);
+      const bool already_delivered = rec.delivered_to.contains(subscriber);
+      const bool delivering = !queued_twice && !already_delivered;
+      if (check::enabled()) {
+        check::enforce(check::validate_replay_dedup(
+            id, subscriber, queued_twice, already_delivered, delivering));
+      }
+      if (!delivering) continue;
+      rec.delivered_to.insert(subscriber);
+      rec.missed.erase(subscriber);
+      ++rec.replays;
+      ++stats_.replays;
+      replays_counter().add(1);
+      ++replayed;
+      // The mailbox copy is now redundant; resolving it keeps its pending
+      // gauge tight and its replay stats honest.
+      if (mailbox_ != nullptr) mailbox_->on_delivered(id, subscriber);
     }
-    if (!delivering) continue;
-    rec.delivered_to.insert(subscriber);
-    rec.missed.erase(subscriber);
-    ++rec.replays;
-    ++stats_.replays;
-    replays_counter().add(1);
-    ++replayed;
-    (void)t_s;
+    SEL_ASSERT(replay_queued_ >= it->second.size());
+    replay_queued_ -= it->second.size();
+    missed_.erase(it);
   }
-  missed_.erase(it);
+  // Durability tier: messages whose local queued copy died with a crashed
+  // publisher (or was cap-evicted) are still recoverable from the
+  // subscriber's mailbox replicas. The `delivered` set stays the dedup
+  // authority, so a message served by both tiers is delivered once.
+  if (mailbox_ != nullptr) {
+    for (const MessageId id : mailbox_->replay(subscriber, t_s)) {
+      auto& rec = records_.at(id);
+      const bool already_delivered = rec.delivered_to.contains(subscriber);
+      const bool delivering = !already_delivered;
+      if (check::enabled()) {
+        check::enforce(check::validate_mailbox_replay(
+            id, subscriber, /*entry_resolved=*/false, already_delivered,
+            delivering));
+      }
+      if (!delivering) continue;
+      rec.delivered_to.insert(subscriber);
+      rec.missed.erase(subscriber);
+      ++rec.replays;
+      ++stats_.replays;
+      replays_counter().add(1);
+      ++stats_.mailbox_replays;
+      mailbox_replays_counter().add(1);
+      ++replayed;
+    }
+  }
   return replayed;
+}
+
+void NotificationEngine::on_peer_crashed(PeerId peer, double t_s) {
+  // The crashed peer was the only local holder of its queued replays:
+  // drop them. With a mailbox attached the replicas survive and
+  // replay_missed() recovers them; without one the drop is the message
+  // loss ROADMAP item 4 documents.
+  // SEL_NONDET_OK(unordered-iteration): per-bucket erasure and counter
+  // increments commute across iteration orders.
+  for (auto it = missed_.begin(); it != missed_.end();) {
+    auto& queued = it->second;
+    const auto pred = [&](MessageId id) {
+      return records_.at(id).publisher == peer;
+    };
+    const auto dropped =
+        static_cast<std::size_t>(std::count_if(queued.begin(), queued.end(),
+                                               pred));
+    if (dropped != 0) {
+      queued.erase(std::remove_if(queued.begin(), queued.end(), pred),
+                   queued.end());
+      SEL_ASSERT(replay_queued_ >= dropped);
+      replay_queued_ -= dropped;
+      stats_.replay_dropped_crash += dropped;
+      replay_dropped_crash_counter().add(
+          static_cast<std::int64_t>(dropped));
+    }
+    it = queued.empty() ? missed_.erase(it) : std::next(it);
+  }
+  if (mailbox_ != nullptr) mailbox_->on_peer_crashed(peer, t_s);
 }
 
 std::size_t NotificationEngine::pending_replays() const {

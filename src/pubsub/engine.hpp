@@ -50,6 +50,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -73,6 +74,8 @@ class FaultPlan;
 }
 
 namespace sel::pubsub {
+
+class MailboxManager;
 
 using MessageId = std::uint64_t;
 
@@ -103,9 +106,15 @@ struct RetryPolicy {
   std::size_t max_attempts = 4;  ///< total sends per hop, first included
   bool failover = true;          ///< reroute lost subscribers via multipath
   bool replay = true;            ///< store-and-forward for missed subscribers
+  /// Bound on queued (message, subscriber) replay entries across all
+  /// subscribers; 0 = unbounded. When full, the oldest queued entry is
+  /// evicted (counted as `pubsub.replay_evicted`) — the mailbox tier, when
+  /// armed, still holds replicas of evicted messages.
+  std::size_t replay_cap = 0;
 
   /// Enabled policy with SEL_RETRY_TIMEOUT_S / SEL_RETRY_BACKOFF /
-  /// SEL_RETRY_JITTER / SEL_RETRY_MAX applied over the defaults.
+  /// SEL_RETRY_JITTER / SEL_RETRY_MAX / SEL_REPLAY_CAP applied over the
+  /// defaults.
   [[nodiscard]] static RetryPolicy from_env();
 };
 
@@ -150,6 +159,11 @@ struct EngineStats {
   std::size_t replays = 0;
   std::size_t duplicates_suppressed = 0;
   std::size_t missed = 0;  ///< subscriber misses queued (or counted) so far
+  std::size_t replay_evicted = 0;  ///< queue entries dropped by SEL_REPLAY_CAP
+  /// Queued replays dropped because their publisher (the only local copy
+  /// holder) crashed; the mailbox tier covers these when armed.
+  std::size_t replay_dropped_crash = 0;
+  std::size_t mailbox_replays = 0;  ///< deliveries served from mailbox replicas
   RunningStats delivery_latency_s;
 
   [[nodiscard]] double delivery_rate() const noexcept {
@@ -230,6 +244,14 @@ class NotificationEngine {
       std::function<MultipathPlan(overlay::PeerId)> planner) {
     planner_ = std::move(planner);
   }
+  /// Attaches the replicated-mailbox durability tier (not owned; null
+  /// detaches). Every store-and-forward miss is then also replicated to k
+  /// mailbox peers, and replay_missed() serves from surviving replicas
+  /// after the local queue — so a publisher crash no longer loses queued
+  /// notifications. The manager must schedule on this engine's
+  /// event_engine().
+  void set_mailbox(MailboxManager* mailbox) noexcept { mailbox_ = mailbox; }
+  [[nodiscard]] MailboxManager* mailbox() const noexcept { return mailbox_; }
 
   /// True when hops go through the ack/retry/dedup path (a fault plan is
   /// attached or retries are enabled) rather than the perfect-transfer one.
@@ -247,6 +269,13 @@ class NotificationEngine {
   std::size_t replay_missed(overlay::PeerId subscriber, double t_s);
   /// Queued (message, subscriber) replay entries not yet replayed.
   [[nodiscard]] std::size_t pending_replays() const;
+
+  /// Crash notification from the driver (burst schedules, forced publisher
+  /// crashes): drops queued replays whose only local copy lived on the
+  /// crashed publisher (counted as `pubsub.replay_dropped_crash`) and runs
+  /// the mailbox's anti-entropy handoff. Without a mailbox those messages
+  /// are simply gone — the durability gap the mailbox tier closes.
+  void on_peer_crashed(overlay::PeerId peer, double t_s);
 
   [[nodiscard]] const MessageRecord& record(MessageId id) const;
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
@@ -327,8 +356,10 @@ class NotificationEngine {
   /// Counts a subscriber delivery with receiver-side dedup.
   void deliver_to_subscriber(MessageId id, overlay::PeerId to,
                              std::uint32_t depth, double now_s);
-  /// Queues `subscriber` for store-and-forward replay (deduplicated).
-  void mark_missed(MessageId id, overlay::PeerId subscriber);
+  /// Queues `subscriber` for store-and-forward replay (deduplicated) at
+  /// `t_s`, replicating to the mailbox tier when one is attached and
+  /// evicting the oldest queued entry beyond RetryPolicy::replay_cap.
+  void mark_missed(MessageId id, overlay::PeerId subscriber, double t_s);
   /// Backoff deadline (seconds after the send) for resending attempt
   /// `attempt + 1`; exponential in `attempt` with deterministic jitter.
   [[nodiscard]] double timeout_for(MessageId id, overlay::PeerId to,
@@ -366,6 +397,15 @@ class NotificationEngine {
   PubsubMap<overlay::PeerId, MultipathPlan> multipath_cache_;
   /// Store-and-forward queue: per subscriber, messages awaiting replay.
   PubsubMap<overlay::PeerId, std::vector<MessageId>> missed_;
+  /// Oldest-first eviction order for SEL_REPLAY_CAP: (message, subscriber)
+  /// in queueing order. Entries already replayed are skipped lazily;
+  /// replay_queued_ tracks the live count the cap compares against.
+  std::deque<std::pair<MessageId, overlay::PeerId>,
+             obs::Tagged<std::pair<MessageId, overlay::PeerId>,
+                         obs::Subsystem::kPubsub>>
+      replay_fifo_;
+  std::size_t replay_queued_ = 0;
+  MailboxManager* mailbox_ = nullptr;  ///< not owned
 };
 
 }  // namespace sel::pubsub

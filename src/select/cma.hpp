@@ -4,11 +4,37 @@
 // availability samples: cma_{n+1} = cma_n + (x_{n+1} - cma_n) / (n + 1).
 // A high CMA on an unresponsive peer indicates a transient failure (keep the
 // link); a low CMA indicates a mostly-offline user (replace the link).
+//
+// The same signal drives mailbox replica placement (DESIGN.md §17): the
+// weighted-rendezvous scoring below turns a candidate's CMA into a
+// deterministic placement rank, so undelivered messages are stored on peers
+// with a long-term-availability track record ("Towards Social Profile Based
+// Overlays" motivates exactly this use of the CMA).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 namespace sel::core {
+
+/// Weighted rendezvous-hash placement score. `u01` is the candidate's pure
+/// rendezvous draw in [0,1) (a hash of (seed, subscriber, candidate));
+/// `cma` is its availability average; `bias` controls how strongly
+/// availability dominates the hash (0 = pure rendezvous hashing). Uses the
+/// classic u^(1/w) weighting, so scores of different candidates stay
+/// comparable and the top-k set is stable under candidate-list growth —
+/// adding a candidate never reshuffles the relative order of the others.
+/// Higher is better.
+[[nodiscard]] inline double placement_score(double cma, double u01,
+                                            double bias = 2.0) noexcept {
+  // Crashed-looking peers (CMA ~ 0) still get a rank — a floor keeps the
+  // weight positive so exhausted candidate pools degrade gracefully instead
+  // of dividing by zero.
+  constexpr double kCmaFloor = 1e-3;
+  const double weight = std::pow(std::max(cma, kCmaFloor), bias);
+  return std::pow(std::clamp(u01, 1e-12, 1.0), 1.0 / weight);
+}
 
 class Cma {
  public:
@@ -25,6 +51,13 @@ class Cma {
   }
 
   [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// This peer's mailbox-placement score for a rendezvous draw (see the
+  /// free function above).
+  [[nodiscard]] double placement_score(double u01,
+                                       double bias = 2.0) const noexcept {
+    return core::placement_score(value(), u01, bias);
+  }
 
  private:
   double value_ = 0.0;

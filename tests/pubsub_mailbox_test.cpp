@@ -1,0 +1,385 @@
+// Replicated-mailbox durability tier (pubsub/mailbox.hpp): CMA-weighted
+// placement, quorum store/ack writes, SEL_REPLAY_CAP interplay, the
+// publisher-crash + replica-crash recovery path (ROADMAP item 4's exit
+// criterion), byzantine-acceptor tolerance, and the late-copy-vs-replay
+// race on the in-process transport.
+#include "pubsub/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "check/check.hpp"
+#include "fault/fault.hpp"
+#include "graph/profiles.hpp"
+#include "pubsub/engine.hpp"
+#include "runtime/event_engine.hpp"
+#include "select/protocol.hpp"
+
+namespace sel::pubsub {
+namespace {
+
+using overlay::PeerId;
+
+class MailboxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_dataset_graph(graph::profile_by_name("facebook"), 300, 5);
+    net_ = std::make_unique<net::NetworkModel>(g_.num_nodes(), 5);
+    sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
+                                                net_.get());
+    sys_->build();
+  }
+
+  void TearDown() override {
+    for (PeerId p = 0; p < g_.num_nodes(); ++p) sys_->set_peer_online(p, true);
+  }
+
+  graph::SocialGraph g_;
+  std::unique_ptr<net::NetworkModel> net_;
+  std::unique_ptr<core::SelectSystem> sys_;
+};
+
+TEST_F(MailboxTest, PlacementIsDeterministicAndExcludesSubscriber) {
+  runtime::EventEngine q;
+  const MailboxManager a(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  const MailboxManager b(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  const PeerId sub = 7;
+  const auto ra = a.placement_ranking(sub);
+  const auto rb = b.placement_ranking(sub);
+  ASSERT_GE(ra.size(), MailboxPolicy{}.replicas);
+  EXPECT_EQ(ra, rb);  // pure in (seed, subscriber, candidate)
+  EXPECT_EQ(std::find(ra.begin(), ra.end(), sub), ra.end());
+
+  // A different seed draws a different ranking.
+  const MailboxManager c(q, sys_->overlay(), *net_, MailboxPolicy{}, 43);
+  EXPECT_NE(c.placement_ranking(sub), ra);
+}
+
+TEST_F(MailboxTest, PlacementFavorsHighAvailabilityPeers) {
+  runtime::EventEngine q;
+  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  const PeerId sub = 7;
+  const auto neighbors = sys_->overlay().neighbor_list(sub);
+  ASSERT_GE(neighbors.size(), 2u);
+  // One neighborhood peer gets near-perfect CMA, everyone else near-zero:
+  // the weighted rendezvous score u^(1/cma^bias) must rank it first.
+  const PeerId target = neighbors.front() == sub ? neighbors[1]
+                                                 : neighbors.front();
+  mb.set_availability_fn(
+      [target](PeerId p) { return p == target ? 1.0 : 0.01; });
+  const auto ranking = mb.placement_ranking(sub);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking.front(), target);
+}
+
+TEST_F(MailboxTest, ReplicateReachesQuorumAndReplaysOnce) {
+  const check::ScopedLevel full(check::Level::kFull);
+  runtime::EventEngine q;
+  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  const PeerId sub = 7;
+  const PeerId source = 0;
+  mb.replicate(1, sub, source, 0.0);
+  mb.replicate(1, sub, source, 0.0);  // idempotent per (msg, subscriber)
+  q.run();
+
+  EXPECT_EQ(mb.stats().replicated, 1u);
+  EXPECT_EQ(mb.pending(), 1u);
+  EXPECT_EQ(mb.stats().quorum_writes, 1u);
+  EXPECT_EQ(mb.stats().quorum_degraded, 0u);
+  // Fault-free acceptors: all k slots store and ack exactly once.
+  EXPECT_EQ(mb.stats().acks, mb.policy().replicas);
+  const auto replicas = mb.replicas_of(1, sub);
+  EXPECT_EQ(replicas.size(), mb.policy().replicas);
+  EXPECT_EQ(std::find(replicas.begin(), replicas.end(), sub), replicas.end());
+  EXPECT_EQ(std::find(replicas.begin(), replicas.end(), source),
+            replicas.end());
+
+  const auto msgs = mb.replay(sub, q.now_s());
+  EXPECT_EQ(msgs, std::vector<MessageId>{1});
+  EXPECT_EQ(mb.stats().replays, 1u);
+  EXPECT_EQ(mb.stats().replay_lost, 0u);
+  EXPECT_EQ(mb.pending(), 0u);
+  EXPECT_TRUE(mb.replicas_of(1, sub).empty());
+  // Replaying again serves nothing: the entry is resolved.
+  EXPECT_TRUE(mb.replay(sub, q.now_s()).empty());
+}
+
+TEST_F(MailboxTest, PrimaryDeliverySupersedesTheMailboxCopy) {
+  runtime::EventEngine q;
+  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  mb.replicate(1, 7, 0, 0.0);
+  q.run();
+  mb.on_delivered(1, 7);
+  EXPECT_EQ(mb.stats().superseded, 1u);
+  EXPECT_EQ(mb.pending(), 0u);
+  EXPECT_TRUE(mb.replay(7, q.now_s()).empty());
+  EXPECT_EQ(mb.stats().replay_lost, 0u);
+}
+
+TEST_F(MailboxTest, PlacementAvoidsTheSubscribersFailureDomainSiblings) {
+  fault::FaultSpec spec;
+  spec.bursts = 1;
+  spec.burst_width = 16;
+  fault::FaultPlan plan(spec, 42, g_.num_nodes());
+  ASSERT_GT(plan.num_domains(), 1u);
+  runtime::EventEngine q;
+  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  mb.set_fault_plan(&plan);
+  const PeerId sub = 7;
+  const PeerId source = 0;
+  mb.replicate(1, sub, source, 0.0);
+  q.run();
+  const auto replicas = mb.replicas_of(1, sub);
+  ASSERT_EQ(replicas.size(), mb.policy().replicas);
+  // Availability diversity: no replica shares a correlated-failure domain
+  // with the subscriber, the source, or another replica — one burst cannot
+  // erase the whole set.
+  std::vector<std::uint32_t> domains{plan.failure_domain(sub),
+                                     plan.failure_domain(source)};
+  for (const PeerId r : replicas) {
+    const auto d = plan.failure_domain(r);
+    EXPECT_EQ(std::count(domains.begin(), domains.end(), d), 0)
+        << "replica " << r << " shares domain " << d;
+    domains.push_back(d);
+  }
+}
+
+TEST_F(MailboxTest, ReplayCapEvictsOldestButMailboxStillRecovers) {
+  const check::ScopedLevel full(check::Level::kFull);
+  const auto subs = sys_->subscribers_of(0);
+  ASSERT_GE(subs.size(), 3u);
+  std::vector<PeerId> away(subs.begin(), subs.end());
+  away.resize(3);
+
+  // Control: cap 2, no mailbox — the oldest queued entry is simply lost.
+  {
+    NotificationEngine engine(*sys_, *net_);
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.replay_cap = 2;
+    engine.set_retry_policy(policy);
+    for (const PeerId s : away) sys_->set_peer_online(s, false);
+    engine.invalidate_trees();
+    engine.publish(0, 0.0);
+    engine.run_all();
+    EXPECT_EQ(engine.stats().replay_evicted, 1u);
+    EXPECT_EQ(engine.pending_replays(), 2u);
+    // away is ascending (FlatSet order), so away[0] queued first = evicted.
+    sys_->set_peer_online(away[0], true);
+    EXPECT_EQ(engine.replay_missed(away[0], engine.now_s()), 0u);
+    for (const PeerId s : away) sys_->set_peer_online(s, true);
+  }
+
+  // With the durability tier armed the evicted entry survives as mailbox
+  // replicas and is served back on return.
+  {
+    NotificationEngine engine(*sys_, *net_);
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.replay_cap = 2;
+    engine.set_retry_policy(policy);
+    MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+                      MailboxPolicy{}, 42);
+    engine.set_mailbox(&mb);
+    for (const PeerId s : away) sys_->set_peer_online(s, false);
+    engine.invalidate_trees();
+    const auto id = engine.publish(0, 0.0);
+    engine.run_all();
+    EXPECT_EQ(engine.stats().replay_evicted, 1u);
+    EXPECT_EQ(mb.stats().replicated, 3u);
+    for (const PeerId s : away) {
+      sys_->set_peer_online(s, true);
+      EXPECT_EQ(engine.replay_missed(s, engine.now_s()), 1u);
+      EXPECT_TRUE(engine.record(id).delivered_to.contains(s));
+    }
+    // The evicted subscriber's replay came from the mailbox, the other two
+    // from the local queue.
+    EXPECT_EQ(engine.stats().mailbox_replays, 1u);
+    EXPECT_EQ(engine.stats().replays, 3u);
+    EXPECT_EQ(mb.pending(), 0u);
+    EXPECT_TRUE(engine.record(id).missed.empty());
+  }
+}
+
+TEST_F(MailboxTest, PublisherCrashThenReplicaCrashStillDelivers) {
+  // ROADMAP item 4's exit scenario: the publisher (only local copy holder)
+  // crashes mid-store-and-forward AND one mailbox replica crashes before
+  // the subscriber returns — the message must still be delivered, via
+  // quorum replicas plus anti-entropy handoff.
+  const check::ScopedLevel full(check::Level::kFull);
+  fault::FaultPlan plan(fault::FaultSpec{}, 7, g_.num_nodes());
+  const auto subs = sys_->subscribers_of(0);
+  ASSERT_GE(subs.size(), 2u);
+  const PeerId away_a = *subs.begin();
+  const PeerId away_b = *std::next(subs.begin());
+
+  // Control: no mailbox — the crash loses both queued messages for good.
+  {
+    NotificationEngine engine(*sys_, *net_);
+    engine.set_fault_plan(&plan);
+    RetryPolicy policy;
+    policy.enabled = true;
+    engine.set_retry_policy(policy);
+    sys_->set_peer_online(away_a, false);
+    sys_->set_peer_online(away_b, false);
+    engine.invalidate_trees();
+    engine.publish(0, 0.0);
+    engine.run_all();
+    EXPECT_EQ(engine.pending_replays(), 2u);
+    engine.on_peer_crashed(0, engine.now_s());
+    EXPECT_EQ(engine.stats().replay_dropped_crash, 2u);
+    sys_->set_peer_online(away_a, true);
+    EXPECT_EQ(engine.replay_missed(away_a, engine.now_s()), 0u);  // lost
+    sys_->set_peer_online(away_a, false);
+  }
+
+  plan.reset();
+  NotificationEngine engine(*sys_, *net_);
+  engine.set_fault_plan(&plan);
+  RetryPolicy policy;
+  policy.enabled = true;
+  engine.set_retry_policy(policy);
+  MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+                    MailboxPolicy{}, 7);
+  mb.set_fault_plan(&plan);
+  mb.set_availability_fn([this](PeerId p) { return sys_->cma_of(p); });
+  engine.set_mailbox(&mb);
+
+  engine.invalidate_trees();
+  const auto id = engine.publish(0, 0.0);
+  engine.run_all();
+  EXPECT_EQ(mb.stats().replicated, 2u);
+  EXPECT_EQ(mb.stats().quorum_writes, 2u);
+
+  // Publisher dies: the local replay queue entries are dropped...
+  plan.force_crash(0);
+  sys_->set_peer_online(0, false);
+  engine.on_peer_crashed(0, engine.now_s());
+  EXPECT_EQ(engine.stats().replay_dropped_crash, 2u);
+
+  // ...then one of away_a's mailbox replicas dies too. Anti-entropy hands
+  // the copy off from a surviving replica to a fresh candidate.
+  const auto replicas = mb.replicas_of(id, away_a);
+  ASSERT_EQ(replicas.size(), mb.policy().replicas);
+  plan.force_crash(replicas.front());
+  sys_->set_peer_online(replicas.front(), false);
+  engine.on_peer_crashed(replicas.front(), engine.now_s());
+  EXPECT_GE(mb.stats().handoffs, 1u);
+  engine.run_all();  // the handoff store/ack completes
+
+  sys_->set_peer_online(away_a, true);
+  EXPECT_EQ(engine.replay_missed(away_a, engine.now_s()), 1u);
+  sys_->set_peer_online(away_b, true);
+  EXPECT_EQ(engine.replay_missed(away_b, engine.now_s()), 1u);
+  EXPECT_TRUE(engine.record(id).delivered_to.contains(away_a));
+  EXPECT_TRUE(engine.record(id).delivered_to.contains(away_b));
+  EXPECT_EQ(engine.stats().mailbox_replays, 2u);
+  EXPECT_EQ(mb.stats().replay_lost, 0u);
+  EXPECT_EQ(mb.pending(), 0u);
+  // Replaying again is a no-op, not a duplicate delivery.
+  EXPECT_EQ(engine.replay_missed(away_a, engine.now_s()), 0u);
+}
+
+TEST_F(MailboxTest, ToleratesMinorityByzantineAcceptors) {
+  // k = 3, quorum 2: any entry with at most floor((k-1)/2) = 1 byzantine
+  // replica keeps >= 2 honest stored copies (byzantine acceptors always
+  // ack, so the write settles, but they withhold at replay) and must be
+  // recoverable.
+  const check::ScopedLevel full(check::Level::kFull);
+  fault::FaultSpec spec;
+  spec.byzantine = 0.3;
+  fault::FaultPlan plan(spec, 11, g_.num_nodes());
+  runtime::EventEngine q;
+  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 11);
+  mb.set_fault_plan(&plan);
+
+  const PeerId source = 0;
+  std::vector<PeerId> subscribers;
+  for (PeerId s = 1; s <= 40; ++s) subscribers.push_back(s);
+  for (std::size_t i = 0; i < subscribers.size(); ++i) {
+    mb.replicate(static_cast<MessageId>(i + 1), subscribers[i], source,
+                 0.0);
+  }
+  q.run();
+  EXPECT_EQ(mb.stats().replicated, subscribers.size());
+  // Byzantine acceptors always ack, so every write settles at quorum.
+  EXPECT_EQ(mb.stats().quorum_writes, subscribers.size());
+
+  std::size_t tolerable = 0;
+  for (std::size_t i = 0; i < subscribers.size(); ++i) {
+    const auto msg = static_cast<MessageId>(i + 1);
+    const auto replicas = mb.replicas_of(msg, subscribers[i]);
+    const auto byz = static_cast<std::size_t>(
+        std::count_if(replicas.begin(), replicas.end(),
+                      [&](PeerId p) { return plan.byzantine(p); }));
+    const bool within_bound = byz + 1 <= (mb.policy().replicas + 1) / 2;
+    const auto served = mb.replay(subscribers[i], q.now_s());
+    if (within_bound) {
+      ++tolerable;
+      EXPECT_EQ(served, std::vector<MessageId>{msg})
+          << "entry with " << byz << " byzantine replicas lost";
+    }
+  }
+  // The 30% byzantine population must have left plenty of within-bound
+  // entries, or the loop proved nothing.
+  EXPECT_GE(tolerable, subscribers.size() / 2);
+  EXPECT_GT(plan.stats().false_acks + plan.stats().duplicate_acks, 0u);
+}
+
+TEST_F(MailboxTest, LateCopyBeatsReplayWithoutDoubleDelivery) {
+  // The rec.missed.erase(to) race: a subscriber offline at publish time is
+  // queued for replay (and replicated to its mailbox), but the publisher's
+  // stale cached tree still routes a copy toward it. The subscriber comes
+  // back before the copy arrives, the copy delivers first — replay must
+  // then be a no-op on both tiers, with the dedup checks enforced.
+  const check::ScopedLevel full(check::Level::kFull);
+  NotificationEngine engine(*sys_, *net_);
+  RetryPolicy policy;
+  policy.enabled = true;
+  engine.set_retry_policy(policy);
+  MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+                    MailboxPolicy{}, 42);
+  engine.set_mailbox(&mb);
+
+  const auto subs = sys_->subscribers_of(0);
+  ASSERT_FALSE(subs.empty());
+  const PeerId racer = *subs.begin();
+
+  // Warm the per-publisher tree cache with everyone online.
+  const auto id1 = engine.publish(0, 0.0);
+  engine.run_all();
+  EXPECT_TRUE(engine.record(id1).delivered_to.contains(racer));
+
+  // Offline at publish: queued for replay + replicated. The cached tree is
+  // deliberately NOT invalidated, so the copy is still routed.
+  sys_->set_peer_online(racer, false);
+  const double t2 = engine.now_s() + 10.0;
+  const auto id2 = engine.publish(0, t2);
+  EXPECT_EQ(engine.pending_replays(), 1u);
+  EXPECT_EQ(mb.stats().replicated, 1u);
+  EXPECT_EQ(engine.stats().tree_cache_hits, 1u);
+
+  // Back online before the copy's arrival: the in-flight copy wins.
+  engine.run_until(t2);
+  sys_->set_peer_online(racer, true);
+  engine.run_all();
+
+  const auto& rec = engine.record(id2);
+  EXPECT_TRUE(rec.delivered_to.contains(racer));
+  EXPECT_TRUE(rec.missed.empty());
+  EXPECT_EQ(mb.stats().superseded, 1u);
+  EXPECT_EQ(mb.pending(), 0u);
+  // The replay queue still holds the stale entry; replaying serves nothing
+  // and the dedup invariant (validate_replay_dedup) holds under kFull.
+  EXPECT_EQ(engine.replay_missed(racer, engine.now_s()), 0u);
+  EXPECT_EQ(engine.stats().replays, 0u);
+  EXPECT_EQ(engine.stats().mailbox_replays, 0u);
+  EXPECT_EQ(rec.duplicates_suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace sel::pubsub

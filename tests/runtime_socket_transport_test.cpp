@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "graph/profiles.hpp"
 #include "net/network_model.hpp"
 #include "obs/report.hpp"
 #include "pubsub/engine.hpp"
+#include "pubsub/mailbox.hpp"
 #include "runtime/event_engine.hpp"
 #include "select/protocol.hpp"
 
@@ -169,6 +171,62 @@ TEST(SocketTransport, ChaosRunMatchesInProcBackendBitForBit) {
   EXPECT_EQ(again.retries, inproc.retries);
   EXPECT_EQ(again.delivery_latency_s.mean(),
             inproc.delivery_latency_s.mean());
+  EXPECT_TRUE(shards.shutdown());
+}
+
+TEST(SocketTransport, LateCopyBeatsReplayAcrossShards) {
+  // The rec.missed.erase race over the wire: a subscriber offline at
+  // publish is queued for replay (and replicated to its mailbox), but the
+  // publisher's stale cached tree still routes a copy — through shard
+  // processes. The subscriber returns before the copy arrives; the copy
+  // must win and both replay tiers must dedup against it. Mirrors the
+  // in-process variant in pubsub_mailbox_test.cpp.
+  const check::ScopedLevel full(check::Level::kFull);
+  auto shards = SpawnedShards::spawn_loopback(2, fault::FaultSpec{}, 11, 1024);
+
+  auto g = graph::make_dataset_graph(graph::profile_by_name("facebook"),
+                                     300, 5);
+  net::NetworkModel net(g.num_nodes(), 5);
+  core::SelectSystem sys(g, core::SelectParams{}, 5, &net);
+  sys.build();
+  pubsub::NotificationEngine engine(sys, net);
+  pubsub::RetryPolicy policy;
+  policy.enabled = true;
+  engine.set_retry_policy(policy);
+  SocketTransport transport(engine.event_engine(), net, shards,
+                            engine.runtime_options());
+  engine.set_transport(&transport);
+  pubsub::MailboxManager mailbox(engine.event_engine(), sys.overlay(), net,
+                                 pubsub::MailboxPolicy{}, 11);
+  engine.set_mailbox(&mailbox);
+
+  const auto subs = sys.subscribers_of(0);
+  ASSERT_FALSE(subs.empty());
+  const PeerId racer = *subs.begin();
+
+  // Warm the per-publisher tree cache with everyone online.
+  const auto id1 = engine.publish(0, 0.0);
+  engine.run_all();
+  ASSERT_TRUE(engine.record(id1).delivered_to.contains(racer));
+
+  sys.set_peer_online(racer, false);
+  const double t2 = engine.now_s() + 10.0;
+  const auto id2 = engine.publish(0, t2);  // stale cache: copy still sent
+  EXPECT_EQ(engine.pending_replays(), 1u);
+  EXPECT_EQ(mailbox.stats().replicated, 1u);
+
+  engine.run_until(t2);
+  sys.set_peer_online(racer, true);  // back before the copy's arrival
+  engine.run_all();
+
+  const auto& rec = engine.record(id2);
+  EXPECT_TRUE(rec.delivered_to.contains(racer));
+  EXPECT_TRUE(rec.missed.empty());
+  EXPECT_EQ(mailbox.stats().superseded, 1u);
+  EXPECT_EQ(engine.replay_missed(racer, engine.now_s()), 0u);
+  EXPECT_EQ(engine.stats().replays, 0u);
+  EXPECT_EQ(engine.stats().mailbox_replays, 0u);
+  EXPECT_GT(transport.remote_deliveries(), 0u);
   EXPECT_TRUE(shards.shutdown());
 }
 
