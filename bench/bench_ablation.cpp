@@ -67,9 +67,10 @@ int main() {
           const auto g = graph::make_dataset_graph(profile, n, seed);
           core::SelectSystem sys(g, variant.params, seed);
           sys.build();
-          const auto hops = pubsub::measure_hops(sys, 250, seed);
+          const overlay::PubSubSystem ps(sys);
+          const auto hops = pubsub::measure_hops(ps, 250, seed);
           const auto publishers = bench::workload_publishers(g, 20, seed);
-          const auto relays = pubsub::measure_relays(sys, publishers);
+          const auto relays = pubsub::measure_relays(ps, publishers);
 
           // Churn phase: 30% of peers cycle off/on for several epochs.
           sim::SessionChurn::Params churn_params;
@@ -84,7 +85,7 @@ int main() {
             }
             sys.maintenance_round();
             avail.add(
-                pubsub::measure_availability(sys, publishers).availability());
+                pubsub::measure_availability(ps, publishers).availability());
           }
           return sim::MetricMap{
               {"hops", hops.hops.mean()},

@@ -79,14 +79,15 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
     sys.set_peer_online(p, true);
   }
   fault::FaultPlan plan(spec, seed, g.num_nodes());
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   engine.set_runtime_options(runtime_opts);
   engine.set_fault_plan(&plan);
   // Durability tier: replicate every store-and-forward miss to k mailbox
   // peers, placed by the recovery layer's CMA (paper Sec. III-F).
   std::optional<pubsub::MailboxManager> mailbox;
   if (reliable && use_mailbox) {
-    mailbox.emplace(engine.event_engine(), sys.overlay(), net,
+    mailbox.emplace(engine.event_engine(), sys, net,
                     pubsub::MailboxPolicy::from_env(), seed);
     mailbox->set_fault_plan(&plan);
     mailbox->set_availability_fn(
@@ -112,7 +113,7 @@ SoakRow run_soak(const sel::graph::SocialGraph& g,
   engine.set_retry_policy(policy);
   if (reliable) {
     engine.set_multipath_planner([&](overlay::PeerId b) {
-      return pubsub::plan_multipath(sys.overlay(), g, b);
+      return pubsub::plan_multipath(sys, g, b);
     });
     engine.set_availability_observer([&](overlay::PeerId p, bool up) {
       sys.observe_availability(p, up);

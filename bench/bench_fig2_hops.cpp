@@ -33,7 +33,7 @@ int main() {
             trials, derive_seed(0xF16'2, n),
             [&](std::uint64_t seed) {
               const auto g = graph::make_dataset_graph(profile, n, seed);
-              auto sys = baselines::make_system(name, g, seed);
+              auto sys = baselines::make_system(name, g, {.seed = seed});
               sys->build();
               const auto hops = pubsub::measure_hops(*sys, 300, seed);
               return sim::MetricMap{

@@ -33,7 +33,7 @@ int main() {
             trials, derive_seed(0xF16'3, n),
             [&](std::uint64_t seed) {
               const auto g = graph::make_dataset_graph(profile, n, seed);
-              auto sys = baselines::make_system(name, g, seed);
+              auto sys = baselines::make_system(name, g, {.seed = seed});
               sys->build();
               const auto publishers =
                   bench::workload_publishers(g, 25, seed);

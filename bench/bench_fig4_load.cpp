@@ -37,7 +37,7 @@ int main() {
           trials, derive_seed(0xF16'4, n),
           [&](std::uint64_t seed) {
             const auto g = graph::make_dataset_graph(profile, n, seed);
-            auto sys = baselines::make_system(name, g, seed);
+            auto sys = baselines::make_system(name, g, {.seed = seed});
             sys->build();
             const auto publishers = bench::workload_publishers(g, 40, seed);
             const auto load = pubsub::measure_load(*sys, publishers);

@@ -31,7 +31,7 @@ int main() {
             trials, derive_seed(0xF16'5, n),
             [&](std::uint64_t seed) {
               const auto g = graph::make_dataset_graph(profile, n, seed);
-              auto sys = baselines::make_system(name, g, seed);
+              auto sys = baselines::make_system(name, g, {.seed = seed});
               sys->build();
               return sim::MetricMap{
                   {"iters", static_cast<double>(sys->build_iterations())}};

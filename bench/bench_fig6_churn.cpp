@@ -39,6 +39,8 @@ int main() {
     no_recovery_params.enable_cma_recovery = false;
     core::SelectSystem no_maint(g, no_recovery_params, seed);
     no_maint.build();
+    const overlay::PubSubSystem ps(sys);
+    const overlay::PubSubSystem ps_no_maint(no_maint);
 
     sim::SessionChurn::Params churn_params;
     churn_params.session_median_s = 2400.0;
@@ -57,9 +59,9 @@ int main() {
       }
       sys.maintenance_round();  // recovery ON
       // no_maint gets NO maintenance_round: dead links stay dead.
-      const auto avail = pubsub::measure_availability(sys, publishers);
+      const auto avail = pubsub::measure_availability(ps, publishers);
       const auto avail_off =
-          pubsub::measure_availability(no_maint, publishers);
+          pubsub::measure_availability(ps_no_maint, publishers);
       table.add_row({fmt(epoch * epoch_s / 3600.0, 1),
                      fmt(100.0 * churn.online_fraction(), 1),
                      fmt(100.0 * avail.availability(), 2),

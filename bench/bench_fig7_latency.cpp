@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
             [&](std::uint64_t seed) {
               const auto g = graph::make_dataset_graph(profile, n, seed);
               net::NetworkModel net(g.num_nodes(), seed);
-              auto sys = baselines::make_system(name, g, seed, 0, &net);
+              auto sys = baselines::make_system(name, g, {.seed = seed, .net = &net});
               sys->build();
               const auto publishers =
                   bench::workload_publishers(g, 15, seed);

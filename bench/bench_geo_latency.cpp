@@ -38,7 +38,7 @@ int main() {
                 g.num_nodes(), seed, net::default_bandwidth_mix(), 40.0, 0.5,
                 net::GeoParams{.regions = 6,
                                .inter_region_extra_ms = extra_ms});
-            auto sys = baselines::make_system(name, g, seed, 0, &net);
+            auto sys = baselines::make_system(name, g, {.seed = seed, .net = &net});
             sys->build();
             const auto publishers = bench::workload_publishers(g, 12, seed);
             const auto latency =

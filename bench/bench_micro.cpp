@@ -349,7 +349,7 @@ void BM_CheckRebuildRing(benchmark::State& state) {
   const check::ScopedLevel level(
       static_cast<check::Level>(state.range(1)));
   const auto n = static_cast<std::size_t>(state.range(0));
-  overlay::Overlay ov(n);
+  overlay::RingSubstrate ov(n);
   Rng rng(3);
   for (overlay::PeerId p = 0; p < n; ++p) {
     ov.join(p, net::OverlayId(rng.uniform()));
@@ -393,10 +393,11 @@ void BM_SelectBuildTree(benchmark::State& state) {
       graph::profile_by_name("facebook"), 1000, 1);
   core::SelectSystem sys(g, core::SelectParams{}, 1);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   Rng rng(5);
   for (auto _ : state) {
     const auto b = static_cast<overlay::PeerId>(rng.below(1000));
-    benchmark::DoNotOptimize(sys.build_tree(b));
+    benchmark::DoNotOptimize(ps.build_tree(b));
   }
 }
 BENCHMARK(BM_SelectBuildTree);

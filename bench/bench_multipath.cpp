@@ -43,7 +43,7 @@ int main() {
                                  static_cast<overlay::PeerId>(n));
           }
           const auto result = pubsub::measure_fault_tolerance(
-              sys.overlay(), g, publishers, fail, 25, seed);
+              sys, g, publishers, fail, 25, seed);
           return sim::MetricMap{
               {"single", result.single_path_delivery},
               {"single_hw", result.single_path_half_width},

@@ -42,7 +42,7 @@ int main() {
             }
             const double clustering = graph::clustering_coefficient(
                 g, std::min<std::size_t>(n, 400), seed);
-            auto sys = baselines::make_system(name, g, seed);
+            auto sys = baselines::make_system(name, g, {.seed = seed});
             sys->build();
             const auto hops = pubsub::measure_hops(*sys, 250, seed);
             const auto publishers = bench::workload_publishers(g, 20, seed);

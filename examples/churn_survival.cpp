@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   live.build();
   core::SelectSystem frozen(g, core::SelectParams{}, seed);
   frozen.build();
+  const overlay::PubSubSystem ps_live(live);
+  const overlay::PubSubSystem ps_frozen(frozen);
   std::printf("two identical overlays built (%zu peers); only the first "
               "runs recovery\n\n",
               n);
@@ -50,8 +52,8 @@ int main(int argc, char** argv) {
       frozen.set_peer_online(p, churn.online(p));
     }
     live.maintenance_round();  // frozen never repairs
-    const auto a = pubsub::measure_availability(live, publishers);
-    const auto b = pubsub::measure_availability(frozen, publishers);
+    const auto a = pubsub::measure_availability(ps_live, publishers);
+    const auto b = pubsub::measure_availability(ps_frozen, publishers);
     std::printf("%-8.0f %-9.1f %-20.2f %-20.2f\n", epoch * 15.0,
                 100.0 * churn.online_fraction(), 100.0 * a.availability(),
                 100.0 * b.availability());

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   }
 
   net::NetworkModel net(g.num_nodes(), seed);
-  auto sys = baselines::make_system(system, g, seed, 0, &net);
+  auto sys = baselines::make_system(system, g, {.seed = seed, .net = &net});
   std::printf("building %s overlay...\n", std::string(sys->name()).c_str());
   sys->build();
   if (sys->build_iterations() > 0) {
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
 
   if (save_path[0] != '\0') {
     const auto* ring =
-        dynamic_cast<const overlay::RingBasedSystem*>(sys.get());
+        dynamic_cast<const overlay::RingOverlay*>(&sys->overlay());
     if (ring == nullptr) {
       std::fprintf(stderr, "--save: %s is not a ring-based system\n",
                    system.c_str());

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
               "publishers\n\n",
               posts.size(), hours, workload.num_publishers());
 
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   double next_report = 600.0;
   std::size_t posted = 0;
   for (const auto& post : posts) {

@@ -30,21 +30,23 @@ int main(int argc, char** argv) {
               select.build_iterations(),
               select.overlay().average_long_degree(), select.k());
 
-  // 3. Publish: route a notification from user 0 to every friend.
-  const auto tree = select.build_tree(0);
-  const auto subs = select.subscribers_of(0);
+  // 3. Publish: route a notification from user 0 to every friend. The
+  //    dissemination layer composes over any Overlay implementation.
+  const sel::overlay::PubSubSystem ps(select);
+  const auto tree = ps.build_tree(0);
+  const auto subs = ps.subscribers_of(0);
   std::printf("publisher 0 has %zu subscribers; tree reaches %zu nodes, "
               "%zu relay nodes\n",
               subs.size(), tree.node_count() - 1,
               tree.relay_nodes(subs).size());
 
   // 4. Paper metrics on this overlay.
-  const auto hops = sel::pubsub::measure_hops(select, 500, seed);
+  const auto hops = sel::pubsub::measure_hops(ps, 500, seed);
   std::printf("social lookups: %.2f hops on average (%.0f%% delivered)\n",
               hops.hops.mean(), 100.0 * hops.success_rate());
 
   // 5. Compare against Symphony on the same workload.
-  auto symphony = sel::baselines::make_system("symphony", g, seed);
+  auto symphony = sel::baselines::make_system("symphony", g, {.seed = seed});
   symphony->build();
   const auto sym_hops = sel::pubsub::measure_hops(*symphony, 500, seed);
   std::printf("symphony: %.2f hops on average (%.0f%% delivered)\n",

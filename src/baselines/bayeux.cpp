@@ -130,12 +130,34 @@ RouteResult BayeuxSystem::route(PeerId from, PeerId to) const {
   result.path.push_back(from);
   if (from == to) {
     result.success = true;
+    result.status = overlay::RouteStatus::kOk;
     return result;
   }
   if (!online_[from] || !online_[to]) return result;
   const PeerId end = route_to_key(from, keys_[to], &result.path);
   result.success = end == to;
+  if (result.success) result.status = overlay::RouteStatus::kOk;
   return result;
+}
+
+std::vector<PeerId> BayeuxSystem::neighbors(PeerId p) const {
+  // One routing-table row per shared-prefix level: the surrogate node for
+  // every (level, digit) slot, exactly the candidates route_to_key() can
+  // step to from p.
+  std::vector<PeerId> out;
+  const std::uint64_t key = keys_[p];
+  for (std::size_t level = 0; level < digits_; ++level) {
+    const std::uint64_t prefix =
+        level == 0 ? 0 : key >> ((digits_ - level) * kBitsPerDigit);
+    for (std::uint32_t d = 0; d < kBase; ++d) {
+      const std::uint64_t probe = (prefix << kBitsPerDigit) | d;
+      const PeerId q = find_prefix(probe, level + 1);
+      if (q != kInvalidPeer && q != p) out.push_back(q);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 PeerId BayeuxSystem::rendezvous_root(PeerId publisher) const {
@@ -151,7 +173,8 @@ PeerId BayeuxSystem::rendezvous_root(PeerId publisher) const {
   return route_to_key(publisher, topic_key, nullptr);
 }
 
-DisseminationTree BayeuxSystem::build_tree(PeerId publisher) const {
+std::optional<DisseminationTree> BayeuxSystem::native_tree(
+    PeerId publisher, const FlatSet<PeerId>& subscribers) const {
   DisseminationTree tree(publisher);
   const PeerId root = rendezvous_root(publisher);
 
@@ -164,7 +187,7 @@ DisseminationTree BayeuxSystem::build_tree(PeerId publisher) const {
   tree.add_path(to_root);
 
   // Root -> each subscriber, grafted onto the publisher->root path.
-  for (const graph::NodeId s : graph_->neighbors(publisher)) {
+  for (const PeerId s : subscribers) {
     if (!online_[s]) continue;
     std::vector<PeerId> branch(to_root);
     if (s != root) {

@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::baselines {
 
@@ -26,7 +26,7 @@ struct BayeuxParams {
   std::size_t digits = 0;
 };
 
-class BayeuxSystem final : public overlay::PubSubSystem {
+class BayeuxSystem final : public overlay::Overlay {
  public:
   BayeuxSystem(const graph::SocialGraph& g, BayeuxParams params,
                std::uint64_t seed);
@@ -41,9 +41,18 @@ class BayeuxSystem final : public overlay::PubSubSystem {
   [[nodiscard]] overlay::RouteResult route(overlay::PeerId from,
                                            overlay::PeerId to) const override;
 
+  /// The peer's Tapestry routing-table row entries: for every prefix level
+  /// and next digit, the surrogate node reachable in one hop. Asymmetric by
+  /// construction (capabilities().symmetric_neighbors stays false).
+  [[nodiscard]] std::vector<overlay::PeerId> neighbors(
+      overlay::PeerId p) const override;
+
   /// Publisher -> rendezvous root -> subscribers (see header comment).
-  [[nodiscard]] overlay::DisseminationTree build_tree(
-      overlay::PeerId publisher) const override;
+  /// Bayeux owns its dissemination scheme, so the generic compositions
+  /// never apply.
+  [[nodiscard]] std::optional<overlay::DisseminationTree> native_tree(
+      overlay::PeerId publisher,
+      const FlatSet<overlay::PeerId>& subscribers) const override;
 
   void set_peer_online(overlay::PeerId p, bool online) override;
   [[nodiscard]] bool peer_online(overlay::PeerId p) const override;

@@ -1,8 +1,11 @@
 #include "baselines/factory.hpp"
 
 #include "baselines/bayeux.hpp"
+#include "baselines/kademlia.hpp"
+#include "baselines/kelips.hpp"
 #include "baselines/omen.hpp"
 #include "baselines/random_mesh.hpp"
+#include "baselines/social_dht.hpp"
 #include "baselines/symphony.hpp"
 #include "baselines/vitis.hpp"
 #include "common/assert.hpp"
@@ -10,40 +13,109 @@
 
 namespace sel::baselines {
 
+using overlay::OverlayConfig;
+using overlay::OverlayRegistry;
+
+// -- registrations -----------------------------------------------------------
+// Self-registering factories: the registry (and therefore the bench matrix
+// and the conformance suite) picks these up without a central dispatch
+// ladder. select_baselines is an OBJECT library so these initializers are
+// never dead-stripped by the archiver.
+
+SEL_REGISTER_OVERLAY(select, "select",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       core::SelectParams params;
+                       params.k_links = c.k_links;
+                       return std::make_unique<core::SelectSystem>(
+                           g, params, c.seed, c.net);
+                     })
+
+SEL_REGISTER_OVERLAY(select_centrality, "select_centrality",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       core::SelectParams params;
+                       params.k_links = c.k_links;
+                       // Kourtellis-style centrality weighting: one unit of
+                       // coverage score per ~4 degrees of the candidate.
+                       params.centrality_weight = 0.25;
+                       return std::make_unique<core::SelectSystem>(
+                           g, params, c.seed, c.net);
+                     })
+
+SEL_REGISTER_OVERLAY(symphony, "symphony",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<SymphonySystem>(
+                           g, SymphonyParams{.k_links = c.k_links}, c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(bayeux, "bayeux",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<BayeuxSystem>(g, BayeuxParams{},
+                                                             c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(vitis, "vitis",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<VitisSystem>(
+                           g, VitisParams{.k_links = c.k_links}, c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(omen, "omen",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<OmenSystem>(
+                           g, OmenParams{.degree_budget = c.k_links * 2},
+                           c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(random, "random",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<RandomMeshSystem>(g, c.k_links,
+                                                                 c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(kelips, "kelips",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<KelipsSystem>(
+                           g, KelipsParams{.contacts_per_group = c.k_links},
+                           c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(kademlia, "kademlia",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<KademliaSystem>(
+                           g, KademliaParams{.bucket_size = c.k_links},
+                           c.seed);
+                     })
+
+SEL_REGISTER_OVERLAY(social_dht, "social_dht",
+                     [](const graph::SocialGraph& g, const OverlayConfig& c) {
+                       return std::make_unique<SocialDhtSystem>(
+                           g, SocialDhtParams{.k_links = c.k_links}, c.seed);
+                     })
+
+// -- factory surface ---------------------------------------------------------
+
 const std::vector<std::string_view>& all_system_names() {
   static const std::vector<std::string_view> names = {
       "select", "symphony", "bayeux", "vitis", "omen"};
   return names;
 }
 
+std::vector<std::string> registered_overlay_names() {
+  return OverlayRegistry::instance().names();
+}
+
+std::unique_ptr<overlay::Overlay> make_overlay(
+    std::string_view name, const graph::SocialGraph& g,
+    const overlay::OverlayConfig& config) {
+  SEL_ASSERT(OverlayRegistry::instance().contains(name) &&
+             "unknown system name");
+  return OverlayRegistry::instance().create(name, g, config);
+}
+
 std::unique_ptr<overlay::PubSubSystem> make_system(
-    std::string_view name, const graph::SocialGraph& g, std::uint64_t seed,
-    std::size_t k_links, const net::NetworkModel* net) {
-  if (name == "select") {
-    core::SelectParams params;
-    params.k_links = k_links;
-    return std::make_unique<core::SelectSystem>(g, params, seed, net);
-  }
-  if (name == "symphony") {
-    return std::make_unique<SymphonySystem>(
-        g, SymphonyParams{.k_links = k_links}, seed);
-  }
-  if (name == "bayeux") {
-    return std::make_unique<BayeuxSystem>(g, BayeuxParams{}, seed);
-  }
-  if (name == "vitis") {
-    return std::make_unique<VitisSystem>(g, VitisParams{.k_links = k_links},
-                                         seed);
-  }
-  if (name == "omen") {
-    return std::make_unique<OmenSystem>(
-        g, OmenParams{.degree_budget = k_links * 2}, seed);
-  }
-  if (name == "random") {
-    return std::make_unique<RandomMeshSystem>(g, k_links, seed);
-  }
-  SEL_ASSERT(false && "unknown system name");
-  return nullptr;
+    std::string_view name, const graph::SocialGraph& g,
+    const overlay::OverlayConfig& config) {
+  return std::make_unique<overlay::PubSubSystem>(make_overlay(name, g, config));
 }
 
 }  // namespace sel::baselines

@@ -1,26 +1,42 @@
-// Factory over all evaluated systems. Every figure harness iterates the
-// same five names: select, symphony, bayeux, vitis, omen (plus the random
-// control for Fig. 7).
+// Factory over all evaluated systems, backed by the self-registering
+// OverlayRegistry (overlay/registry.hpp). Every figure harness iterates
+// the same five paper names; the full registry additionally carries the
+// structured-overlay zoo (kelips, kademlia, social_dht, select_centrality,
+// random) for the comparison matrix.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
-#include "net/network_model.hpp"
+#include "overlay/registry.hpp"
 #include "overlay/system.hpp"
 
 namespace sel::baselines {
 
-/// Names accepted by make_system, in the paper's comparison order.
+/// Names of the paper's comparison set, in the paper's order (the figure
+/// harnesses iterate exactly these).
 [[nodiscard]] const std::vector<std::string_view>& all_system_names();
 
-/// Creates a system by name ("select", "symphony", "bayeux", "vitis",
-/// "omen", "random"). `k_links` = 0 lets each system use its default
-/// (log2 N). `net` is only used by systems that are bandwidth-aware
-/// (SELECT); it may be null. Aborts on unknown names.
+/// Every registered overlay name, ascending — the bench-matrix and
+/// conformance-suite iteration set.
+[[nodiscard]] std::vector<std::string> registered_overlay_names();
+
+/// Creates a system by registry name with an options struct:
+///
+///   auto sys = make_system("kelips", g, {.seed = 7, .k_links = 4});
+///
+/// The returned PubSubSystem owns the overlay and layers dissemination
+/// (subscriber sets, trees, interest functions) over it. Aborts on unknown
+/// names; `registered_overlay_names()` lists the valid ones.
 [[nodiscard]] std::unique_ptr<overlay::PubSubSystem> make_system(
-    std::string_view name, const graph::SocialGraph& g, std::uint64_t seed,
-    std::size_t k_links = 0, const net::NetworkModel* net = nullptr);
+    std::string_view name, const graph::SocialGraph& g,
+    const overlay::OverlayConfig& config = {});
+
+/// The raw overlay without the dissemination layer (conformance suite).
+[[nodiscard]] std::unique_ptr<overlay::Overlay> make_overlay(
+    std::string_view name, const graph::SocialGraph& g,
+    const overlay::OverlayConfig& config = {});
 
 }  // namespace sel::baselines

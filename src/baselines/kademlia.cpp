@@ -1,0 +1,153 @@
+#include "baselines/kademlia.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::kInvalidPeer;
+using overlay::PeerId;
+using overlay::RouteResult;
+using overlay::RouteStatus;
+
+KademliaSystem::KademliaSystem(const graph::SocialGraph& g,
+                               KademliaParams params, std::uint64_t seed)
+    : graph_(&g), params_(params), seed_(seed) {}
+
+void KademliaSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+  k_ = params_.bucket_size != 0 ? params_.bucket_size : 8;
+
+  keys_.resize(n);
+  online_.assign(n, true);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(n * 2);
+  for (PeerId p = 0; p < n; ++p) {
+    // Derive until unique so XOR distances never tie at zero.
+    std::uint64_t salt = 0;
+    std::uint64_t k = splitmix64(derive_seed(seed_, p));
+    while (used.contains(k)) {
+      ++salt;
+      k = splitmix64(derive_seed(seed_, p ^ (salt << 32)));
+    }
+    used.insert(k);
+    keys_[p] = k;
+  }
+  fill_buckets(/*online_only=*/false);
+}
+
+void KademliaSystem::fill_buckets(bool online_only) {
+  const std::size_t n = graph_->num_nodes();
+  sorted_keys_.clear();
+  sorted_keys_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    if (online_only && !online_[p]) continue;
+    sorted_keys_.emplace_back(keys_[p], p);
+  }
+  std::sort(sorted_keys_.begin(), sorted_keys_.end());
+
+  buckets_.assign(n, {});
+  for (PeerId p = 0; p < n; ++p) {
+    if (online_only && !online_[p]) continue;
+    const std::uint64_t key = keys_[p];
+    auto& bucket_union = buckets_[p];
+    // One k-bucket per prefix length L: peers sharing the top L bits of
+    // `key` and differing at bit L (the sibling subtree). The subtree is a
+    // contiguous key range in sorted order; take its first k members —
+    // deterministic, and any member strictly shrinks the XOR distance of a
+    // lookup whose first differing bit is L.
+    for (std::size_t level = 0; level < 64; ++level) {
+      const std::uint64_t flipped = key ^ (1ULL << (63 - level));
+      const std::uint64_t lo =
+          level == 63 ? flipped
+                      : flipped & ~((1ULL << (63 - level)) - 1);
+      auto it = std::lower_bound(
+          sorted_keys_.begin(), sorted_keys_.end(), lo,
+          [](const auto& e, std::uint64_t v) { return e.first < v; });
+      const std::uint64_t width = level == 63 ? 1 : (1ULL << (63 - level));
+      std::size_t taken = 0;
+      for (; it != sorted_keys_.end() && it->first - lo < width && taken < k_;
+           ++it) {
+        if (it->second == p) continue;
+        bucket_union.push_back(it->second);
+        ++taken;
+      }
+    }
+    std::sort(bucket_union.begin(), bucket_union.end());
+    bucket_union.erase(
+        std::unique(bucket_union.begin(), bucket_union.end()),
+        bucket_union.end());
+  }
+}
+
+std::vector<PeerId> KademliaSystem::neighbors(PeerId p) const {
+  return buckets_[p];
+}
+
+RouteResult KademliaSystem::route_impl(PeerId from, PeerId to,
+                                       const FlatSet<PeerId>* avoid) const {
+  RouteResult result;
+  result.path.push_back(from);
+  if (from == to) {
+    result.success = true;
+    result.status = RouteStatus::kOk;
+    return result;
+  }
+  if (!online_[from] || !online_[to]) return result;
+
+  const std::uint64_t target = keys_[to];
+  PeerId current = from;
+  // Greedy XOR descent: every hop must strictly shrink the distance (one
+  // more shared prefix bit), so 64 hops is a hard bound and no visited set
+  // is needed.
+  for (std::size_t hop = 0; hop < 64; ++hop) {
+    std::uint64_t best = keys_[current] ^ target;
+    PeerId next = kInvalidPeer;
+    for (const PeerId m : buckets_[current]) {
+      if (!online_[m]) continue;
+      if (avoid != nullptr && m != to && avoid->contains(m)) continue;
+      const std::uint64_t d = keys_[m] ^ target;
+      if (d < best) {
+        best = d;
+        next = m;
+      }
+    }
+    if (next == kInvalidPeer) return result;  // local minimum: lookup fails
+    result.path.push_back(next);
+    current = next;
+    if (current == to) {
+      result.success = true;
+      result.status = RouteStatus::kOk;
+      return result;
+    }
+  }
+  return result;
+}
+
+RouteResult KademliaSystem::route(PeerId from, PeerId to) const {
+  return route_impl(from, to, nullptr);
+}
+
+RouteResult KademliaSystem::route_avoiding(
+    PeerId from, PeerId to, const FlatSet<PeerId>& avoid) const {
+  return route_impl(from, to, &avoid);
+}
+
+void KademliaSystem::set_peer_online(PeerId p, bool online) {
+  online_[p] = online;
+}
+
+bool KademliaSystem::peer_online(PeerId p) const { return online_[p]; }
+
+void KademliaSystem::maintenance_round() {
+  // Bucket refresh over the live membership only: dead entries vanish,
+  // vacated slots refill with the next closest online peers.
+  fill_buckets(/*online_only=*/true);
+}
+
+}  // namespace sel::baselines

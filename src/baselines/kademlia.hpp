@@ -1,0 +1,85 @@
+// Kademlia-style baseline (Maymounkov, Mazières): XOR-metric DHT.
+//
+// Peers carry immutable 64-bit keys; distance is XOR interpreted as an
+// integer. Every peer keeps one k-bucket per shared-prefix length, holding
+// the k closest peers whose keys differ first at that bit. Routing descends
+// greedily: each hop moves to the neighbour whose key is XOR-closest to the
+// target, halving the distance (one more shared prefix bit) per hop —
+// O(log N) hops with O(k log N) state. The global bucket fill stands in for
+// Kademlia's iterative FIND_NODE discovery, matching how the other
+// baselines materialize protocol knowledge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/routing.hpp"
+
+namespace sel::baselines {
+
+struct KademliaParams {
+  /// Bucket width k; 0 = 8 (the paper's default replication parameter).
+  std::size_t bucket_size = 0;
+};
+
+class KademliaSystem final : public overlay::Overlay {
+ public:
+  KademliaSystem(const graph::SocialGraph& g, KademliaParams params,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "kademlia"; }
+  [[nodiscard]] const graph::SocialGraph& social() const override {
+    return *graph_;
+  }
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c;
+    c.route_avoiding = true;     // k-wide buckets admit detours
+    c.churn_maintenance = true;  // bucket refresh drops dead entries
+    return c;
+  }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+  [[nodiscard]] overlay::RouteResult route(overlay::PeerId from,
+                                           overlay::PeerId to) const override;
+  [[nodiscard]] overlay::RouteResult route_avoiding(
+      overlay::PeerId from, overlay::PeerId to,
+      const FlatSet<overlay::PeerId>& avoid) const override;
+
+  /// Union of the peer's k-buckets.
+  [[nodiscard]] std::vector<overlay::PeerId> neighbors(
+      overlay::PeerId p) const override;
+
+  void set_peer_online(overlay::PeerId p, bool online) override;
+  [[nodiscard]] bool peer_online(overlay::PeerId p) const override;
+
+  /// Bucket refresh: evicts offline entries and refills from the closest
+  /// online peers of each prefix range.
+  void maintenance_round() override;
+
+  [[nodiscard]] std::uint64_t key_of(overlay::PeerId p) const {
+    return keys_[p];
+  }
+
+ private:
+  [[nodiscard]] overlay::RouteResult route_impl(
+      overlay::PeerId from, overlay::PeerId to,
+      const FlatSet<overlay::PeerId>* avoid) const;
+
+  /// Rebuilds every peer's buckets; `online_only` skips offline peers.
+  void fill_buckets(bool online_only);
+
+  const graph::SocialGraph* graph_;
+  KademliaParams params_;
+  std::uint64_t seed_;
+  std::size_t k_ = 8;
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::pair<std::uint64_t, overlay::PeerId>> sorted_keys_;
+  /// buckets_[p]: flattened per-peer neighbour set (sorted by peer id,
+  /// deduplicated) — the union of its k-buckets.
+  std::vector<std::vector<overlay::PeerId>> buckets_;
+  std::vector<bool> online_;
+};
+
+}  // namespace sel::baselines

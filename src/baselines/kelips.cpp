@@ -1,0 +1,176 @@
+#include "baselines/kelips.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::kInvalidPeer;
+using overlay::PeerId;
+using overlay::RouteResult;
+using overlay::RouteStatus;
+
+KelipsSystem::KelipsSystem(const graph::SocialGraph& g, KelipsParams params,
+                           std::uint64_t seed)
+    : graph_(&g), params_(params), seed_(seed) {}
+
+void KelipsSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+  const auto num_groups = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  contacts_k_ =
+      params_.contacts_per_group != 0 ? params_.contacts_per_group : 2;
+
+  group_of_.resize(n);
+  groups_.assign(num_groups, {});
+  online_.assign(n, true);
+  for (PeerId p = 0; p < n; ++p) {
+    const std::size_t g =
+        static_cast<std::size_t>(splitmix64(derive_seed(seed_, p)) %
+                                 num_groups);
+    group_of_[p] = g;
+    groups_[g].push_back(p);  // ascending p — deterministic views
+  }
+
+  // Contacts: per peer, `contacts_k_` members of every foreign group, drawn
+  // from the peer's own seeded stream (each peer learns different contacts,
+  // spreading inter-group load).
+  contacts_.assign(n * num_groups * contacts_k_, kInvalidPeer);
+  for (PeerId p = 0; p < n; ++p) {
+    Rng rng(derive_seed(seed_, 0x6b656cULL ^ p));
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (g == group_of_[p] || groups_[g].empty()) continue;
+      PeerId* slot = &contacts_[(p * num_groups + g) * contacts_k_];
+      std::size_t filled = 0;
+      for (int attempts = 0;
+           attempts < 16 && filled < std::min(contacts_k_, groups_[g].size());
+           ++attempts) {
+        const PeerId cand = groups_[g][rng.below(groups_[g].size())];
+        if (std::find(slot, slot + filled, cand) != slot + filled) continue;
+        slot[filled++] = cand;
+      }
+    }
+  }
+}
+
+std::vector<PeerId> KelipsSystem::neighbors(PeerId p) const {
+  std::vector<PeerId> out;
+  const std::size_t num_groups = groups_.size();
+  for (const PeerId q : groups_[group_of_[p]]) {
+    if (q != p) out.push_back(q);
+  }
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const PeerId* slot = &contacts_[(p * num_groups + g) * contacts_k_];
+    for (std::size_t i = 0; i < contacts_k_; ++i) {
+      if (slot[i] != kInvalidPeer) out.push_back(slot[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+PeerId KelipsSystem::usable_contact(PeerId p, std::size_t group,
+                                    const FlatSet<PeerId>* avoid) const {
+  const PeerId* slot = &contacts_[(p * groups_.size() + group) * contacts_k_];
+  for (std::size_t i = 0; i < contacts_k_; ++i) {
+    const PeerId c = slot[i];
+    if (c == kInvalidPeer || !online_[c]) continue;
+    if (avoid != nullptr && avoid->contains(c)) continue;
+    return c;
+  }
+  return kInvalidPeer;
+}
+
+RouteResult KelipsSystem::route_impl(PeerId from, PeerId to,
+                                     const FlatSet<PeerId>* avoid) const {
+  RouteResult result;
+  result.path.push_back(from);
+  if (from == to) {
+    result.success = true;
+    result.status = RouteStatus::kOk;
+    return result;
+  }
+  if (!online_[from] || !online_[to]) return result;
+
+  auto finish = [&result](PeerId dst) {
+    result.path.push_back(dst);
+    result.success = true;
+    result.status = RouteStatus::kOk;
+    return result;
+  };
+
+  const std::size_t target_group = group_of_[to];
+  // Same group: the full affinity view resolves the target directly.
+  if (group_of_[from] == target_group) return finish(to);
+
+  // One inter-group hop to a contact, which knows its whole group.
+  const PeerId direct = usable_contact(from, target_group, avoid);
+  if (direct == to) return finish(to);
+  if (direct != kInvalidPeer) {
+    result.path.push_back(direct);
+    return finish(to);
+  }
+
+  // All own contacts into that group are dead/avoided: ask a fellow group
+  // member to relay through *its* contact (Kelips resolves misses through
+  // the group view). Deterministic: members ascend.
+  for (const PeerId m : groups_[group_of_[from]]) {
+    if (m == from || !online_[m]) continue;
+    if (avoid != nullptr && avoid->contains(m)) continue;
+    const PeerId c = usable_contact(m, target_group, avoid);
+    if (c == kInvalidPeer) continue;
+    result.path.push_back(m);
+    if (c != to) result.path.push_back(c);
+    return finish(to);
+  }
+  return result;  // no live path into the target group
+}
+
+RouteResult KelipsSystem::route(PeerId from, PeerId to) const {
+  return route_impl(from, to, nullptr);
+}
+
+RouteResult KelipsSystem::route_avoiding(PeerId from, PeerId to,
+                                         const FlatSet<PeerId>& avoid) const {
+  return route_impl(from, to, &avoid);
+}
+
+void KelipsSystem::set_peer_online(PeerId p, bool online) {
+  online_[p] = online;
+}
+
+bool KelipsSystem::peer_online(PeerId p) const { return online_[p]; }
+
+void KelipsSystem::maintenance_round() {
+  const std::size_t n = graph_->num_nodes();
+  const std::size_t num_groups = groups_.size();
+  for (PeerId p = 0; p < n; ++p) {
+    if (!online_[p]) continue;
+    Rng rng(derive_seed(seed_, 0x6b6d6eULL ^ p));
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (g == group_of_[p] || groups_[g].empty()) continue;
+      PeerId* slot = &contacts_[(p * num_groups + g) * contacts_k_];
+      for (std::size_t i = 0; i < contacts_k_; ++i) {
+        if (slot[i] != kInvalidPeer && online_[slot[i]]) continue;
+        // Dead contact: re-pull an online member of that group.
+        for (int attempts = 0; attempts < 16; ++attempts) {
+          const PeerId cand = groups_[g][rng.below(groups_[g].size())];
+          if (!online_[cand]) continue;
+          if (std::find(slot, slot + contacts_k_, cand) !=
+              slot + contacts_k_) {
+            continue;
+          }
+          slot[i] = cand;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sel::baselines

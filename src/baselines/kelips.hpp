@@ -1,0 +1,90 @@
+// Kelips-style baseline (Gupta, Birman, Linga, Demers, van Renesse):
+// constant-hop lookup at O(√N) state per peer.
+//
+// Peers hash into G = ⌈√N⌉ affinity groups. Every peer keeps a full view of
+// its own group (the "affinity group view") plus a handful of contacts in
+// every foreign group. A lookup therefore takes at most one inter-group hop
+// to a contact, which resolves the target from its complete group view —
+// O(1) hops, paid for with O(√N) soft state and background gossip (here:
+// the maintenance round re-pulls dead contacts from the live membership,
+// the simulation stand-in for Kelips' epidemic view repair).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/routing.hpp"
+
+namespace sel::baselines {
+
+struct KelipsParams {
+  /// Contacts kept per foreign group; 0 = 2 (the paper's working set).
+  std::size_t contacts_per_group = 0;
+};
+
+class KelipsSystem final : public overlay::Overlay {
+ public:
+  KelipsSystem(const graph::SocialGraph& g, KelipsParams params,
+               std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "kelips"; }
+  [[nodiscard]] const graph::SocialGraph& social() const override {
+    return *graph_;
+  }
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c;
+    c.route_avoiding = true;     // contact fan-out admits detours
+    c.churn_maintenance = true;  // contact repair from live membership
+    return c;
+  }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+  [[nodiscard]] overlay::RouteResult route(overlay::PeerId from,
+                                           overlay::PeerId to) const override;
+  [[nodiscard]] overlay::RouteResult route_avoiding(
+      overlay::PeerId from, overlay::PeerId to,
+      const FlatSet<overlay::PeerId>& avoid) const override;
+
+  /// Own-group members plus foreign-group contacts.
+  [[nodiscard]] std::vector<overlay::PeerId> neighbors(
+      overlay::PeerId p) const override;
+
+  void set_peer_online(overlay::PeerId p, bool online) override;
+  [[nodiscard]] bool peer_online(overlay::PeerId p) const override;
+
+  /// Replaces offline contacts with online members of the same foreign
+  /// group (epidemic view repair, collapsed to one deterministic sweep).
+  void maintenance_round() override;
+
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] std::size_t group_of(overlay::PeerId p) const {
+    return group_of_[p];
+  }
+
+ private:
+  [[nodiscard]] overlay::RouteResult route_impl(
+      overlay::PeerId from, overlay::PeerId to,
+      const FlatSet<overlay::PeerId>* avoid) const;
+
+  /// First online contact of p into `group` that is not avoided.
+  [[nodiscard]] overlay::PeerId usable_contact(
+      overlay::PeerId p, std::size_t group,
+      const FlatSet<overlay::PeerId>* avoid) const;
+
+  const graph::SocialGraph* graph_;
+  KelipsParams params_;
+  std::uint64_t seed_;
+  std::size_t contacts_k_ = 2;
+
+  std::vector<std::size_t> group_of_;
+  std::vector<std::vector<overlay::PeerId>> groups_;  ///< sorted members
+  /// contacts_[p * num_groups + g] .. +contacts_k_: contacts of p in group
+  /// g (kInvalidPeer = empty slot; own group unused).
+  std::vector<overlay::PeerId> contacts_;
+  std::vector<bool> online_;
+};
+
+}  // namespace sel::baselines

@@ -33,7 +33,7 @@ std::size_t OmenSystem::TopicState::index_of(PeerId p) const {
 
 OmenSystem::OmenSystem(const graph::SocialGraph& g, OmenParams params,
                        std::uint64_t seed)
-    : RingBasedSystem(g, overlay::RouteOptions{}),
+    : RingOverlay(g, overlay::RouteOptions{}),
       params_(params),
       seed_(seed),
       rng_(derive_seed(seed, 0x6f6d656eULL)) {}
@@ -189,11 +189,6 @@ std::size_t OmenSystem::run_round() {
     }
   }
   return added;
-}
-
-overlay::DisseminationTree OmenSystem::build_tree(PeerId publisher) const {
-  return overlay::subscriber_first_tree(
-      overlay_, subscribers_of(publisher), publisher, overlay::RouteOptions{});
 }
 
 void OmenSystem::maintenance_round() {

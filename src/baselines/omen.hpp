@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::baselines {
 
@@ -34,7 +34,7 @@ struct OmenParams {
   std::size_t max_rounds = 512;
 };
 
-class OmenSystem final : public overlay::RingBasedSystem {
+class OmenSystem final : public overlay::RingOverlay {
  public:
   OmenSystem(const graph::SocialGraph& g, OmenParams params,
              std::uint64_t seed);
@@ -47,9 +47,14 @@ class OmenSystem final : public overlay::RingBasedSystem {
 
   /// OMen dissemination: within-topic flooding over the TCO (subscriber-to-
   /// subscriber edges), greedy routing for topic fragments the degree
-  /// budget left unconnected.
-  [[nodiscard]] overlay::DisseminationTree build_tree(
-      overlay::PeerId publisher) const override;
+  /// budget left unconnected — exactly the subscriber-first composition.
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c = RingOverlay::capabilities();
+    c.iterative_build = true;
+    c.churn_maintenance = true;
+    c.subscriber_first_tree = true;
+    return c;
+  }
 
   /// Shadow-set mending: replaces offline neighbours with shadow peers.
   void maintenance_round() override;

@@ -10,7 +10,7 @@ using overlay::PeerId;
 
 RandomMeshSystem::RandomMeshSystem(const graph::SocialGraph& g,
                                    std::size_t k_links, std::uint64_t seed)
-    : RingBasedSystem(g, overlay::RouteOptions{}),
+    : RingOverlay(g, overlay::RouteOptions{}),
       k_links_(k_links),
       seed_(seed) {}
 

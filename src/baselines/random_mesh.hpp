@@ -6,11 +6,11 @@
 
 #include <cstdint>
 
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::baselines {
 
-class RandomMeshSystem final : public overlay::RingBasedSystem {
+class RandomMeshSystem final : public overlay::RingOverlay {
  public:
   RandomMeshSystem(const graph::SocialGraph& g, std::size_t k_links,
                    std::uint64_t seed);

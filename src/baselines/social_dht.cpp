@@ -1,0 +1,87 @@
+#include "baselines/social_dht.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sel::baselines {
+
+using overlay::PeerId;
+
+SocialDhtSystem::SocialDhtSystem(const graph::SocialGraph& g,
+                                 SocialDhtParams params, std::uint64_t seed)
+    : RingOverlay(g, overlay::RouteOptions{}),
+      params_(params),
+      seed_(seed) {}
+
+PeerId SocialDhtSystem::manager_of(net::OverlayId target) const {
+  SEL_EXPECTS(!ring_index_.empty());
+  auto it = std::lower_bound(
+      ring_index_.begin(), ring_index_.end(), target.value(),
+      [](const auto& entry, double v) { return entry.first < v; });
+  if (it == ring_index_.end()) it = ring_index_.begin();  // wrap around
+  return it->second;
+}
+
+void SocialDhtSystem::build() {
+  const std::size_t n = graph_->num_nodes();
+  if (n == 0) return;
+
+  // Plain-DHT identifiers: uniform, immutable (no Alg. 2 reassignment).
+  for (PeerId p = 0; p < n; ++p) {
+    overlay_.join(p, net::OverlayId::from_hash(derive_seed(seed_, p)));
+  }
+  overlay_.rebuild_ring();
+
+  ring_index_.clear();
+  ring_index_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    ring_index_.emplace_back(overlay_.id(p).value(), p);
+  }
+  std::sort(ring_index_.begin(), ring_index_.end());
+
+  const std::size_t k =
+      params_.k_links != 0
+          ? params_.k_links
+          : std::max<std::size_t>(
+                2, static_cast<std::size_t>(std::log2(
+                       static_cast<double>(std::max<std::size_t>(n, 2)))));
+  const auto social_k = static_cast<std::size_t>(
+      std::round(static_cast<double>(k) * params_.social_fraction));
+
+  Rng rng(derive_seed(seed_, 0x736f63ULL));
+  for (PeerId p = 0; p < n; ++p) {
+    // Social shortcuts: strongest ties first (common neighbourhood size,
+    // then peer id — deterministic). These links carry the friend-to-friend
+    // traffic the OSN workload is dominated by.
+    const auto nbrs = graph_->neighbors(p);
+    std::vector<std::pair<std::size_t, PeerId>> ranked;
+    ranked.reserve(nbrs.size());
+    for (const graph::NodeId f : nbrs) {
+      const std::size_t strength = graph_->common_neighbors(p, f) + 1;
+      ranked.emplace_back(strength, f);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::size_t established = 0;
+    for (const auto& [strength, f] : ranked) {
+      if (established >= social_k) break;
+      if (overlay_.add_long_link(p, f)) ++established;
+    }
+
+    // Harmonic routing links for the remaining budget (Symphony pd(x)).
+    for (int attempts = 0; attempts < 64 && established < k; ++attempts) {
+      const double u = rng.uniform();
+      const double d =
+          std::exp(std::log(static_cast<double>(n)) * (u - 1.0));
+      const PeerId target = manager_of(net::advance(overlay_.id(p), d));
+      if (target == p) continue;
+      if (overlay_.add_long_link(p, target)) ++established;
+    }
+  }
+}
+
+}  // namespace sel::baselines

@@ -1,0 +1,55 @@
+// Socially-aware DHT baseline (Nasir, Girdzijauskas: "Socially-Aware
+// Distributed Hash Tables for Decentralized Online Social Networks",
+// PAPERS.md).
+//
+// Peers keep immutable uniform ring identifiers (a plain DHT — no SELECT id
+// reassignment) but split their link budget between two roles: harmonic
+// *routing links* (Symphony-style, for O(log²N/k) greedy lookups) and
+// *social shortcut links* to their strongest social ties (ranked by common
+// neighbourhoods). Lookups between friends — the dominant OSN traffic —
+// resolve over one shortcut hop, while the harmonic half keeps arbitrary
+// lookups logarithmic. This is the middle point between Symphony (no social
+// awareness) and SELECT (ids themselves socially rearranged).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/routing.hpp"
+
+namespace sel::baselines {
+
+struct SocialDhtParams {
+  /// Total long links per peer; 0 = log2(N).
+  std::size_t k_links = 0;
+  /// Fraction of the budget spent on social shortcuts (rest is harmonic).
+  double social_fraction = 0.5;
+};
+
+class SocialDhtSystem final : public overlay::RingOverlay {
+ public:
+  SocialDhtSystem(const graph::SocialGraph& g, SocialDhtParams params,
+                  std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "social_dht";
+  }
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c = RingOverlay::capabilities();
+    // Social shortcuts make friend meshes dense enough that
+    // subscriber-first dissemination pays off (the design's whole point).
+    c.subscriber_first_tree = true;
+    return c;
+  }
+  void build() override;
+  [[nodiscard]] std::size_t build_iterations() const override { return 0; }
+
+ private:
+  [[nodiscard]] overlay::PeerId manager_of(net::OverlayId target) const;
+
+  SocialDhtParams params_;
+  std::uint64_t seed_;
+  std::vector<std::pair<double, overlay::PeerId>> ring_index_;
+};
+
+}  // namespace sel::baselines

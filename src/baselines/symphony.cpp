@@ -11,7 +11,7 @@ using overlay::PeerId;
 
 SymphonySystem::SymphonySystem(const graph::SocialGraph& g,
                                SymphonyParams params, std::uint64_t seed)
-    : RingBasedSystem(
+    : RingOverlay(
           g, overlay::RouteOptions{.lookahead = params.lookahead}),
       params_(params),
       seed_(seed) {}

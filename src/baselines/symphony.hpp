@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::baselines {
 
@@ -22,7 +22,7 @@ struct SymphonyParams {
   bool lookahead = true;
 };
 
-class SymphonySystem final : public overlay::RingBasedSystem {
+class SymphonySystem final : public overlay::RingOverlay {
  public:
   SymphonySystem(const graph::SocialGraph& g, SymphonyParams params,
                  std::uint64_t seed);

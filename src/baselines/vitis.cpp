@@ -9,7 +9,7 @@ using overlay::PeerId;
 
 VitisSystem::VitisSystem(const graph::SocialGraph& g, VitisParams params,
                          std::uint64_t seed)
-    : RingBasedSystem(g, overlay::RouteOptions{}),
+    : RingOverlay(g, overlay::RouteOptions{}),
       params_(params),
       seed_(seed) {}
 

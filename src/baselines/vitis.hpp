@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::baselines {
 
@@ -29,7 +29,7 @@ struct VitisParams {
   std::size_t max_rounds = 256;
 };
 
-class VitisSystem final : public overlay::RingBasedSystem {
+class VitisSystem final : public overlay::RingOverlay {
  public:
   VitisSystem(const graph::SocialGraph& g, VitisParams params,
               std::uint64_t seed);
@@ -38,6 +38,11 @@ class VitisSystem final : public overlay::RingBasedSystem {
   void build() override;
   [[nodiscard]] std::size_t build_iterations() const override {
     return rounds_run_;
+  }
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c = RingOverlay::capabilities();
+    c.iterative_build = true;
+    return c;
   }
 
   /// One gossip round; returns the number of cluster-link changes.

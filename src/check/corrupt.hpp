@@ -18,14 +18,14 @@ namespace sel::check::testing {
 struct Corruptor {
   /// Seeds an asymmetric routing link: removes `from` from to's in_links
   /// while leaving from's out_link in place.
-  static void drop_in_link(overlay::Overlay& ov, overlay::PeerId from,
+  static void drop_in_link(overlay::RingSubstrate& ov, overlay::PeerId from,
                            overlay::PeerId to) {
     auto& ins = ov.peer(to).in_links;
     ins.erase(std::remove(ins.begin(), ins.end(), from), ins.end());
   }
 
   /// Corrupts the ring by rewiring p's successor pointer.
-  static void set_successor(overlay::Overlay& ov, overlay::PeerId p,
+  static void set_successor(overlay::RingSubstrate& ov, overlay::PeerId p,
                             overlay::PeerId succ) {
     ov.peer(p).succ = succ;
   }

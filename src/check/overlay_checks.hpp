@@ -21,7 +21,7 @@ namespace detail {
 
 /// Members of the ring under validation: joined peers, minus offline ones
 /// when the ring was rebuilt online_only.
-inline std::vector<overlay::PeerId> ring_members(const overlay::Overlay& ov,
+inline std::vector<overlay::PeerId> ring_members(const overlay::RingSubstrate& ov,
                                                  bool online_only) {
   std::vector<overlay::PeerId> members;
   members.reserve(ov.joined_count());
@@ -33,7 +33,7 @@ inline std::vector<overlay::PeerId> ring_members(const overlay::Overlay& ov,
   return members;
 }
 
-inline Result check_ring_neighbors_of(const overlay::Overlay& ov,
+inline Result check_ring_neighbors_of(const overlay::RingSubstrate& ov,
                                       overlay::PeerId p, std::size_t n) {
   const overlay::PeerId s = ov.successor(p);
   const overlay::PeerId q = ov.predecessor(p);
@@ -65,7 +65,7 @@ inline Result check_ring_neighbors_of(const overlay::Overlay& ov,
 /// succ/pred, the successor walk visits every member exactly once, and ids
 /// are sorted by (id, peer) along the walk — the Sec. II-A structure greedy
 /// routing depends on.
-inline Result validate_ring(const overlay::Overlay& ov,
+inline Result validate_ring(const overlay::RingSubstrate& ov,
                             bool online_only = false) {
   const auto members = detail::ring_members(ov, online_only);
   const std::size_t n = members.size();
@@ -120,7 +120,7 @@ inline Result validate_ring(const overlay::Overlay& ov,
 
 /// Cheap ring spot-check: succ/pred symmetry for up to `max_samples`
 /// strided members. O(max_samples).
-inline Result validate_ring_sample(const overlay::Overlay& ov,
+inline Result validate_ring_sample(const overlay::RingSubstrate& ov,
                                    bool online_only = false,
                                    std::size_t max_samples = 8) {
   const auto members = detail::ring_members(ov, online_only);
@@ -138,7 +138,7 @@ inline Result validate_ring_sample(const overlay::Overlay& ov,
 /// Long-link table consistency for one peer: no self-loops or duplicates,
 /// every endpoint joined, and every link mirrored on the other side
 /// (out_links/in_links model one TCP connection, Sec. III-D).
-inline Result validate_peer_links(const overlay::Overlay& ov,
+inline Result validate_peer_links(const overlay::RingSubstrate& ov,
                                   overlay::PeerId p) {
   const auto outs = ov.out_links(p);
   const auto ins = ov.in_links(p);
@@ -181,7 +181,7 @@ inline Result validate_peer_links(const overlay::Overlay& ov,
 
 /// Global link-symmetry sweep (SEL_CHECK=full): validate_peer_links for
 /// every joined peer. O(sum degree^2) with degrees ~K.
-inline Result validate_link_symmetry(const overlay::Overlay& ov) {
+inline Result validate_link_symmetry(const overlay::RingSubstrate& ov) {
   for (overlay::PeerId p = 0; p < ov.num_peers(); ++p) {
     if (!ov.joined(p)) continue;
     if (auto v = validate_peer_links(ov, p)) return v;

@@ -86,7 +86,7 @@ inline Result validate_lsh_index(const lsh::LshIndex& index, std::size_t k) {
 
 /// Sec. III-D link budget: a peer maintains at most K outgoing long links
 /// and admits at most K incoming ones.
-inline Result validate_link_budget(const overlay::Overlay& ov,
+inline Result validate_link_budget(const overlay::RingSubstrate& ov,
                                    overlay::PeerId p, std::size_t k) {
   if (ov.out_degree(p) > k) {
     return Violation{"select.links.out_budget",

@@ -19,7 +19,7 @@ namespace sel::overlay {
 
 class LookaheadCache {
  public:
-  explicit LookaheadCache(const Overlay& ov)
+  explicit LookaheadCache(const RingSubstrate& ov)
       : ov_(&ov), snapshots_(ov.num_peers()), known_(ov.num_peers(), false) {}
 
   /// Refreshes the snapshot of `p`'s neighbour set (ring + long links).
@@ -86,7 +86,7 @@ class LookaheadCache {
   }
 
  private:
-  const Overlay* ov_;
+  const RingSubstrate* ov_;
   std::vector<std::vector<PeerId>> snapshots_;
   std::vector<bool> known_;
 };

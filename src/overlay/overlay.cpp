@@ -12,13 +12,13 @@
 
 namespace sel::overlay {
 
-Overlay::Overlay(std::size_t num_peers) : peers_(num_peers) {
+RingSubstrate::RingSubstrate(std::size_t num_peers) : peers_(num_peers) {
   // Feed the mem.bytes_per_peer gauge (obs/memory.hpp). Last overlay wins,
   // which is what size sweeps want.
   obs::set_peer_count(num_peers);
 }
 
-void Overlay::join(PeerId p, net::OverlayId id) {
+void RingSubstrate::join(PeerId p, net::OverlayId id) {
   auto& pr = peer(p);
   if (!pr.joined) {
     pr.joined = true;
@@ -28,14 +28,14 @@ void Overlay::join(PeerId p, net::OverlayId id) {
   pr.online = true;
 }
 
-void Overlay::set_id(PeerId p, net::OverlayId id) {
+void RingSubstrate::set_id(PeerId p, net::OverlayId id) {
   SEL_EXPECTS(peer(p).joined);
   peer(p).id = id;
 }
 
-void Overlay::set_online(PeerId p, bool online) { peer(p).online = online; }
+void RingSubstrate::set_online(PeerId p, bool online) { peer(p).online = online; }
 
-void Overlay::rebuild_ring(bool online_only) {
+void RingSubstrate::rebuild_ring(bool online_only) {
   std::vector<PeerId> order;
   order.reserve(joined_count_);
   for (PeerId p = 0; p < peers_.size(); ++p) {
@@ -69,7 +69,7 @@ void Overlay::rebuild_ring(bool online_only) {
   }
 }
 
-bool Overlay::add_long_link(PeerId from, PeerId to) {
+bool RingSubstrate::add_long_link(PeerId from, PeerId to) {
   if (from == to) return false;
   auto& f = peer(from);
   auto& t = peer(to);
@@ -87,7 +87,7 @@ bool Overlay::add_long_link(PeerId from, PeerId to) {
   return true;
 }
 
-bool Overlay::remove_long_link(PeerId from, PeerId to) {
+bool RingSubstrate::remove_long_link(PeerId from, PeerId to) {
   auto& f = peer(from);
   const auto it = std::find(f.out_links.begin(), f.out_links.end(), to);
   if (it == f.out_links.end()) return false;
@@ -103,7 +103,7 @@ bool Overlay::remove_long_link(PeerId from, PeerId to) {
   return true;
 }
 
-void Overlay::clear_long_links(PeerId p) {
+void RingSubstrate::clear_long_links(PeerId p) {
   // Copy: remove_long_link mutates the vectors we iterate.
   const std::vector<PeerId> outs(peer(p).out_links.begin(),
                                  peer(p).out_links.end());
@@ -113,7 +113,7 @@ void Overlay::clear_long_links(PeerId p) {
   for (const PeerId from : ins) remove_long_link(from, p);
 }
 
-bool Overlay::linked(PeerId a, PeerId b) const {
+bool RingSubstrate::linked(PeerId a, PeerId b) const {
   const auto& pa = peer(a);
   if (std::find(pa.out_links.begin(), pa.out_links.end(), b) !=
       pa.out_links.end()) {
@@ -123,12 +123,12 @@ bool Overlay::linked(PeerId a, PeerId b) const {
          pa.in_links.end();
 }
 
-bool Overlay::neighbors_of_contains(PeerId a, PeerId b) const {
+bool RingSubstrate::neighbors_of_contains(PeerId a, PeerId b) const {
   const auto& pa = peer(a);
   return pa.succ == b || pa.pred == b || linked(a, b);
 }
 
-void Overlay::for_each_neighbor(
+void RingSubstrate::for_each_neighbor(
     PeerId p, const std::function<void(PeerId)>& fn) const {
   const auto& pr = peer(p);
   // Small neighbour sets (K + 2): linear dedup beats hashing.
@@ -146,13 +146,13 @@ void Overlay::for_each_neighbor(
   for (const PeerId q : pr.in_links) visit(q);
 }
 
-std::vector<PeerId> Overlay::neighbor_list(PeerId p) const {
+std::vector<PeerId> RingSubstrate::neighbor_list(PeerId p) const {
   std::vector<PeerId> out;
   for_each_neighbor(p, [&out](PeerId q) { out.push_back(q); });
   return out;
 }
 
-RouteResult Overlay::greedy_route(PeerId src, PeerId dst,
+RouteResult RingSubstrate::greedy_route(PeerId src, PeerId dst,
                                   const RouteOptions& opts) const {
   RouteResult result;
   if (!peer(src).joined || !peer(dst).joined) return result;
@@ -165,6 +165,7 @@ RouteResult Overlay::greedy_route(PeerId src, PeerId dst,
   result.path.push_back(src);
   if (src == dst) {
     result.success = true;
+    result.status = RouteStatus::kOk;
     return result;
   }
 
@@ -186,6 +187,7 @@ RouteResult Overlay::greedy_route(PeerId src, PeerId dst,
     if (neighbors_of_contains(current, dst) && usable(dst)) {
       result.path.push_back(dst);
       result.success = true;
+      result.status = RouteStatus::kOk;
       return result;
     }
 
@@ -262,13 +264,14 @@ RouteResult Overlay::greedy_route(PeerId src, PeerId dst,
     current = next;
     if (current == dst) {
       result.success = true;
+      result.status = RouteStatus::kOk;
       return result;
     }
   }
   return result;  // TTL exceeded
 }
 
-double Overlay::average_long_degree() const {
+double RingSubstrate::average_long_degree() const {
   if (joined_count_ == 0) return 0.0;
   std::size_t total = 0;
   for (const auto& p : peers_) {

@@ -17,9 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "net/id_space.hpp"
 #include "obs/memory.hpp"
 
@@ -50,27 +50,46 @@ struct RouteOptions {
   bool allow_detour = true;
   /// Peers that must not be used as intermediate hops (multipath
   /// dissemination routes a backup path disjoint from the primary). The
-  /// source and destination are always allowed. Not owned.
-  const std::unordered_set<PeerId>* avoid = nullptr;
+  /// source and destination are always allowed. Not owned. A FlatSet so the
+  /// avoidance contract stays deterministic (sel_analyze.py rules).
+  const FlatSet<PeerId>* avoid = nullptr;
   /// When set, lookahead consults these gossip-maintained L_p snapshots
   /// instead of live neighbour state (see overlay/lookahead.hpp); stale
   /// knowledge then behaves as it would in a deployment. Not owned.
   const LookaheadCache* lookahead_cache = nullptr;
 };
 
+/// Why a route attempt ended the way it did. `kUnsupported` distinguishes
+/// "this overlay cannot answer that kind of query" (e.g. route_avoiding on
+/// an overlay without the capability) from an honest routing failure, so
+/// fallback and failure land in different fault.* counters.
+enum class RouteStatus : std::uint8_t {
+  kNoRoute = 0,    ///< attempted and failed (dead end, TTL, offline target)
+  kOk = 1,         ///< path delivered
+  kUnsupported = 2 ///< query kind not supported by this overlay
+};
+
 struct RouteResult {
   bool success = false;
+  RouteStatus status = RouteStatus::kNoRoute;
   /// Peers visited, src first; includes dst when success.
   std::vector<PeerId> path;
 
   [[nodiscard]] std::size_t hops() const noexcept {
     return path.size() <= 1 ? 0 : path.size() - 1;
   }
+
+  /// The canonical "this overlay does not answer that query" result.
+  [[nodiscard]] static RouteResult unsupported() {
+    RouteResult r;
+    r.status = RouteStatus::kUnsupported;
+    return r;
+  }
 };
 
-class Overlay {
+class RingSubstrate {
  public:
-  explicit Overlay(std::size_t num_peers);
+  explicit RingSubstrate(std::size_t num_peers);
 
   [[nodiscard]] std::size_t num_peers() const noexcept { return peers_.size(); }
   [[nodiscard]] std::size_t joined_count() const noexcept { return joined_count_; }

@@ -1,0 +1,48 @@
+#include "overlay/registry.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace sel::overlay {
+
+OverlayRegistry& OverlayRegistry::instance() {
+  static OverlayRegistry reg;
+  return reg;
+}
+
+void OverlayRegistry::register_overlay(std::string name, FactoryFn factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::vector<std::string> OverlayRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, fn] : factories_) out.push_back(name);
+  return out;  // std::map iterates ascending — deterministic
+}
+
+bool OverlayRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Overlay> OverlayRegistry::create(
+    std::string_view name, const graph::SocialGraph& g,
+    const OverlayConfig& config) const {
+  const auto it = factories_.find(name);
+  SEL_EXPECTS(it != factories_.end());
+  preregister_overlay_metrics(name);
+  return it->second(g, config);
+}
+
+void preregister_overlay_metrics(std::string_view name) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "overlay." + std::string(name);
+  reg.counter(prefix + ".routes_attempted");
+  reg.counter(prefix + ".routes_ok");
+  reg.counter(prefix + ".routes_failed");
+  reg.counter(prefix + ".maintenance_rounds");
+}
+
+}  // namespace sel::overlay

@@ -1,0 +1,87 @@
+// Self-registering overlay factory.
+//
+// Every overlay implementation registers a named factory at static-init
+// time (SEL_REGISTER_OVERLAY); harnesses enumerate `names()` and construct
+// through `create()` with an OverlayConfig options struct — no central
+// if/else ladder, no positional argument list that grows with every knob.
+// The bench matrix and the conformance suite iterate the registry, so a
+// new overlay gets measured and invariant-checked by merely registering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "overlay/routing.hpp"
+
+namespace sel::net {
+class NetworkModel;
+}
+
+namespace sel::overlay {
+
+/// Options every overlay constructor understands. Named-field initialization
+/// replaces the old positional (name, g, seed, k_links, net) signature:
+/// call sites say what they set, and adding a knob does not break them.
+struct OverlayConfig {
+  /// Master seed; every derived RNG stream forks from it deterministically.
+  std::uint64_t seed = 1;
+  /// Long-link / contact budget. 0 = the overlay's own default
+  /// (typically log2 N).
+  std::size_t k_links = 0;
+  /// Shared network model (latency, availability). Overlays that need one
+  /// own a private instance when null. Not owned.
+  const net::NetworkModel* net = nullptr;
+};
+
+class OverlayRegistry {
+ public:
+  using FactoryFn = std::function<std::unique_ptr<Overlay>(
+      const graph::SocialGraph&, const OverlayConfig&)>;
+
+  static OverlayRegistry& instance();
+
+  /// Registers `factory` under `name`. Last registration wins (tests may
+  /// shadow an overlay with an instrumented variant).
+  void register_overlay(std::string name, FactoryFn factory);
+
+  /// All registered names, ascending — the deterministic iteration order
+  /// for matrices and conformance suites.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Constructs the named overlay. SEL_EXPECTS-fails on unknown names (the
+  /// caller-facing factory in baselines/factory.hpp gives the same
+  /// contract). Pre-registers the overlay's `overlay.<name>.*` metric
+  /// families so report schemas stay seed-independent.
+  [[nodiscard]] std::unique_ptr<Overlay> create(
+      std::string_view name, const graph::SocialGraph& g,
+      const OverlayConfig& config) const;
+
+ private:
+  std::map<std::string, FactoryFn, std::less<>> factories_;
+};
+
+/// Touches the canonical `overlay.<name>.*` counter family (routes
+/// attempted/ok/failed, maintenance rounds) so a report emitted before any
+/// traffic still carries the full schema (PR 7/8 convention).
+void preregister_overlay_metrics(std::string_view name);
+
+/// Registers a factory at static-initialization time. `token` must be a
+/// unique identifier per translation unit.
+#define SEL_REGISTER_OVERLAY(token, overlay_name, ...)                       \
+  namespace {                                                                \
+  const bool sel_overlay_registrar_##token = [] {                            \
+    ::sel::overlay::OverlayRegistry::instance().register_overlay(            \
+        overlay_name, __VA_ARGS__);                                          \
+    return true;                                                             \
+  }();                                                                       \
+  }
+
+}  // namespace sel::overlay

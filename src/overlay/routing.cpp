@@ -1,0 +1,35 @@
+#include "overlay/routing.hpp"
+
+namespace sel::overlay {
+
+RingOverlay::RingOverlay(const graph::SocialGraph& g,
+                         RouteOptions route_options)
+    : graph_(&g), overlay_(g.num_nodes()), route_options_(route_options) {}
+
+RouteResult RingOverlay::route(PeerId from, PeerId to) const {
+  return overlay_.greedy_route(from, to, route_options_);
+}
+
+RouteResult RingOverlay::route_avoiding(PeerId from, PeerId to,
+                                        const FlatSet<PeerId>& avoid) const {
+  RouteOptions opts = route_options_;
+  opts.avoid = &avoid;
+  return overlay_.greedy_route(from, to, opts);
+}
+
+std::vector<PeerId> RingOverlay::neighbors(PeerId p) const {
+  return overlay_.neighbor_list(p);
+}
+
+void RingOverlay::for_each_neighbor(
+    PeerId p, const std::function<void(PeerId)>& fn) const {
+  overlay_.for_each_neighbor(p, fn);
+}
+
+void RingOverlay::set_peer_online(PeerId p, bool online) {
+  overlay_.set_online(p, online);
+}
+
+bool RingOverlay::peer_online(PeerId p) const { return overlay_.online(p); }
+
+}  // namespace sel::overlay

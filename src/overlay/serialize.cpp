@@ -5,7 +5,7 @@
 
 namespace sel::overlay {
 
-bool save_overlay(const Overlay& ov, std::ostream& out) {
+bool save_overlay(const RingSubstrate& ov, std::ostream& out) {
   out << "selectov v1 " << ov.num_peers() << "\n";
   out.precision(17);
   for (PeerId p = 0; p < ov.num_peers(); ++p) {
@@ -22,20 +22,20 @@ bool save_overlay(const Overlay& ov, std::ostream& out) {
   return static_cast<bool>(out);
 }
 
-bool save_overlay_file(const Overlay& ov, const std::string& path) {
+bool save_overlay_file(const RingSubstrate& ov, const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) return false;
   return save_overlay(ov, out);
 }
 
-std::optional<Overlay> load_overlay(std::istream& in) {
+std::optional<RingSubstrate> load_overlay(std::istream& in) {
   std::string magic;
   std::string version;
   std::size_t n = 0;
   if (!(in >> magic >> version >> n)) return std::nullopt;
   if (magic != "selectov" || version != "v1") return std::nullopt;
 
-  Overlay ov(n);
+  RingSubstrate ov(n);
   std::string tag;
   while (in >> tag) {
     if (tag == "P") {
@@ -64,7 +64,7 @@ std::optional<Overlay> load_overlay(std::istream& in) {
   return ov;
 }
 
-std::optional<Overlay> load_overlay_file(const std::string& path) {
+std::optional<RingSubstrate> load_overlay_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return std::nullopt;
   return load_overlay(in);

@@ -1,4 +1,4 @@
-// Overlay snapshot serialization.
+// RingSubstrate snapshot serialization.
 //
 // A line-oriented text format ("selectov v1") capturing membership,
 // identifiers, liveness and long links — enough to persist a built overlay
@@ -20,17 +20,17 @@
 namespace sel::overlay {
 
 /// Writes the snapshot; returns false on stream failure.
-bool save_overlay(const Overlay& ov, std::ostream& out);
+bool save_overlay(const RingSubstrate& ov, std::ostream& out);
 
 /// Convenience: save to a file path.
-bool save_overlay_file(const Overlay& ov, const std::string& path);
+bool save_overlay_file(const RingSubstrate& ov, const std::string& path);
 
 /// Parses a snapshot. Returns nullopt on malformed input (wrong magic,
 /// out-of-range peers, truncated lines). The returned overlay has its ring
 /// rebuilt.
-[[nodiscard]] std::optional<Overlay> load_overlay(std::istream& in);
+[[nodiscard]] std::optional<RingSubstrate> load_overlay(std::istream& in);
 
-[[nodiscard]] std::optional<Overlay> load_overlay_file(
+[[nodiscard]] std::optional<RingSubstrate> load_overlay_file(
     const std::string& path);
 
 }  // namespace sel::overlay

@@ -1,5 +1,8 @@
 #include "overlay/system.hpp"
 
+#include <unordered_set>
+#include <vector>
+
 namespace sel::overlay {
 
 FlatSet<PeerId> PubSubSystem::subscribers_of(PeerId publisher) const {
@@ -15,17 +18,24 @@ FlatSet<PeerId> PubSubSystem::subscribers_of(PeerId publisher) const {
 }
 
 DisseminationTree PubSubSystem::build_tree(PeerId publisher) const {
+  const FlatSet<PeerId> subs = subscribers_of(publisher);
+  if (auto native = overlay_->native_tree(publisher, subs)) {
+    return std::move(*native);
+  }
+  if (overlay_->capabilities().subscriber_first_tree) {
+    return subscriber_first_tree(*overlay_, subs, publisher);
+  }
   DisseminationTree tree(publisher);
-  for (const graph::NodeId s : social().neighbors(publisher)) {
-    const RouteResult r = route(publisher, s);
+  for (const PeerId s : subs) {
+    const RouteResult r = overlay_->route(publisher, s);
     if (r.success) tree.add_path(r.path);
   }
   return tree;
 }
 
-DisseminationTree subscriber_first_tree(
-    const Overlay& ov, const FlatSet<PeerId>& subscribers, PeerId publisher,
-    const RouteOptions& route_options) {
+DisseminationTree subscriber_first_tree(const Overlay& ov,
+                                        const FlatSet<PeerId>& subscribers,
+                                        PeerId publisher) {
   DisseminationTree tree(publisher);
   // Phase 1: flood over subscriber-to-subscriber links (plus the
   // publisher's own links). Every node on these branches is interested in
@@ -38,7 +48,7 @@ DisseminationTree subscriber_first_tree(
       ov.for_each_neighbor(u, [&](PeerId v) {
         if (reached.contains(v)) return;
         if (!subscribers.contains(v)) return;
-        if (route_options.require_online && !ov.online(v)) return;
+        if (!ov.peer_online(v)) return;
         reached.insert(v);
         tree.add_child(u, v);
         next.push_back(v);
@@ -51,12 +61,12 @@ DisseminationTree subscriber_first_tree(
   // lookahead set L_p resolves exactly this pattern in 2 hops).
   for (const PeerId s : subscribers) {
     if (reached.contains(s)) continue;
-    if (route_options.require_online && !ov.online(s)) continue;
+    if (!ov.peer_online(s)) continue;
     PeerId via = kInvalidPeer;
     PeerId anchor = kInvalidPeer;
     ov.for_each_neighbor(s, [&](PeerId w) {
       if (via != kInvalidPeer) return;
-      if (route_options.require_online && !ov.online(w)) return;
+      if (!ov.peer_online(w)) return;
       ov.for_each_neighbor(w, [&](PeerId t) {
         if (via != kInvalidPeer) return;
         if (tree.contains(t)) {
@@ -75,33 +85,10 @@ DisseminationTree subscriber_first_tree(
   // publisher; intermediate non-subscribers on those paths are the relays.
   for (const PeerId s : subscribers) {
     if (reached.contains(s)) continue;
-    const RouteResult r = ov.greedy_route(publisher, s, route_options);
+    const RouteResult r = ov.route(publisher, s);
     if (r.success) tree.add_path(r.path);
   }
   return tree;
-}
-
-RingBasedSystem::RingBasedSystem(const graph::SocialGraph& g,
-                                 RouteOptions route_options)
-    : graph_(&g), overlay_(g.num_nodes()), route_options_(route_options) {}
-
-RouteResult RingBasedSystem::route(PeerId from, PeerId to) const {
-  return overlay_.greedy_route(from, to, route_options_);
-}
-
-RouteResult RingBasedSystem::route_avoiding(
-    PeerId from, PeerId to, const std::unordered_set<PeerId>& avoid) const {
-  RouteOptions opts = route_options_;
-  opts.avoid = &avoid;
-  return overlay_.greedy_route(from, to, opts);
-}
-
-void RingBasedSystem::set_peer_online(PeerId p, bool online) {
-  overlay_.set_online(p, online);
-}
-
-bool RingBasedSystem::peer_online(PeerId p) const {
-  return overlay_.online(p);
 }
 
 }  // namespace sel::overlay

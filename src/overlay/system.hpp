@@ -1,17 +1,21 @@
-// The common interface every pub/sub system under evaluation implements
-// (SELECT plus the Symphony, Bayeux, Vitis and OMen baselines).
+// The dissemination layer: subscriber sets, interest functions and
+// dissemination-tree construction, composed over *any* Overlay
+// (overlay/routing.hpp) rather than inherited into each system.
 //
-// A system owns its overlay construction; the evaluation harnesses only use
-// this interface, so every figure compares all five systems symmetrically.
+// A PubSubSystem wraps one Overlay (owning or borrowing) and derives the
+// pub/sub behaviour from the overlay's capabilities: a native tree when
+// the protocol defines one (Bayeux rendezvous roots), a subscriber-first
+// tree when the overlay's links make that profitable (SELECT, OMen), and a
+// per-subscriber route merge otherwise. The evaluation harnesses only use
+// this class, so every figure compares all systems symmetrically.
 #pragma once
 
 #include <memory>
 #include <string_view>
-#include <unordered_set>
 
 #include "common/flat_set.hpp"
 #include "graph/social_graph.hpp"
-#include "overlay/overlay.hpp"
+#include "overlay/routing.hpp"
 #include "overlay/tree.hpp"
 
 namespace sel::overlay {
@@ -27,52 +31,60 @@ class InterestFunction {
 
 class PubSubSystem {
  public:
-  virtual ~PubSubSystem() = default;
+  /// Borrows an overlay owned elsewhere (tests/benches that construct the
+  /// concrete type directly). The overlay must outlive this object.
+  explicit PubSubSystem(Overlay& ov) : overlay_(&ov) {}
 
-  [[nodiscard]] virtual std::string_view name() const = 0;
-  [[nodiscard]] virtual const graph::SocialGraph& social() const = 0;
+  /// Takes ownership (factory-made systems).
+  explicit PubSubSystem(std::unique_ptr<Overlay> ov)
+      : owned_(std::move(ov)), overlay_(owned_.get()) {}
 
-  /// Constructs the overlay to convergence (join + topology iterations).
-  virtual void build() = 0;
-
-  /// Iterations the construction took; 0 for non-iterative systems
-  /// (Symphony, Bayeux — excluded from Fig. 5 for that reason).
-  [[nodiscard]] virtual std::size_t build_iterations() const = 0;
-
-  /// Social lookup: route a message from peer `from` to peer `to`
-  /// (Fig. 2 measures the hop count of these).
-  [[nodiscard]] virtual RouteResult route(PeerId from, PeerId to) const = 0;
-
-  /// Dissemination tree from `publisher` to all its subscribers (its social
-  /// friends, paper Sec. II-B). Unreachable subscribers are simply absent.
-  [[nodiscard]] virtual DisseminationTree build_tree(PeerId publisher) const;
-
-  /// Route that must not traverse any peer in `avoid` (the reliability
-  /// layer uses this to route around a relay its failure detector declared
-  /// dead). Default: unsupported — returns a failed route; ring-based
-  /// systems answer with an avoidance-aware greedy route.
-  [[nodiscard]] virtual RouteResult route_avoiding(
-      PeerId /*from*/, PeerId /*to*/,
-      const std::unordered_set<PeerId>& /*avoid*/) const {
-    return {};
+  // -- forwarded routing surface ---------------------------------------------
+  [[nodiscard]] std::string_view name() const { return overlay_->name(); }
+  [[nodiscard]] const graph::SocialGraph& social() const {
+    return overlay_->social();
+  }
+  [[nodiscard]] Capabilities capabilities() const {
+    return overlay_->capabilities();
+  }
+  void build() { overlay_->build(); }
+  [[nodiscard]] std::size_t build_iterations() const {
+    return overlay_->build_iterations();
+  }
+  [[nodiscard]] RouteResult route(PeerId from, PeerId to) const {
+    return overlay_->route(from, to);
+  }
+  [[nodiscard]] RouteResult route_avoiding(
+      PeerId from, PeerId to, const FlatSet<PeerId>& avoid) const {
+    return overlay_->route_avoiding(from, to, avoid);
+  }
+  void set_peer_online(PeerId p, bool online) {
+    overlay_->set_peer_online(p, online);
+  }
+  [[nodiscard]] bool peer_online(PeerId p) const {
+    return overlay_->peer_online(p);
+  }
+  void maintenance_round() { overlay_->maintenance_round(); }
+  [[nodiscard]] std::size_t num_peers() const {
+    return overlay_->num_peers();
   }
 
-  /// Churn hook: marks a peer online/offline. Systems with recovery react
-  /// here (SELECT Sec. III-F, OMen shadow sets); default adjusts liveness
-  /// only.
-  virtual void set_peer_online(PeerId p, bool online) = 0;
-  [[nodiscard]] virtual bool peer_online(PeerId p) const = 0;
+  [[nodiscard]] const Overlay& overlay() const noexcept { return *overlay_; }
+  [[nodiscard]] Overlay& overlay() noexcept { return *overlay_; }
 
-  /// Runs one maintenance round under churn (recovery/mending). Default:
-  /// nothing.
-  virtual void maintenance_round() {}
-
+  // -- dissemination ---------------------------------------------------------
   /// The subscriber set S_b of a publisher: its social friends, filtered by
   /// the interest function when one is installed (f ≡ true otherwise,
   /// matching the paper's evaluation). Ascending-ordered so every loop over
   /// it (tree construction, delivery accounting, report metrics) is
   /// deterministic.
   [[nodiscard]] FlatSet<PeerId> subscribers_of(PeerId publisher) const;
+
+  /// Dissemination tree from `publisher` to all its subscribers.
+  /// Unreachable subscribers are simply absent. Composition order:
+  /// native_tree() hook → subscriber-first construction (capability) →
+  /// per-subscriber route merge.
+  [[nodiscard]] DisseminationTree build_tree(PeerId publisher) const;
 
   /// Installs an interest function (not owned; may be null to reset).
   void set_interest_function(const InterestFunction* f) { interest_ = f; }
@@ -81,43 +93,19 @@ class PubSubSystem {
   }
 
  private:
+  std::unique_ptr<Overlay> owned_;
+  Overlay* overlay_;
   const InterestFunction* interest_ = nullptr;
 };
 
 /// Subscriber-first tree construction: BFS from the publisher over overlay
 /// links *between subscribers* (a subscriber that received the message
 /// forwards it to fellow subscribers it is directly connected to — zero
-/// relay nodes on those branches), then route any unreached subscriber
-/// through the overlay. SELECT (Sec. III-E, lookahead trees over friend
-/// links) and OMen (topic-connected overlays) disseminate this way.
+/// relay nodes on those branches), then one-relay lookahead patches, then a
+/// full overlay route for anything still unreached. SELECT (Sec. III-E,
+/// lookahead trees over friend links) and OMen (topic-connected overlays)
+/// disseminate this way. Offline peers never enter the tree.
 [[nodiscard]] DisseminationTree subscriber_first_tree(
-    const Overlay& ov, const FlatSet<PeerId>& subscribers, PeerId publisher,
-    const RouteOptions& route_options);
-
-/// Base for systems whose routing runs on the shared Overlay substrate
-/// (SELECT, Symphony, Vitis, OMen). Bayeux routes on digit prefixes and
-/// implements PubSubSystem directly.
-class RingBasedSystem : public PubSubSystem {
- public:
-  RingBasedSystem(const graph::SocialGraph& g, RouteOptions route_options);
-
-  [[nodiscard]] const graph::SocialGraph& social() const final {
-    return *graph_;
-  }
-  [[nodiscard]] RouteResult route(PeerId from, PeerId to) const override;
-  [[nodiscard]] RouteResult route_avoiding(
-      PeerId from, PeerId to,
-      const std::unordered_set<PeerId>& avoid) const override;
-  void set_peer_online(PeerId p, bool online) override;
-  [[nodiscard]] bool peer_online(PeerId p) const override;
-
-  [[nodiscard]] const Overlay& overlay() const noexcept { return overlay_; }
-  [[nodiscard]] Overlay& overlay() noexcept { return overlay_; }
-
- protected:
-  const graph::SocialGraph* graph_;
-  Overlay overlay_;
-  RouteOptions route_options_;
-};
+    const Overlay& ov, const FlatSet<PeerId>& subscribers, PeerId publisher);
 
 }  // namespace sel::overlay

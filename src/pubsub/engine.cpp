@@ -112,6 +112,22 @@ obs::Counter& mailbox_replays_counter() {
   return c;
 }
 
+// Detour outcomes (fault.* family: reliability-plane telemetry). An
+// unsupported answer means the overlay cannot route around peers at all
+// (capability absent) — a different signal from a detour that was attempted
+// and found no live path.
+obs::Counter& route_avoid_failed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.route_avoid_failed");
+  return c;
+}
+
+obs::Counter& route_avoid_unsupported_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.route_avoid_unsupported");
+  return c;
+}
+
 // Messages whose dissemination still has events pending — the protocol-side
 // in-flight picture next to the transport-side runtime.queue_depth.
 obs::Gauge& in_flight_gauge() {
@@ -161,6 +177,8 @@ NotificationEngine::NotificationEngine(const overlay::PubSubSystem& sys,
   replay_evicted_counter();
   replay_dropped_crash_counter();
   mailbox_replays_counter();
+  route_avoid_failed_counter();
+  route_avoid_unsupported_counter();
 }
 
 void NotificationEngine::set_runtime_options(runtime::Options options) {
@@ -532,7 +550,7 @@ void NotificationEngine::lost_subtree(MessageId id, PeerId dead,
   const MultipathPlan* plan = retry_.enabled && retry_.failover
                                   ? multipath_for(rec.publisher)
                                   : nullptr;
-  const std::unordered_set<PeerId> avoid{dead};
+  const FlatSet<PeerId> avoid{dead};
   for (const PeerId s : lost) {
     const std::vector<PeerId>* backup = nullptr;
     if (plan != nullptr) {
@@ -559,6 +577,10 @@ void NotificationEngine::lost_subtree(MessageId id, PeerId dead,
         reroute = std::make_shared<const std::vector<PeerId>>(
             std::move(detour.path));
         rerouted = true;
+      } else if (detour.status == overlay::RouteStatus::kUnsupported) {
+        route_avoid_unsupported_counter().add(1);
+      } else {
+        route_avoid_failed_counter().add(1);
       }
     }
     if (reroute != nullptr) {
@@ -685,7 +707,7 @@ void NotificationEngine::failover_hop_failure(MessageId id,
   // store-and-forward replay.
   const PeerId subscriber = path->back();
   if (!detour && to != subscriber && retry_.enabled && retry_.failover) {
-    const std::unordered_set<PeerId> avoid{to};
+    const FlatSet<PeerId> avoid{to};
     auto fresh = sys_->route_avoiding(rec.publisher, subscriber, avoid);
     if (fresh.success && fresh.path.size() >= 2) {
       ++rec.failovers;
@@ -696,6 +718,11 @@ void NotificationEngine::failover_hop_failure(MessageId id,
                             std::move(fresh.path)),
                         /*hop=*/0, /*attempt=*/0, now_s, /*detour=*/true);
       return;
+    }
+    if (fresh.status == overlay::RouteStatus::kUnsupported) {
+      route_avoid_unsupported_counter().add(1);
+    } else {
+      route_avoid_failed_counter().add(1);
     }
   }
   mark_missed(id, subscriber, now_s);

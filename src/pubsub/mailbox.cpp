@@ -171,7 +171,7 @@ std::vector<PeerId> MailboxManager::placement_ranking(
 
   std::vector<Scored> neighborhood;
   std::unordered_set<PeerId> in_neighborhood;
-  for (const PeerId p : overlay_->neighbor_list(subscriber)) {
+  for (const PeerId p : overlay_->neighbors(subscriber)) {
     if (p == subscriber || peer_dead(p)) continue;
     if (!in_neighborhood.insert(p).second) continue;
     neighborhood.push_back({score_of(p), p});
@@ -231,7 +231,7 @@ PeerId MailboxManager::next_replica(Entry& entry) const {
   };
   for (const bool diverse : {true, false}) {
     for (const PeerId p : entry.ranking) {
-      if (used(p) || peer_dead(p) || !overlay_->online(p)) continue;
+      if (used(p) || peer_dead(p) || !overlay_->peer_online(p)) continue;
       if (diverse && domain_conflict(p)) continue;
       return p;
     }
@@ -321,7 +321,7 @@ void MailboxManager::store_arrived(std::size_t entry_idx, std::size_t slot,
   }
   // A dead or offline acceptor never acks: the sender's (lazy) timeout
   // detects it and re-runs the ladder.
-  if (peer_dead(rep.peer) || !overlay_->online(rep.peer)) {
+  if (peer_dead(rep.peer) || !overlay_->peer_online(rep.peer)) {
     const double fail_at = std::max(now_s, send_s + timeout_for(entry, slot,
                                                                 attempt));
     queue_->schedule(fail_at, [this, entry_idx, slot, attempt,

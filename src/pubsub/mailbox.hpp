@@ -54,7 +54,7 @@
 
 #include "net/network_model.hpp"
 #include "obs/memory.hpp"
-#include "overlay/overlay.hpp"
+#include "overlay/routing.hpp"
 #include "runtime/event_engine.hpp"
 
 namespace sel::fault {

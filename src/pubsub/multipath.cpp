@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/rng.hpp"
 #include "obs/provenance.hpp"
@@ -68,18 +67,18 @@ MultipathPlan plan_multipath(const overlay::Overlay& ov,
   const obs::TraceId trace = obs::ProvenanceTracer::global().begin_publish(
       plan_id, publisher, 0.0, obs::TraceKind::kPlan);
   for (const graph::NodeId s : g.neighbors(publisher)) {
-    const overlay::RouteResult primary = ov.greedy_route(publisher, s);
+    const overlay::RouteResult primary = ov.route(publisher, s);
     if (!primary.success) continue;
     SubscriberPaths entry;
     entry.subscriber = s;
     entry.primary = primary.path;
     // Backup avoids every intermediate of the primary (endpoints allowed).
+    // Overlays without route_avoiding report kUnsupported and the entry
+    // stays primary-only — visible in backup_coverage rather than silent.
     if (primary.path.size() > 2) {
-      std::unordered_set<PeerId> avoid(primary.path.begin() + 1,
-                                       primary.path.end() - 1);
-      overlay::RouteOptions opts;
-      opts.avoid = &avoid;
-      const overlay::RouteResult backup = ov.greedy_route(publisher, s, opts);
+      const FlatSet<PeerId> avoid(primary.path.begin() + 1,
+                                  primary.path.end() - 1);
+      const overlay::RouteResult backup = ov.route_avoiding(publisher, s, avoid);
       if (backup.success) entry.backup = backup.path;
     } else {
       // Direct link: the primary has no intermediates to lose; a backup is

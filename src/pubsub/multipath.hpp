@@ -15,8 +15,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/stats.hpp"
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 
 namespace sel::pubsub {
 
@@ -40,7 +41,9 @@ struct MultipathPlan {
 };
 
 /// Computes primary + disjoint backup routes from a publisher to every
-/// subscriber, using the overlay's routing with exclusion sets.
+/// subscriber, using the overlay's routing with exclusion sets. Backup
+/// paths require `route_avoiding`; overlays without that capability get a
+/// primary-only plan (backup_coverage reflects the direct-link cases only).
 [[nodiscard]] MultipathPlan plan_multipath(const overlay::Overlay& ov,
                                            const graph::SocialGraph& g,
                                            overlay::PeerId publisher);

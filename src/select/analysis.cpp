@@ -9,7 +9,7 @@ namespace sel::core {
 
 using overlay::PeerId;
 
-CoverageReport friend_coverage(const overlay::Overlay& ov,
+CoverageReport friend_coverage(const overlay::RingSubstrate& ov,
                                const graph::SocialGraph& g,
                                std::size_t sample_pairs, std::uint64_t seed,
                                const overlay::RouteOptions& opts) {
@@ -61,7 +61,7 @@ CoverageReport friend_coverage(const overlay::Overlay& ov,
   return report;
 }
 
-std::vector<IdCluster> id_clusters(const overlay::Overlay& ov,
+std::vector<IdCluster> id_clusters(const overlay::RingSubstrate& ov,
                                    double gap_threshold) {
   std::vector<double> ids;
   ids.reserve(ov.joined_count());
@@ -104,7 +104,7 @@ std::vector<IdCluster> id_clusters(const overlay::Overlay& ov,
   return clusters;
 }
 
-double ring_social_coherence(const overlay::Overlay& ov,
+double ring_social_coherence(const overlay::RingSubstrate& ov,
                              graph::TieStrengthIndex& tie,
                              std::size_t min_common) {
   const graph::SocialGraph& g = tie.graph();
@@ -124,14 +124,14 @@ double ring_social_coherence(const overlay::Overlay& ov,
                           static_cast<double>(total);
 }
 
-double ring_social_coherence(const overlay::Overlay& ov,
+double ring_social_coherence(const overlay::RingSubstrate& ov,
                              const graph::SocialGraph& g,
                              std::size_t min_common) {
   graph::TieStrengthIndex tie(g);
   return ring_social_coherence(ov, tie, min_common);
 }
 
-double link_strength_lift(const overlay::Overlay& ov,
+double link_strength_lift(const overlay::RingSubstrate& ov,
                           graph::TieStrengthIndex& tie, std::uint64_t seed) {
   const graph::SocialGraph& g = tie.graph();
   double linked_strength = 0.0;
@@ -161,7 +161,7 @@ double link_strength_lift(const overlay::Overlay& ov,
   return linked_strength / random_strength;
 }
 
-double link_strength_lift(const overlay::Overlay& ov,
+double link_strength_lift(const overlay::RingSubstrate& ov,
                           const graph::SocialGraph& g, std::uint64_t seed) {
   graph::TieStrengthIndex tie(g);
   return link_strength_lift(ov, tie, seed);

@@ -1,4 +1,4 @@
-// Overlay introspection / analysis utilities for the SELECT overlay.
+// RingSubstrate introspection / analysis utilities for the SELECT overlay.
 // Used by the Fig. 8 harness, the overlay_explorer example and the tests to
 // quantify what the protocol actually built: friend coverage, identifier
 // clusters, and how well ring regions align with social communities.
@@ -23,7 +23,7 @@ struct CoverageReport {
 /// Routes every (sampled) user->friend pair and buckets by hop count —
 /// the paper's "subscribers are 1 or 2 hops away" claim, quantified.
 [[nodiscard]] CoverageReport friend_coverage(
-    const overlay::Overlay& ov, const graph::SocialGraph& g,
+    const overlay::RingSubstrate& ov, const graph::SocialGraph& g,
     std::size_t sample_pairs, std::uint64_t seed,
     const overlay::RouteOptions& opts = {});
 
@@ -37,21 +37,21 @@ struct IdCluster {
 /// `gap_threshold`. SELECT's reassignment should produce a handful of dense
 /// clusters (social regions) — uniform ids produce ~one giant cluster at
 /// small thresholds or n clusters at large ones.
-[[nodiscard]] std::vector<IdCluster> id_clusters(const overlay::Overlay& ov,
+[[nodiscard]] std::vector<IdCluster> id_clusters(const overlay::RingSubstrate& ov,
                                                  double gap_threshold);
 
 /// Fraction of ring-adjacent peer pairs (successor pairs) that are social
 /// friends or share at least `min_common` common friends — how "social" the
 /// ring order became. On dense graphs use min_common >= 3: a single shared
 /// friend is common even between random peers.
-[[nodiscard]] double ring_social_coherence(const overlay::Overlay& ov,
+[[nodiscard]] double ring_social_coherence(const overlay::RingSubstrate& ov,
                                            graph::TieStrengthIndex& tie,
                                            std::size_t min_common = 3);
 
 /// Convenience overload: builds a throwaway tie-strength index. Prefer the
 /// index overload when calling repeatedly (sweeps, per-round sampling) so
 /// the common-neighbour merges amortize.
-[[nodiscard]] double ring_social_coherence(const overlay::Overlay& ov,
+[[nodiscard]] double ring_social_coherence(const overlay::RingSubstrate& ov,
                                            const graph::SocialGraph& g,
                                            std::size_t min_common = 3);
 
@@ -59,12 +59,12 @@ struct IdCluster {
 /// uniformly random peer pairs. Much greater than 1 when links are social;
 /// note the LSH picker optimizes neighbourhood *coverage*, not strength, so
 /// the lift against random *friend* pairs can legitimately be below 1.
-[[nodiscard]] double link_strength_lift(const overlay::Overlay& ov,
+[[nodiscard]] double link_strength_lift(const overlay::RingSubstrate& ov,
                                         graph::TieStrengthIndex& tie,
                                         std::uint64_t seed);
 
 /// Convenience overload, as for ring_social_coherence.
-[[nodiscard]] double link_strength_lift(const overlay::Overlay& ov,
+[[nodiscard]] double link_strength_lift(const overlay::RingSubstrate& ov,
                                         const graph::SocialGraph& g,
                                         std::uint64_t seed);
 

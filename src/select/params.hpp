@@ -59,6 +59,13 @@ struct SelectParams {
 
   /// Disable the CMA-driven recovery (ablation: always replace dead links).
   bool enable_cma_recovery = true;
+
+  /// Kourtellis-style centrality-weighted link selection: candidate scores
+  /// in the Alg. 6 picker gain `centrality_weight * degree(candidate)`,
+  /// steering long links toward hub peers. 0 (the default) reproduces the
+  /// paper's coverage-only picker; > 0 selects the "select_centrality"
+  /// variant in the comparison matrix.
+  double centrality_weight = 0.0;
 };
 
 }  // namespace sel::core

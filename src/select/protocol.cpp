@@ -61,7 +61,7 @@ obs::Counter& rounds_counter() {
 
 SelectSystem::SelectSystem(const graph::SocialGraph& g, SelectParams params,
                            std::uint64_t seed, const net::NetworkModel* net)
-    : RingBasedSystem(g, overlay::RouteOptions{}),
+    : RingOverlay(g, overlay::RouteOptions{}),
       params_(params),
       seed_(seed),
       k_(params.k_links != 0 ? params.k_links : default_k(g.num_nodes())),
@@ -403,28 +403,21 @@ double SelectSystem::evaluate_position(PeerId p) {
   return std::fabs(step);
 }
 
+double SelectSystem::picker_score(const lsh::LshIndex::Entry& e) const {
+  // Alg. 6 base score: social coverage (bitmap popcount). The Kourtellis
+  // variant additionally weights candidates by degree centrality, steering
+  // long links toward hub peers that shortcut many dissemination paths.
+  double s = static_cast<double>(e.bitmap.count());
+  if (params_.centrality_weight > 0.0) {
+    s += params_.centrality_weight * static_cast<double>(graph_->degree(e.peer));
+  }
+  return s;
+}
+
 PeerId SelectSystem::pick_from_bucket(
     const std::vector<lsh::LshIndex::Entry>& bucket) const {
   SEL_EXPECTS(!bucket.empty());
-  // Alg. 6: sortPeers — by social coverage (bitmap popcount) descending,
-  // peer id as the deterministic tiebreak...
-  std::vector<const lsh::LshIndex::Entry*> sorted;
-  sorted.reserve(bucket.size());
-  for (const auto& e : bucket) sorted.push_back(&e);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto* a, const auto* b) {
-              const auto ca = a->bitmap.count();
-              const auto cb = b->bitmap.count();
-              if (ca != cb) return ca > cb;
-              return a->peer < b->peer;
-            });
-  // ...then prefer the runner-up when it has strictly better bandwidth
-  // (Alg. 6 lines 3-4).
-  if (sorted.size() > 1 &&
-      net_->uplink_bps(sorted[0]->peer) < net_->uplink_bps(sorted[1]->peer)) {
-    return sorted[1]->peer;
-  }
-  return sorted[0]->peer;
+  return rank_bucket(bucket).front();
 }
 
 bool SelectSystem::try_connect(PeerId p, PeerId u) {
@@ -635,23 +628,19 @@ std::vector<PeerId> SelectSystem::rank_bucket(
   std::vector<const lsh::LshIndex::Entry*> sorted;
   sorted.reserve(bucket.size());
   for (const auto& e : bucket) sorted.push_back(&e);
-  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
-    const auto ca = a->bitmap.count();
-    const auto cb = b->bitmap.count();
-    if (ca != cb) return ca > cb;
-    return a->peer < b->peer;
-  });
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const auto* a, const auto* b) {
+              const double ca = picker_score(*a);
+              const double cb = picker_score(*b);
+              if (ca != cb) return ca > cb;
+              return a->peer < b->peer;
+            });
   if (sorted.size() > 1 &&
       net_->uplink_bps(sorted[0]->peer) < net_->uplink_bps(sorted[1]->peer)) {
     std::swap(sorted[0], sorted[1]);
   }
   for (const auto* e : sorted) order.push_back(e->peer);
   return order;
-}
-
-overlay::DisseminationTree SelectSystem::build_tree(PeerId publisher) const {
-  return overlay::subscriber_first_tree(overlay_, subscribers_of(publisher),
-                                        publisher, route_options_);
 }
 
 void SelectSystem::set_peer_online(PeerId p, bool online) {

@@ -16,9 +16,10 @@
 //   5. Recovery (Sec. III-F): CMA availability decides whether a dead link
 //      is kept (transient) or replaced with a same-LSH-bucket peer.
 //
-// The pub/sub layer (Sec. III-E) is the inherited route/tree machinery:
-// direct links and lookahead deliver to friends in 1-2 hops, greedy ring
-// routing covers the rest.
+// The pub/sub layer (Sec. III-E) lives in overlay::PubSubSystem, which
+// composes over this overlay: direct links and lookahead deliver to friends
+// in 1-2 hops, greedy ring routing covers the rest, and the
+// subscriber_first_tree capability selects SELECT's dissemination style.
 #pragma once
 
 #include <optional>
@@ -30,21 +31,33 @@
 #include "lsh/lsh.hpp"
 #include "net/network_model.hpp"
 #include "overlay/lookahead.hpp"
-#include "overlay/system.hpp"
+#include "overlay/routing.hpp"
 #include "select/cma.hpp"
 #include "select/params.hpp"
 #include "sim/growth.hpp"
 
 namespace sel::core {
 
-class SelectSystem final : public overlay::RingBasedSystem {
+class SelectSystem final : public overlay::RingOverlay {
  public:
   /// `net` provides per-peer bandwidth (picker, Alg. 6); when null an
   /// internal model seeded from `seed` is created.
   SelectSystem(const graph::SocialGraph& g, SelectParams params,
                std::uint64_t seed, const net::NetworkModel* net = nullptr);
 
-  [[nodiscard]] std::string_view name() const override { return "select"; }
+  [[nodiscard]] std::string_view name() const override {
+    // The Kourtellis centrality-weighted variant is a distinct system in
+    // the comparison matrix.
+    return params_.centrality_weight > 0.0 ? "select_centrality" : "select";
+  }
+
+  [[nodiscard]] overlay::Capabilities capabilities() const override {
+    overlay::Capabilities c = RingOverlay::capabilities();
+    c.iterative_build = true;
+    c.churn_maintenance = true;
+    c.subscriber_first_tree = true;  // Sec. III-E dissemination
+    return c;
+  }
 
   /// Joins every user per the growth model, then runs topology rounds to
   /// convergence.
@@ -69,12 +82,6 @@ class SelectSystem final : public overlay::RingBasedSystem {
   [[nodiscard]] bool converged() const noexcept {
     return quiet_streak_ >= params_.stable_rounds;
   }
-
-  /// SELECT dissemination (Sec. III-E): subscribers forward to the fellow
-  /// subscribers in their routing table and lookahead set; only subscribers
-  /// the friend-link mesh misses are reached by greedy routing.
-  [[nodiscard]] overlay::DisseminationTree build_tree(
-      overlay::PeerId publisher) const override;
 
   // -- churn ------------------------------------------------------------------
   void set_peer_online(overlay::PeerId p, bool online) override;
@@ -149,6 +156,10 @@ class SelectSystem final : public overlay::RingBasedSystem {
   /// Algs. 5-6: rebuilds p's LSH index and reassigns long links. Returns
   /// the number of link changes made.
   std::size_t create_links(overlay::PeerId p);
+
+  /// Alg. 6 candidate score: social coverage, plus degree-centrality bias
+  /// when params.centrality_weight > 0 (Kourtellis variant).
+  [[nodiscard]] double picker_score(const lsh::LshIndex::Entry& e) const;
 
   /// Alg. 6 picker over bucket candidates (already filtered to usable).
   [[nodiscard]] overlay::PeerId pick_from_bucket(

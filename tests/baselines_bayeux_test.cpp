@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "overlay/system.hpp"
 #include "pubsub/metrics.hpp"
 
 namespace sel::baselines {
@@ -82,12 +83,13 @@ TEST(Bayeux, TreeRoutesThroughRendezvous) {
   const auto g = test_graph(300, 7);
   BayeuxSystem sys(g, BayeuxParams{}, 7);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   const PeerId publisher = 0;
-  const auto tree = sys.build_tree(publisher);
+  const auto tree = ps.build_tree(publisher);
   EXPECT_EQ(tree.root(), publisher);
   const PeerId root = sys.rendezvous_root(publisher);
   EXPECT_TRUE(tree.contains(root));
-  const auto subs = sys.subscribers_of(publisher);
+  const auto subs = ps.subscribers_of(publisher);
   std::size_t covered = 0;
   for (const PeerId s : subs) {
     if (tree.contains(s)) ++covered;
@@ -100,8 +102,9 @@ TEST(Bayeux, RelayHeavyDissemination) {
   const auto g = test_graph(400, 8);
   BayeuxSystem sys(g, BayeuxParams{}, 8);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   std::vector<PeerId> publishers{0, 17, 42, 99, 123};
-  const auto relays = pubsub::measure_relays(sys, publishers);
+  const auto relays = pubsub::measure_relays(ps, publishers);
   EXPECT_GT(relays.relays_per_path.mean(), 1.0);
 }
 

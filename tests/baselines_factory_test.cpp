@@ -27,7 +27,7 @@ TEST(Factory, ListsThePaperComparisonOrder) {
 TEST(Factory, EveryListedNameConstructs) {
   const auto g = small_graph(1);
   for (const auto name : all_system_names()) {
-    auto sys = make_system(name, g, 1);
+    auto sys = make_system(name, g, {.seed = 1});
     ASSERT_NE(sys, nullptr);
     EXPECT_EQ(sys->name(), name);
     EXPECT_EQ(&sys->social(), &g);
@@ -36,16 +36,16 @@ TEST(Factory, EveryListedNameConstructs) {
 
 TEST(Factory, RandomControlConstructs) {
   const auto g = small_graph(2);
-  auto sys = make_system("random", g, 2);
+  auto sys = make_system("random", g, {.seed = 2});
   ASSERT_NE(sys, nullptr);
   EXPECT_EQ(sys->name(), "random");
 }
 
 TEST(Factory, KOverridePropagates) {
   const auto g = small_graph(3);
-  auto sys = make_system("symphony", g, 3, 4);
+  auto sys = make_system("symphony", g, {.seed = 3, .k_links = 4});
   sys->build();
-  const auto* symphony = dynamic_cast<const SymphonySystem*>(sys.get());
+  const auto* symphony = dynamic_cast<const SymphonySystem*>(&sys->overlay());
   ASSERT_NE(symphony, nullptr);
   for (overlay::PeerId p = 0; p < g.num_nodes(); ++p) {
     EXPECT_LE(symphony->overlay().out_degree(p), 4u);
@@ -55,15 +55,15 @@ TEST(Factory, KOverridePropagates) {
 TEST(Factory, SelectUsesProvidedNetworkModel) {
   const auto g = small_graph(4);
   net::NetworkModel net(g.num_nodes(), 99);
-  auto sys = make_system("select", g, 4, 0, &net);
+  auto sys = make_system("select", g, {.seed = 4, .net = &net});
   sys->build();  // must not crash; bandwidth decisions read `net`
   EXPECT_EQ(sys->name(), "select");
 }
 
 TEST(Factory, SeparateInstancesAreIndependent) {
   const auto g = small_graph(5);
-  auto a = make_system("select", g, 5);
-  auto b = make_system("select", g, 5);
+  auto a = make_system("select", g, {.seed = 5});
+  auto b = make_system("select", g, {.seed = 5});
   a->build();
   b->build();
   a->set_peer_online(0, false);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "overlay/system.hpp"
 #include "pubsub/metrics.hpp"
 
 namespace sel::baselines {
@@ -59,8 +60,9 @@ TEST(Omen, LowRelayDissemination) {
   const auto g = test_graph(400, 5);
   OmenSystem sys(g, OmenParams{}, 5);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   std::vector<PeerId> publishers{0, 13, 77, 200};
-  const auto relays = pubsub::measure_relays(sys, publishers);
+  const auto relays = pubsub::measure_relays(ps, publishers);
   EXPECT_GT(relays.coverage.mean(), 0.95);
   EXPECT_LT(relays.relays_per_path.mean(), 1.5);
 }

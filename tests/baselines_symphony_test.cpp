@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "overlay/system.hpp"
 #include "pubsub/metrics.hpp"
 
 namespace sel::baselines {
@@ -58,7 +59,8 @@ TEST(Symphony, AllLookupsSucceed) {
   const auto g = test_graph(512, 5);
   SymphonySystem sys(g, SymphonyParams{}, 5);
   sys.build();
-  const auto hops = pubsub::measure_hops(sys, 300, 5);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 300, 5);
   EXPECT_DOUBLE_EQ(hops.success_rate(), 1.0);
 }
 
@@ -70,8 +72,10 @@ TEST(Symphony, HopsGrowWithNetworkSize) {
   const auto big_g = test_graph(4096, 6);
   SymphonySystem big_sys(big_g, SymphonyParams{}, 6);
   big_sys.build();
-  const double small_hops = pubsub::measure_hops(small_sys, 200, 6).hops.mean();
-  const double big_hops = pubsub::measure_hops(big_sys, 200, 6).hops.mean();
+  const overlay::PubSubSystem small_ps(small_sys);
+  const overlay::PubSubSystem big_ps(big_sys);
+  const double small_hops = pubsub::measure_hops(small_ps, 200, 6).hops.mean();
+  const double big_hops = pubsub::measure_hops(big_ps, 200, 6).hops.mean();
   EXPECT_GT(big_hops, small_hops);
 }
 
@@ -91,8 +95,9 @@ TEST(Symphony, TreesReachSubscribers) {
   const auto g = test_graph(512, 8);
   SymphonySystem sys(g, SymphonyParams{}, 8);
   sys.build();
-  const auto tree = sys.build_tree(0);
-  const auto subs = sys.subscribers_of(0);
+  const overlay::PubSubSystem ps(sys);
+  const auto tree = ps.build_tree(0);
+  const auto subs = ps.subscribers_of(0);
   std::size_t covered = 0;
   for (const PeerId s : subs) {
     if (tree.contains(s)) ++covered;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "overlay/system.hpp"
 #include "pubsub/metrics.hpp"
 
 namespace sel::baselines {
@@ -26,7 +27,8 @@ TEST(Vitis, AllLookupsSucceed) {
   const auto g = test_graph(400, 2);
   VitisSystem sys(g, VitisParams{}, 2);
   sys.build();
-  const auto hops = pubsub::measure_hops(sys, 300, 2);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 300, 2);
   EXPECT_DOUBLE_EQ(hops.success_rate(), 1.0);
 }
 
@@ -96,8 +98,9 @@ TEST(Vitis, TreesCoverSubscribers) {
   const auto g = test_graph(400, 7);
   VitisSystem sys(g, VitisParams{}, 7);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   std::vector<PeerId> publishers{0, 31, 99};
-  const auto relays = pubsub::measure_relays(sys, publishers);
+  const auto relays = pubsub::measure_relays(ps, publishers);
   EXPECT_GT(relays.coverage.mean(), 0.95);
 }
 

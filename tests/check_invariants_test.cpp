@@ -32,12 +32,12 @@
 namespace sel::check {
 namespace {
 
-using overlay::Overlay;
+using overlay::RingSubstrate;
 using overlay::PeerId;
 using testing::Corruptor;
 
-Overlay ring_overlay(std::size_t n) {
-  Overlay ov(n);
+RingSubstrate ring_overlay(std::size_t n) {
+  RingSubstrate ov(n);
   for (PeerId p = 0; p < n; ++p) {
     ov.join(p, net::OverlayId(static_cast<double>(p) / static_cast<double>(n)));
   }
@@ -304,7 +304,8 @@ TEST(CheckFullIntegration, BuildAndPublishHoldAllInvariants) {
   net::NetworkModel net(g.num_nodes(), 7);
   core::SelectSystem sys(g, core::SelectParams{}, 7, &net);
   sys.build();  // protocol rounds: id steps, LSH bounds, link symmetry, ring
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   engine.publish(0, 0.0);
   engine.run_all();  // tree validation + delivery accounting
 

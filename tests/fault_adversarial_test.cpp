@@ -162,6 +162,7 @@ class AdversarialSoakTest : public ::testing::Test {
     sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
                                                 net_.get());
     sys_->build();
+    ps_ = std::make_unique<overlay::PubSubSystem>(*sys_);
   }
 
   static fault::FaultSpec adversarial_spec() {
@@ -203,20 +204,20 @@ class AdversarialSoakTest : public ::testing::Test {
     rebuild_system();
     const auto spec = adversarial_spec();
     fault::FaultPlan plan(spec, seed, g_.num_nodes());
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     engine.set_fault_plan(&plan);
     RetryPolicy policy;
     policy.enabled = true;
     policy.ack_timeout_s = 2.0;
     engine.set_retry_policy(policy);
     engine.set_multipath_planner(
-        [this](PeerId b) { return plan_multipath(sys_->overlay(), g_, b); });
+        [this](PeerId b) { return plan_multipath(*sys_, g_, b); });
     engine.set_availability_observer([this](PeerId p, bool responsive) {
       sys_->observe_availability(p, responsive);
     });
     MailboxPolicy mpolicy;
     mpolicy.ack_timeout_s = 2.0;
-    MailboxManager mailbox(engine.event_engine(), sys_->overlay(), *net_,
+    MailboxManager mailbox(engine.event_engine(), *sys_, *net_,
                            mpolicy, seed);
     if (with_mailbox) {
       mailbox.set_fault_plan(&plan);
@@ -280,7 +281,7 @@ class AdversarialSoakTest : public ::testing::Test {
             engine.publish(pub, t0 + static_cast<double>(m));
         ids.push_back(id);
         auto& wset = wanted_sets[id];
-        for (const PeerId s : sys_->subscribers_of(pub)) {
+        for (const PeerId s : ps_->subscribers_of(pub)) {
           if (sys_->peer_online(s)) wset.push_back(s);
         }
       }
@@ -345,6 +346,7 @@ class AdversarialSoakTest : public ::testing::Test {
   graph::SocialGraph g_;
   std::unique_ptr<net::NetworkModel> net_;
   std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<overlay::PubSubSystem> ps_;
 };
 
 TEST_F(AdversarialSoakTest, MailboxTierMeetsTheDurabilityBar) {

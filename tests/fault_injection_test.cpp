@@ -119,6 +119,7 @@ class FaultEngineTest : public ::testing::Test {
     sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
                                                 net_.get());
     sys_->build();
+    ps_ = std::make_unique<overlay::PubSubSystem>(*sys_);
   }
 
   void TearDown() override {
@@ -168,7 +169,7 @@ class FaultEngineTest : public ::testing::Test {
                       bool reliable_on) {
     all_online();
     fault::FaultPlan plan(spec, seed, g_.num_nodes());
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     engine.set_fault_plan(&plan);
     RetryPolicy policy;  // enabled = false: the control configuration
     // Notification payloads are tiny; a tight ack timeout keeps the whole
@@ -179,7 +180,7 @@ class FaultEngineTest : public ::testing::Test {
       policy.enabled = true;
       engine.set_retry_policy(policy);
       engine.set_multipath_planner([this](PeerId b) {
-        return plan_multipath(sys_->overlay(), g_, b);
+        return plan_multipath(*sys_, g_, b);
       });
       engine.set_availability_observer([this](PeerId p, bool responsive) {
         sys_->observe_availability(p, responsive);
@@ -257,6 +258,7 @@ class FaultEngineTest : public ::testing::Test {
   graph::SocialGraph g_;
   std::unique_ptr<net::NetworkModel> net_;
   std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<overlay::PubSubSystem> ps_;
 };
 
 TEST_F(FaultEngineTest, ReliableSoakMeetsDeliveryBarAndReplaysEverything) {
@@ -331,14 +333,14 @@ TEST_F(FaultEngineTest, CrashedRelaySubtreeFailsOverToBackupRoutes) {
   fault::FaultSpec spec;
   spec.crash = 0.02;  // heavy crash pressure to force failovers
   fault::FaultPlan plan(spec, 9, g_.num_nodes());
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   engine.set_fault_plan(&plan);
   RetryPolicy policy;
   policy.enabled = true;
   policy.max_attempts = 2;  // give up fast so failover actually triggers
   engine.set_retry_policy(policy);
   engine.set_multipath_planner([this](PeerId b) {
-    return plan_multipath(sys_->overlay(), g_, b);
+    return plan_multipath(*sys_, g_, b);
   });
   std::vector<MessageId> ids;
   for (PeerId p = 0; p < 30; ++p) {
@@ -364,12 +366,12 @@ TEST_F(FaultEngineTest, OfflineSubscribersAreReplayedOnReturn) {
   // No faults at all — pure store-and-forward: subscribers offline at
   // publish time get the message on return, exactly once, as replays
   // (never double-counted as deliveries).
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   RetryPolicy policy;
   policy.enabled = true;
   policy.max_attempts = 2;
   engine.set_retry_policy(policy);
-  const auto subs = sys_->subscribers_of(0);
+  const auto subs = ps_->subscribers_of(0);
   ASSERT_GE(subs.size(), 3u);
   std::vector<PeerId> away(subs.begin(), subs.end());
   std::sort(away.begin(), away.end());
@@ -401,7 +403,7 @@ TEST_F(FaultEngineTest, RetryHopsAreRecordedInProvenance) {
   fault::FaultSpec spec;
   spec.drop = 0.2;  // plenty of retries
   fault::FaultPlan plan(spec, 3, g_.num_nodes());
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   engine.set_fault_plan(&plan);
   RetryPolicy policy;
   policy.enabled = true;
@@ -422,7 +424,7 @@ TEST_F(FaultEngineTest, NonReliableEngineIsUnchangedByReliabilityCode) {
   // Without a fault plan or retry policy the engine must behave exactly as
   // the perfect-transfer implementation: full delivery, no reliability
   // counters moving.
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   ASSERT_FALSE(engine.reliable());
   const auto id = engine.publish(0, 0.0);
   engine.run_all();

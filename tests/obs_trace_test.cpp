@@ -111,7 +111,8 @@ TEST_F(TracingTest, EngineProvenanceMatchesDisseminationTree) {
   net::NetworkModel net(g.num_nodes(), 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5, &net);
   sys.build();
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
 
   constexpr PeerId kPublisher = 0;
   const auto id = engine.publish(kPublisher, 0.0);
@@ -119,8 +120,8 @@ TEST_F(TracingTest, EngineProvenanceMatchesDisseminationTree) {
   const auto& rec = engine.record(id);
   ASSERT_NE(rec.trace, 0u);
 
-  const auto tree = sys.build_tree(kPublisher);
-  const auto subs = sys.subscribers_of(kPublisher);
+  const auto tree = ps.build_tree(kPublisher);
+  const auto subs = ps.subscribers_of(kPublisher);
 
   const auto snap = ProvenanceTracer::global().snapshot();
   std::vector<HopRecord> hops;
@@ -231,7 +232,8 @@ TEST_F(TracingTest, PerfettoExportIsWellFormed) {
   net::NetworkModel net(g.num_nodes(), 11);
   core::SelectSystem sys(g, core::SelectParams{}, 11, &net);
   sys.build();
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   engine.publish(0, 0.0);
   engine.publish(1, 0.1);
   engine.run_all();

@@ -9,8 +9,8 @@
 namespace sel::overlay {
 namespace {
 
-Overlay ring_of(std::size_t n) {
-  Overlay ov(n);
+RingSubstrate ring_of(std::size_t n) {
+  RingSubstrate ov(n);
   for (PeerId p = 0; p < n; ++p) {
     ov.join(p, net::OverlayId(static_cast<double>(p) / static_cast<double>(n)));
   }
@@ -19,7 +19,7 @@ Overlay ring_of(std::size_t n) {
 }
 
 TEST(LookaheadCache, StartsUnknown) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   LookaheadCache cache(ov);
   EXPECT_EQ(cache.num_snapshots(), 0u);
   EXPECT_FALSE(cache.has_snapshot(0));
@@ -27,7 +27,7 @@ TEST(LookaheadCache, StartsUnknown) {
 }
 
 TEST(LookaheadCache, RefreshSnapshotsNeighbors) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   ov.add_long_link(0, 4);
   LookaheadCache cache(ov);
   cache.refresh(0);
@@ -39,7 +39,7 @@ TEST(LookaheadCache, RefreshSnapshotsNeighbors) {
 }
 
 TEST(LookaheadCache, SnapshotsGoStale) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   ov.add_long_link(0, 4);
   LookaheadCache cache(ov);
   cache.refresh(0);
@@ -56,14 +56,14 @@ TEST(LookaheadCache, SnapshotsGoStale) {
 }
 
 TEST(LookaheadCache, RefreshAllCoversEveryPeer) {
-  Overlay ov = ring_of(16);
+  RingSubstrate ov = ring_of(16);
   LookaheadCache cache(ov);
   cache.refresh_all();
   EXPECT_EQ(cache.num_snapshots(), 16u);
 }
 
 TEST(LookaheadCache, CachedRoutingUsesSnapshot) {
-  Overlay ov = ring_of(64);
+  RingSubstrate ov = ring_of(64);
   ov.add_long_link(63, 32);
   LookaheadCache cache(ov);
   cache.refresh_all();
@@ -75,7 +75,7 @@ TEST(LookaheadCache, CachedRoutingUsesSnapshot) {
 }
 
 TEST(LookaheadCache, StaleShortcutDegradesGracefully) {
-  Overlay ov = ring_of(64);
+  RingSubstrate ov = ring_of(64);
   ov.add_long_link(63, 32);
   LookaheadCache cache(ov);
   cache.refresh_all();
@@ -90,7 +90,7 @@ TEST(LookaheadCache, StaleShortcutDegradesGracefully) {
 }
 
 TEST(LookaheadCache, EmptyCacheFallsBackToGreedy) {
-  Overlay ov = ring_of(32);
+  RingSubstrate ov = ring_of(32);
   LookaheadCache cache(ov);  // never refreshed
   RouteOptions opts;
   opts.lookahead_cache = &cache;
@@ -113,7 +113,8 @@ TEST(SelectLookahead, RoutingStaysReliableWithCachedLookahead) {
       graph::profile_by_name("facebook"), 400, 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5);
   sys.build();
-  const auto hops = pubsub::measure_hops(sys, 300, 5);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 300, 5);
   EXPECT_DOUBLE_EQ(hops.success_rate(), 1.0);
   EXPECT_LT(hops.hops.mean(), 3.0);
 }

@@ -5,8 +5,8 @@
 namespace sel::overlay {
 namespace {
 
-Overlay ring_of(std::size_t n) {
-  Overlay ov(n);
+RingSubstrate ring_of(std::size_t n) {
+  RingSubstrate ov(n);
   for (PeerId p = 0; p < n; ++p) {
     ov.join(p, net::OverlayId(static_cast<double>(p) / static_cast<double>(n)));
   }
@@ -15,7 +15,7 @@ Overlay ring_of(std::size_t n) {
 }
 
 TEST(GreedyRoute, SelfRouteIsZeroHops) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   const auto r = ov.greedy_route(3, 3);
   EXPECT_TRUE(r.success);
   EXPECT_EQ(r.hops(), 0u);
@@ -23,14 +23,14 @@ TEST(GreedyRoute, SelfRouteIsZeroHops) {
 }
 
 TEST(GreedyRoute, AdjacentPeerIsOneHop) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   const auto r = ov.greedy_route(3, 4);
   EXPECT_TRUE(r.success);
   EXPECT_EQ(r.hops(), 1u);
 }
 
 TEST(GreedyRoute, RingWalkReachesAnyPeer) {
-  Overlay ov = ring_of(16);
+  RingSubstrate ov = ring_of(16);
   for (PeerId dst = 0; dst < 16; ++dst) {
     const auto r = ov.greedy_route(0, dst);
     EXPECT_TRUE(r.success) << "dst=" << dst;
@@ -40,7 +40,7 @@ TEST(GreedyRoute, RingWalkReachesAnyPeer) {
 }
 
 TEST(GreedyRoute, TakesShorterArcDirection) {
-  Overlay ov = ring_of(16);
+  RingSubstrate ov = ring_of(16);
   // 0 -> 15 is one hop counterclockwise (pred), not 15 hops clockwise.
   const auto r = ov.greedy_route(0, 15);
   EXPECT_TRUE(r.success);
@@ -48,9 +48,9 @@ TEST(GreedyRoute, TakesShorterArcDirection) {
 }
 
 TEST(GreedyRoute, LongLinksShortenPaths) {
-  Overlay plain = ring_of(64);
+  RingSubstrate plain = ring_of(64);
   const auto slow = plain.greedy_route(0, 32);
-  Overlay fast = ring_of(64);
+  RingSubstrate fast = ring_of(64);
   fast.add_long_link(0, 30);
   const auto quick = fast.greedy_route(0, 32);
   EXPECT_TRUE(slow.success);
@@ -59,7 +59,7 @@ TEST(GreedyRoute, LongLinksShortenPaths) {
 }
 
 TEST(GreedyRoute, LookaheadFindsTwoHopShortcut) {
-  Overlay ov = ring_of(64);
+  RingSubstrate ov = ring_of(64);
   // The shortcut holder (63) lies AWAY from the greedy direction toward 32,
   // so only lookahead discovers it.
   ov.add_long_link(63, 32);
@@ -72,7 +72,7 @@ TEST(GreedyRoute, LookaheadFindsTwoHopShortcut) {
 }
 
 TEST(GreedyRoute, NoLookaheadIsSlower) {
-  Overlay ov = ring_of(64);
+  RingSubstrate ov = ring_of(64);
   ov.add_long_link(63, 32);
   RouteOptions without;
   without.lookahead = false;
@@ -82,7 +82,7 @@ TEST(GreedyRoute, NoLookaheadIsSlower) {
 }
 
 TEST(GreedyRoute, SkipsOfflinePeers) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   ov.add_long_link(0, 4);
   ov.set_online(4, false);
   // Target 4 offline: route fails (destination unusable).
@@ -91,7 +91,7 @@ TEST(GreedyRoute, SkipsOfflinePeers) {
 }
 
 TEST(GreedyRoute, RoutesAroundOfflineRelay) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   ov.set_online(1, false);
   ov.set_online(7, false);
   // Both ring directions from 0 are blocked at the first hop... except
@@ -106,7 +106,7 @@ TEST(GreedyRoute, RoutesAroundOfflineRelay) {
 }
 
 TEST(GreedyRoute, OfflineRouteIgnoredWhenNotRequired) {
-  Overlay ov = ring_of(8);
+  RingSubstrate ov = ring_of(8);
   ov.set_online(1, false);
   RouteOptions opts;
   opts.require_online = false;
@@ -115,7 +115,7 @@ TEST(GreedyRoute, OfflineRouteIgnoredWhenNotRequired) {
 }
 
 TEST(GreedyRoute, TtlBoundsPathLength) {
-  Overlay ov = ring_of(128);
+  RingSubstrate ov = ring_of(128);
   RouteOptions opts;
   opts.max_hops = 3;
   const auto r = ov.greedy_route(0, 64, opts);
@@ -124,7 +124,7 @@ TEST(GreedyRoute, TtlBoundsPathLength) {
 }
 
 TEST(GreedyRoute, UnjoinedEndpointsFail) {
-  Overlay ov(4);
+  RingSubstrate ov(4);
   ov.join(0, net::OverlayId(0.0));
   ov.rebuild_ring();
   EXPECT_FALSE(ov.greedy_route(0, 2).success);
@@ -134,7 +134,7 @@ TEST(GreedyRoute, UnjoinedEndpointsFail) {
 TEST(GreedyRoute, ClusteredIdsStillRoute) {
   // All peers share nearly identical ids (SELECT's clustered communities);
   // the clockwise tiebreak must still find the target.
-  Overlay ov(10);
+  RingSubstrate ov(10);
   for (PeerId p = 0; p < 10; ++p) {
     ov.join(p, net::OverlayId(0.5 + 1e-9 * static_cast<double>(p)));
   }
@@ -145,7 +145,7 @@ TEST(GreedyRoute, ClusteredIdsStillRoute) {
 }
 
 TEST(GreedyRoute, PathHasNoDuplicates) {
-  Overlay ov = ring_of(64);
+  RingSubstrate ov = ring_of(64);
   Rng rng(5);
   for (int i = 0; i < 50; ++i) {
     const auto a = static_cast<PeerId>(rng.below(64));
@@ -159,7 +159,7 @@ TEST(GreedyRoute, PathHasNoDuplicates) {
 }
 
 TEST(GreedyRoute, ConsecutivePathNodesAreNeighbors) {
-  Overlay ov = ring_of(32);
+  RingSubstrate ov = ring_of(32);
   ov.add_long_link(0, 11);
   ov.add_long_link(11, 22);
   const auto r = ov.greedy_route(0, 22);

@@ -10,8 +10,8 @@
 namespace sel::overlay {
 namespace {
 
-Overlay sample_overlay() {
-  Overlay ov(6);
+RingSubstrate sample_overlay() {
+  RingSubstrate ov(6);
   ov.join(0, net::OverlayId(0.1));
   ov.join(1, net::OverlayId(0.3));
   ov.join(3, net::OverlayId(0.7));  // 2 never joins
@@ -24,7 +24,7 @@ Overlay sample_overlay() {
 }
 
 TEST(OverlaySerialize, RoundTripPreservesEverything) {
-  const Overlay original = sample_overlay();
+  const RingSubstrate original = sample_overlay();
   std::stringstream buffer;
   ASSERT_TRUE(save_overlay(original, buffer));
   const auto loaded = load_overlay(buffer);
@@ -79,7 +79,7 @@ TEST(OverlaySerialize, RejectsTruncated) {
 }
 
 TEST(OverlaySerialize, EmptyOverlayRoundTrips) {
-  Overlay ov(0);
+  RingSubstrate ov(0);
   std::stringstream buffer;
   ASSERT_TRUE(save_overlay(ov, buffer));
   const auto loaded = load_overlay(buffer);
@@ -89,7 +89,7 @@ TEST(OverlaySerialize, EmptyOverlayRoundTrips) {
 
 TEST(OverlaySerialize, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/select_overlay_test.ov";
-  const Overlay original = sample_overlay();
+  const RingSubstrate original = sample_overlay();
   ASSERT_TRUE(save_overlay_file(original, path));
   const auto loaded = load_overlay_file(path);
   ASSERT_TRUE(loaded.has_value());

@@ -7,8 +7,8 @@
 namespace sel::overlay {
 namespace {
 
-Overlay ring_of(std::size_t n) {
-  Overlay ov(n);
+RingSubstrate ring_of(std::size_t n) {
+  RingSubstrate ov(n);
   for (PeerId p = 0; p < n; ++p) {
     ov.join(p, net::OverlayId(static_cast<double>(p) / static_cast<double>(n)));
   }
@@ -16,8 +16,8 @@ Overlay ring_of(std::size_t n) {
   return ov;
 }
 
-TEST(Overlay, JoinTracksCountAndState) {
-  Overlay ov(5);
+TEST(RingSubstrate, JoinTracksCountAndState) {
+  RingSubstrate ov(5);
   EXPECT_EQ(ov.joined_count(), 0u);
   ov.join(2, net::OverlayId(0.5));
   EXPECT_TRUE(ov.joined(2));
@@ -29,16 +29,16 @@ TEST(Overlay, JoinTracksCountAndState) {
   EXPECT_DOUBLE_EQ(ov.id(2).value(), 0.6);
 }
 
-TEST(Overlay, OnlineFlagToggles) {
-  Overlay ov(3);
+TEST(RingSubstrate, OnlineFlagToggles) {
+  RingSubstrate ov(3);
   ov.join(0, net::OverlayId(0.1));
   EXPECT_TRUE(ov.online(0));
   ov.set_online(0, false);
   EXPECT_FALSE(ov.online(0));
 }
 
-TEST(Overlay, RingFollowsIdOrder) {
-  Overlay ov(4);
+TEST(RingSubstrate, RingFollowsIdOrder) {
+  RingSubstrate ov(4);
   ov.join(0, net::OverlayId(0.8));
   ov.join(1, net::OverlayId(0.2));
   ov.join(2, net::OverlayId(0.5));
@@ -53,16 +53,16 @@ TEST(Overlay, RingFollowsIdOrder) {
   EXPECT_EQ(ov.predecessor(3), 0u);
 }
 
-TEST(Overlay, RingWithSinglePeer) {
-  Overlay ov(3);
+TEST(RingSubstrate, RingWithSinglePeer) {
+  RingSubstrate ov(3);
   ov.join(1, net::OverlayId(0.4));
   ov.rebuild_ring();
   EXPECT_EQ(ov.successor(1), kInvalidPeer);
   EXPECT_EQ(ov.predecessor(1), kInvalidPeer);
 }
 
-TEST(Overlay, OnlineOnlyRingSkipsOffline) {
-  Overlay ov = ring_of(5);
+TEST(RingSubstrate, OnlineOnlyRingSkipsOffline) {
+  RingSubstrate ov = ring_of(5);
   ov.set_online(2, false);
   ov.rebuild_ring(/*online_only=*/true);
   EXPECT_EQ(ov.successor(1), 3u);  // skips 2
@@ -71,8 +71,8 @@ TEST(Overlay, OnlineOnlyRingSkipsOffline) {
   EXPECT_EQ(ov.predecessor(2), kInvalidPeer);
 }
 
-TEST(Overlay, EqualIdsBreakTiesByPeer) {
-  Overlay ov(3);
+TEST(RingSubstrate, EqualIdsBreakTiesByPeer) {
+  RingSubstrate ov(3);
   ov.join(0, net::OverlayId(0.5));
   ov.join(1, net::OverlayId(0.5));
   ov.join(2, net::OverlayId(0.5));
@@ -82,8 +82,8 @@ TEST(Overlay, EqualIdsBreakTiesByPeer) {
   EXPECT_EQ(ov.successor(2), 0u);
 }
 
-TEST(Overlay, AddLongLinkMaintainsBothDirections) {
-  Overlay ov = ring_of(4);
+TEST(RingSubstrate, AddLongLinkMaintainsBothDirections) {
+  RingSubstrate ov = ring_of(4);
   EXPECT_TRUE(ov.add_long_link(0, 2));
   EXPECT_EQ(ov.out_degree(0), 1u);
   EXPECT_EQ(ov.in_degree(2), 1u);
@@ -91,22 +91,22 @@ TEST(Overlay, AddLongLinkMaintainsBothDirections) {
   EXPECT_TRUE(ov.linked(2, 0));  // TCP is bidirectional
 }
 
-TEST(Overlay, AddLongLinkRejectsDuplicatesAndSelf) {
-  Overlay ov = ring_of(4);
+TEST(RingSubstrate, AddLongLinkRejectsDuplicatesAndSelf) {
+  RingSubstrate ov = ring_of(4);
   EXPECT_TRUE(ov.add_long_link(0, 2));
   EXPECT_FALSE(ov.add_long_link(0, 2));
   EXPECT_FALSE(ov.add_long_link(1, 1));
 }
 
-TEST(Overlay, AddLongLinkRequiresJoinedEnds) {
-  Overlay ov(4);
+TEST(RingSubstrate, AddLongLinkRequiresJoinedEnds) {
+  RingSubstrate ov(4);
   ov.join(0, net::OverlayId(0.1));
   EXPECT_FALSE(ov.add_long_link(0, 1));  // 1 not joined
   EXPECT_FALSE(ov.add_long_link(1, 0));
 }
 
-TEST(Overlay, RemoveLongLinkCleansBothSides) {
-  Overlay ov = ring_of(4);
+TEST(RingSubstrate, RemoveLongLinkCleansBothSides) {
+  RingSubstrate ov = ring_of(4);
   ov.add_long_link(0, 2);
   EXPECT_TRUE(ov.remove_long_link(0, 2));
   EXPECT_EQ(ov.out_degree(0), 0u);
@@ -114,8 +114,8 @@ TEST(Overlay, RemoveLongLinkCleansBothSides) {
   EXPECT_FALSE(ov.remove_long_link(0, 2));  // already gone
 }
 
-TEST(Overlay, ClearLongLinksDropsBothDirections) {
-  Overlay ov = ring_of(5);
+TEST(RingSubstrate, ClearLongLinksDropsBothDirections) {
+  RingSubstrate ov = ring_of(5);
   ov.add_long_link(0, 2);
   ov.add_long_link(0, 3);
   ov.add_long_link(4, 0);
@@ -126,8 +126,8 @@ TEST(Overlay, ClearLongLinksDropsBothDirections) {
   EXPECT_EQ(ov.in_degree(2), 0u);
 }
 
-TEST(Overlay, NeighborListDeduplicatesAndIncludesRing) {
-  Overlay ov = ring_of(5);
+TEST(RingSubstrate, NeighborListDeduplicatesAndIncludesRing) {
+  RingSubstrate ov = ring_of(5);
   ov.add_long_link(0, 1);  // 1 is also succ of 0
   ov.add_long_link(0, 3);
   ov.add_long_link(2, 0);  // incoming
@@ -140,8 +140,8 @@ TEST(Overlay, NeighborListDeduplicatesAndIncludesRing) {
   EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 2u), nbrs.end());
 }
 
-TEST(Overlay, NeighborsOfContainsChecksRingAndLinks) {
-  Overlay ov = ring_of(6);
+TEST(RingSubstrate, NeighborsOfContainsChecksRingAndLinks) {
+  RingSubstrate ov = ring_of(6);
   EXPECT_TRUE(ov.neighbors_of_contains(0, 1));   // succ
   EXPECT_TRUE(ov.neighbors_of_contains(0, 5));   // pred
   EXPECT_FALSE(ov.neighbors_of_contains(0, 3));
@@ -149,17 +149,17 @@ TEST(Overlay, NeighborsOfContainsChecksRingAndLinks) {
   EXPECT_TRUE(ov.neighbors_of_contains(0, 3));  // incoming counts
 }
 
-TEST(Overlay, AverageLongDegree) {
-  Overlay ov = ring_of(4);
+TEST(RingSubstrate, AverageLongDegree) {
+  RingSubstrate ov = ring_of(4);
   ov.add_long_link(0, 2);
   ov.add_long_link(1, 3);
   EXPECT_DOUBLE_EQ(ov.average_long_degree(), 0.5);
 }
 
-TEST(Overlay, InOutLinkSymmetryInvariant) {
+TEST(RingSubstrate, InOutLinkSymmetryInvariant) {
   // After arbitrary add/remove sequences, out-links and in-links remain
   // mirror images.
-  Overlay ov = ring_of(10);
+  RingSubstrate ov = ring_of(10);
   Rng rng(3);
   for (int i = 0; i < 500; ++i) {
     const auto a = static_cast<PeerId>(rng.below(10));

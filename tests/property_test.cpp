@@ -6,6 +6,7 @@
 
 #include "baselines/factory.hpp"
 #include "graph/profiles.hpp"
+#include "overlay/system.hpp"
 #include "pubsub/metrics.hpp"
 #include "select/protocol.hpp"
 
@@ -56,7 +57,7 @@ TEST_P(SelectInvariants, LinkSymmetryHolds) {
 }
 
 TEST_P(SelectInvariants, AllSocialLookupsDeliver) {
-  const auto hops = pubsub::measure_hops(*sys_, 150, 99);
+  const auto hops = pubsub::measure_hops(overlay::PubSubSystem(*sys_), 150, 99);
   EXPECT_DOUBLE_EQ(hops.success_rate(), 1.0);
   EXPECT_LT(hops.hops.mean(), 4.0);
 }
@@ -67,7 +68,7 @@ TEST_P(SelectInvariants, TreesCoverSubscribers) {
     publishers.push_back(
         static_cast<PeerId>(i * 41 % graph_.num_nodes()));
   }
-  const auto relays = pubsub::measure_relays(*sys_, publishers);
+  const auto relays = pubsub::measure_relays(overlay::PubSubSystem(*sys_), publishers);
   EXPECT_GT(relays.coverage.mean(), 0.98);
 }
 
@@ -105,7 +106,7 @@ TEST_P(BaselineInvariants, BuildRouteAndChurnHooks) {
   const auto& [name, seed] = GetParam();
   const auto g = graph::make_dataset_graph(
       graph::profile_by_name("facebook"), 300, seed);
-  auto sys = baselines::make_system(name, g, seed);
+  auto sys = baselines::make_system(name, g, {.seed = seed});
   sys->build();
   const auto hops = pubsub::measure_hops(*sys, 100, seed);
   EXPECT_GT(hops.success_rate(), 0.9) << name;

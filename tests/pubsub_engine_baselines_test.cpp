@@ -18,7 +18,7 @@ TEST_P(EngineOverSystem, DeliversThroughAnySystem) {
   const auto g = graph::make_dataset_graph(
       graph::profile_by_name("facebook"), 250, 41);
   net::NetworkModel net(g.num_nodes(), 41);
-  auto sys = baselines::make_system(GetParam(), g, 41, 0, &net);
+  auto sys = baselines::make_system(GetParam(), g, {.seed = 41, .net = &net});
   sys->build();
   NotificationEngine engine(*sys, net);
   for (PeerId p = 0; p < 5; ++p) engine.publish(p, 0.0);
@@ -38,7 +38,7 @@ TEST(EngineComparison, SelectGeneratesLessRelayTrafficThanBayeux) {
       graph::profile_by_name("facebook"), 300, 43);
   net::NetworkModel net(g.num_nodes(), 43);
   auto run = [&](const char* name) {
-    auto sys = baselines::make_system(name, g, 43, 0, &net);
+    auto sys = baselines::make_system(name, g, {.seed = 43, .net = &net});
     sys->build();
     NotificationEngine engine(*sys, net);
     for (PeerId p = 0; p < 10; ++p) engine.publish(p * 7, 0.0);
@@ -55,7 +55,7 @@ TEST(EngineComparison, SelectCompletesTreesFasterThanRandom) {
       graph::profile_by_name("facebook"), 250, 47);
   net::NetworkModel net(g.num_nodes(), 47);
   auto completion = [&](const char* name) {
-    auto sys = baselines::make_system(name, g, 47, 0, &net);
+    auto sys = baselines::make_system(name, g, {.seed = 47, .net = &net});
     sys->build();
     NotificationEngine engine(*sys, net);
     RunningStats done;

@@ -19,7 +19,8 @@ TEST(EngineChurn, ServiceSurvivesChurnEpochs) {
   net::NetworkModel net(g.num_nodes(), 31);
   core::SelectSystem sys(g, core::SelectParams{}, 31, &net);
   sys.build();
-  NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  NotificationEngine engine(ps, net);
 
   sim::SessionChurn::Params churn_params;
   churn_params.session_median_s = 1200.0;
@@ -60,7 +61,8 @@ TEST(EngineChurn, InvalidationPicksUpRepairedTrees) {
   net::NetworkModel net(g.num_nodes(), 33);
   core::SelectSystem sys(g, core::SelectParams{}, 33, &net);
   sys.build();
-  NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  NotificationEngine engine(ps, net);
 
   const PeerId publisher = 0;
   const auto first = engine.publish(publisher, 0.0);
@@ -88,7 +90,8 @@ TEST(EngineChurn, RepublishAfterChurnIsCacheMissWithValidRebuiltTree) {
   net::NetworkModel net(g.num_nodes(), 35);
   core::SelectSystem sys(g, core::SelectParams{}, 35, &net);
   sys.build();
-  NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  NotificationEngine engine(ps, net);
 
   const PeerId publisher = 0;
   engine.publish(publisher, 0.0);
@@ -101,7 +104,7 @@ TEST(EngineChurn, RepublishAfterChurnIsCacheMissWithValidRebuiltTree) {
   // invalidation would reuse a tree containing offline peers. After
   // invalidate_trees() the publish must be a cache miss and the rebuilt
   // tree must deliver to every currently-wanted subscriber.
-  const auto subs = sys.subscribers_of(publisher);
+  const auto subs = ps.subscribers_of(publisher);
   ASSERT_GE(subs.size(), 2u);
   std::vector<PeerId> victims(subs.begin(), subs.end());
   std::sort(victims.begin(), victims.end());

@@ -19,12 +19,14 @@ class EngineTest : public ::testing::Test {
     sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
                                                 net_.get());
     sys_->build();
-    engine_ = std::make_unique<NotificationEngine>(*sys_, *net_);
+    ps_ = std::make_unique<overlay::PubSubSystem>(*sys_);
+    engine_ = std::make_unique<NotificationEngine>(*ps_, *net_);
   }
 
   graph::SocialGraph g_;
   std::unique_ptr<net::NetworkModel> net_;
   std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<overlay::PubSubSystem> ps_;
   std::unique_ptr<NotificationEngine> engine_;
 };
 
@@ -48,7 +50,7 @@ TEST_F(EngineTest, LatencyIsPositiveAndOrdered) {
 TEST_F(EngineTest, MatchesStaticLatencyMetric) {
   // The event-driven engine and the one-shot analytic metric walk the same
   // tree with the same transfer model, so per-subscriber latencies agree.
-  const auto metrics = measure_latency(*sys_, *net_, {7});
+  const auto metrics = measure_latency(*ps_, *net_, {7});
   const auto id = engine_->publish(7, 0.0);
   engine_->run_all();
   const auto& rec = engine_->record(id);
@@ -93,7 +95,7 @@ TEST_F(EngineTest, TreeCacheHitsOnRepeatPublisher) {
 }
 
 TEST_F(EngineTest, OfflineSubscribersAreNotWanted) {
-  const auto subs = sys_->subscribers_of(0);
+  const auto subs = ps_->subscribers_of(0);
   ASSERT_FALSE(subs.empty());
   const PeerId victim = *subs.begin();
   sys_->set_peer_online(victim, false);

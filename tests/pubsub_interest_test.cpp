@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/profiles.hpp"
+#include "overlay/system.hpp"
 #include "select/protocol.hpp"
 
 namespace sel::pubsub {
@@ -54,18 +55,19 @@ TEST(InterestModel, FiltersSubscriberSets) {
       graph::profile_by_name("facebook"), 300, 3);
   core::SelectSystem sys(g, core::SelectParams{}, 3);
   sys.build();
-  const auto full = sys.subscribers_of(0);
+  overlay::PubSubSystem ps(sys);
+  const auto full = ps.subscribers_of(0);
   InterestModel m(0.5, 17);
-  sys.set_interest_function(&m);
-  const auto filtered = sys.subscribers_of(0);
+  ps.set_interest_function(&m);
+  const auto filtered = ps.subscribers_of(0);
   EXPECT_LT(filtered.size(), full.size());
   EXPECT_GT(filtered.size(), 0u);
   for (const PeerId s : filtered) {
     EXPECT_TRUE(full.contains(s));
     EXPECT_TRUE(m.interested(s, 0));
   }
-  sys.set_interest_function(nullptr);
-  EXPECT_EQ(sys.subscribers_of(0).size(), full.size());
+  ps.set_interest_function(nullptr);
+  EXPECT_EQ(ps.subscribers_of(0).size(), full.size());
 }
 
 TEST(InterestModel, TreesOnlyTargetInterestedSubscribers) {
@@ -73,10 +75,11 @@ TEST(InterestModel, TreesOnlyTargetInterestedSubscribers) {
       graph::profile_by_name("facebook"), 300, 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5);
   sys.build();
+  overlay::PubSubSystem ps(sys);
   InterestModel m(0.4, 19);
-  sys.set_interest_function(&m);
-  const auto subs = sys.subscribers_of(7);
-  const auto tree = sys.build_tree(7);
+  ps.set_interest_function(&m);
+  const auto subs = ps.subscribers_of(7);
+  const auto tree = ps.build_tree(7);
   std::size_t covered = 0;
   for (const PeerId s : subs) {
     if (tree.contains(s)) ++covered;

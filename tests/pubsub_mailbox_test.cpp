@@ -32,6 +32,7 @@ class MailboxTest : public ::testing::Test {
     sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
                                                 net_.get());
     sys_->build();
+    ps_ = std::make_unique<overlay::PubSubSystem>(*sys_);
   }
 
   void TearDown() override {
@@ -41,12 +42,13 @@ class MailboxTest : public ::testing::Test {
   graph::SocialGraph g_;
   std::unique_ptr<net::NetworkModel> net_;
   std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<overlay::PubSubSystem> ps_;
 };
 
 TEST_F(MailboxTest, PlacementIsDeterministicAndExcludesSubscriber) {
   runtime::EventEngine q;
-  const MailboxManager a(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
-  const MailboxManager b(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  const MailboxManager a(q, *sys_, *net_, MailboxPolicy{}, 42);
+  const MailboxManager b(q, *sys_, *net_, MailboxPolicy{}, 42);
   const PeerId sub = 7;
   const auto ra = a.placement_ranking(sub);
   const auto rb = b.placement_ranking(sub);
@@ -55,13 +57,13 @@ TEST_F(MailboxTest, PlacementIsDeterministicAndExcludesSubscriber) {
   EXPECT_EQ(std::find(ra.begin(), ra.end(), sub), ra.end());
 
   // A different seed draws a different ranking.
-  const MailboxManager c(q, sys_->overlay(), *net_, MailboxPolicy{}, 43);
+  const MailboxManager c(q, *sys_, *net_, MailboxPolicy{}, 43);
   EXPECT_NE(c.placement_ranking(sub), ra);
 }
 
 TEST_F(MailboxTest, PlacementFavorsHighAvailabilityPeers) {
   runtime::EventEngine q;
-  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  MailboxManager mb(q, *sys_, *net_, MailboxPolicy{}, 42);
   const PeerId sub = 7;
   const auto neighbors = sys_->overlay().neighbor_list(sub);
   ASSERT_GE(neighbors.size(), 2u);
@@ -79,7 +81,7 @@ TEST_F(MailboxTest, PlacementFavorsHighAvailabilityPeers) {
 TEST_F(MailboxTest, ReplicateReachesQuorumAndReplaysOnce) {
   const check::ScopedLevel full(check::Level::kFull);
   runtime::EventEngine q;
-  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  MailboxManager mb(q, *sys_, *net_, MailboxPolicy{}, 42);
   const PeerId sub = 7;
   const PeerId source = 0;
   mb.replicate(1, sub, source, 0.0);
@@ -110,7 +112,7 @@ TEST_F(MailboxTest, ReplicateReachesQuorumAndReplaysOnce) {
 
 TEST_F(MailboxTest, PrimaryDeliverySupersedesTheMailboxCopy) {
   runtime::EventEngine q;
-  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  MailboxManager mb(q, *sys_, *net_, MailboxPolicy{}, 42);
   mb.replicate(1, 7, 0, 0.0);
   q.run();
   mb.on_delivered(1, 7);
@@ -127,7 +129,7 @@ TEST_F(MailboxTest, PlacementAvoidsTheSubscribersFailureDomainSiblings) {
   fault::FaultPlan plan(spec, 42, g_.num_nodes());
   ASSERT_GT(plan.num_domains(), 1u);
   runtime::EventEngine q;
-  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 42);
+  MailboxManager mb(q, *sys_, *net_, MailboxPolicy{}, 42);
   mb.set_fault_plan(&plan);
   const PeerId sub = 7;
   const PeerId source = 0;
@@ -150,14 +152,14 @@ TEST_F(MailboxTest, PlacementAvoidsTheSubscribersFailureDomainSiblings) {
 
 TEST_F(MailboxTest, ReplayCapEvictsOldestButMailboxStillRecovers) {
   const check::ScopedLevel full(check::Level::kFull);
-  const auto subs = sys_->subscribers_of(0);
+  const auto subs = ps_->subscribers_of(0);
   ASSERT_GE(subs.size(), 3u);
   std::vector<PeerId> away(subs.begin(), subs.end());
   away.resize(3);
 
   // Control: cap 2, no mailbox — the oldest queued entry is simply lost.
   {
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     RetryPolicy policy;
     policy.enabled = true;
     policy.replay_cap = 2;
@@ -177,12 +179,12 @@ TEST_F(MailboxTest, ReplayCapEvictsOldestButMailboxStillRecovers) {
   // With the durability tier armed the evicted entry survives as mailbox
   // replicas and is served back on return.
   {
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     RetryPolicy policy;
     policy.enabled = true;
     policy.replay_cap = 2;
     engine.set_retry_policy(policy);
-    MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+    MailboxManager mb(engine.event_engine(), *sys_, *net_,
                       MailboxPolicy{}, 42);
     engine.set_mailbox(&mb);
     for (const PeerId s : away) sys_->set_peer_online(s, false);
@@ -212,14 +214,14 @@ TEST_F(MailboxTest, PublisherCrashThenReplicaCrashStillDelivers) {
   // quorum replicas plus anti-entropy handoff.
   const check::ScopedLevel full(check::Level::kFull);
   fault::FaultPlan plan(fault::FaultSpec{}, 7, g_.num_nodes());
-  const auto subs = sys_->subscribers_of(0);
+  const auto subs = ps_->subscribers_of(0);
   ASSERT_GE(subs.size(), 2u);
   const PeerId away_a = *subs.begin();
   const PeerId away_b = *std::next(subs.begin());
 
   // Control: no mailbox — the crash loses both queued messages for good.
   {
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     engine.set_fault_plan(&plan);
     RetryPolicy policy;
     policy.enabled = true;
@@ -238,12 +240,12 @@ TEST_F(MailboxTest, PublisherCrashThenReplicaCrashStillDelivers) {
   }
 
   plan.reset();
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   engine.set_fault_plan(&plan);
   RetryPolicy policy;
   policy.enabled = true;
   engine.set_retry_policy(policy);
-  MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+  MailboxManager mb(engine.event_engine(), *sys_, *net_,
                     MailboxPolicy{}, 7);
   mb.set_fault_plan(&plan);
   mb.set_availability_fn([this](PeerId p) { return sys_->cma_of(p); });
@@ -294,7 +296,7 @@ TEST_F(MailboxTest, ToleratesMinorityByzantineAcceptors) {
   spec.byzantine = 0.3;
   fault::FaultPlan plan(spec, 11, g_.num_nodes());
   runtime::EventEngine q;
-  MailboxManager mb(q, sys_->overlay(), *net_, MailboxPolicy{}, 11);
+  MailboxManager mb(q, *sys_, *net_, MailboxPolicy{}, 11);
   mb.set_fault_plan(&plan);
 
   const PeerId source = 0;
@@ -337,15 +339,15 @@ TEST_F(MailboxTest, LateCopyBeatsReplayWithoutDoubleDelivery) {
   // back before the copy arrives, the copy delivers first — replay must
   // then be a no-op on both tiers, with the dedup checks enforced.
   const check::ScopedLevel full(check::Level::kFull);
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   RetryPolicy policy;
   policy.enabled = true;
   engine.set_retry_policy(policy);
-  MailboxManager mb(engine.event_engine(), sys_->overlay(), *net_,
+  MailboxManager mb(engine.event_engine(), *sys_, *net_,
                     MailboxPolicy{}, 42);
   engine.set_mailbox(&mb);
 
-  const auto subs = sys_->subscribers_of(0);
+  const auto subs = ps_->subscribers_of(0);
   ASSERT_FALSE(subs.empty());
   const PeerId racer = *subs.begin();
 

@@ -13,9 +13,10 @@ using overlay::DisseminationTree;
 using overlay::PeerId;
 using overlay::RouteResult;
 
-/// Hand-wired system for metric verification: a line social graph
-/// 0-1-2-...-(n-1) whose "overlay" routes along the line.
-class LineSystem final : public overlay::PubSubSystem {
+/// Hand-wired overlay for metric verification: a line social graph
+/// 0-1-2-...-(n-1) whose "overlay" routes along the line. The dissemination
+/// layer composes over it exactly as over any registered overlay.
+class LineSystem final : public overlay::Overlay {
  public:
   explicit LineSystem(std::size_t n) {
     graph::GraphBuilder b(n);
@@ -42,7 +43,15 @@ class LineSystem final : public overlay::PubSubSystem {
       r.path.push_back(cur);
     }
     r.success = true;
+    r.status = overlay::RouteStatus::kOk;
     return r;
+  }
+
+  [[nodiscard]] std::vector<PeerId> neighbors(PeerId p) const override {
+    std::vector<PeerId> out;
+    if (p > 0) out.push_back(p - 1);
+    if (p + 1 < graph_.num_nodes()) out.push_back(p + 1);
+    return out;
   }
 
   void set_peer_online(PeerId p, bool online) override {
@@ -59,7 +68,8 @@ class LineSystem final : public overlay::PubSubSystem {
 
 TEST(MeasureHops, LineNeighborsAreOneHop) {
   LineSystem sys(20);
-  const auto metrics = measure_hops(sys, 200, 1);
+  const overlay::PubSubSystem ps(sys);
+  const auto metrics = measure_hops(ps, 200, 1);
   EXPECT_EQ(metrics.attempted, 200u);
   EXPECT_EQ(metrics.delivered, 200u);
   // Social lookups on a line go to direct neighbours: exactly 1 hop.
@@ -68,14 +78,16 @@ TEST(MeasureHops, LineNeighborsAreOneHop) {
 
 TEST(MeasureHops, EmptyGraphYieldsNothing) {
   LineSystem sys(0);
-  const auto metrics = measure_hops(sys, 50, 1);
+  const overlay::PubSubSystem ps(sys);
+  const auto metrics = measure_hops(ps, 50, 1);
   EXPECT_EQ(metrics.attempted, 0u);
   EXPECT_DOUBLE_EQ(metrics.success_rate(), 0.0);
 }
 
 TEST(MeasureRelays, LineTreesHaveNoRelays) {
   LineSystem sys(10);
-  const auto metrics = measure_relays(sys, {5});
+  const overlay::PubSubSystem ps(sys);
+  const auto metrics = measure_relays(ps, {5});
   // Publisher 5's subscribers are 4 and 6, both direct: zero relays.
   EXPECT_DOUBLE_EQ(metrics.relays_per_path.mean(), 0.0);
   EXPECT_DOUBLE_EQ(metrics.coverage.mean(), 1.0);
@@ -83,15 +95,17 @@ TEST(MeasureRelays, LineTreesHaveNoRelays) {
 
 TEST(MeasureRelays, EndpointPublisher) {
   LineSystem sys(4);
-  const auto metrics = measure_relays(sys, {0});
+  const overlay::PubSubSystem ps(sys);
+  const auto metrics = measure_relays(ps, {0});
   EXPECT_DOUBLE_EQ(metrics.coverage.mean(), 1.0);
 }
 
 TEST(MeasureLoad, DecileSharesSumToHundred) {
   LineSystem sys(40);
+  const overlay::PubSubSystem ps(sys);
   std::vector<PeerId> publishers;
   for (PeerId p = 0; p < 40; p += 3) publishers.push_back(p);
-  const auto metrics = measure_load(sys, publishers);
+  const auto metrics = measure_load(ps, publishers);
   const double total = std::accumulate(
       metrics.share_by_degree_decile.begin(),
       metrics.share_by_degree_decile.end(), 0.0);
@@ -102,7 +116,8 @@ TEST(MeasureLoad, DecileSharesSumToHundred) {
 
 TEST(MeasureLoad, RelayShareZeroOnLine) {
   LineSystem sys(10);
-  const auto metrics = measure_load(sys, {5});
+  const overlay::PubSubSystem ps(sys);
+  const auto metrics = measure_load(ps, {5});
   // Tree = 4<-5->6; the forwarding peer (5) is the publisher; children do
   // not forward. No non-subscriber forwards anything.
   EXPECT_DOUBLE_EQ(metrics.relay_forward_share, 0.0);
@@ -111,8 +126,9 @@ TEST(MeasureLoad, RelayShareZeroOnLine) {
 
 TEST(MeasureLatency, ArrivalTimesAccumulateAlongTree) {
   LineSystem sys(6);
+  const overlay::PubSubSystem ps(sys);
   net::NetworkModel net(6, 42);
-  const auto metrics = measure_latency(sys, net, {0}, 1.2e6);
+  const auto metrics = measure_latency(ps, net, {0}, 1.2e6);
   // Subscriber of 0 is only peer 1: one delivery.
   EXPECT_EQ(metrics.per_subscriber_s.count(), 1u);
   EXPECT_GT(metrics.per_subscriber_s.mean(), 0.0);
@@ -125,24 +141,27 @@ TEST(MeasureLatency, DeeperSubscribersArriveLater) {
   // subscriber 1 (depth 1). Compare per-tree latency with a longer chain by
   // checking monotonicity of arrival along one path.
   LineSystem sys(5);
+  const overlay::PubSubSystem ps(sys);
   net::NetworkModel net(5, 7);
-  const auto one = measure_latency(sys, net, {2}, 1.2e6);
+  const auto one = measure_latency(ps, net, {2}, 1.2e6);
   EXPECT_EQ(one.per_subscriber_s.count(), 2u);
   EXPECT_GE(one.per_subscriber_s.max(), one.per_subscriber_s.min());
 }
 
 TEST(MeasureAvailability, FullWhenEveryoneOnline) {
   LineSystem sys(12);
+  const overlay::PubSubSystem ps(sys);
   std::vector<PeerId> publishers{3, 6};
-  const auto metrics = measure_availability(sys, publishers);
+  const auto metrics = measure_availability(ps, publishers);
   EXPECT_DOUBLE_EQ(metrics.availability(), 1.0);
   EXPECT_EQ(metrics.wanted, 4u);  // two publishers x two neighbours
 }
 
 TEST(MeasureAvailability, OfflineSubscribersExcluded) {
   LineSystem sys(12);
+  const overlay::PubSubSystem ps(sys);
   sys.set_peer_online(4, false);
-  const auto metrics = measure_availability(sys, {3});
+  const auto metrics = measure_availability(ps, {3});
   // Subscribers of 3 are {2, 4}; 4 is offline and not wanted.
   EXPECT_EQ(metrics.wanted, 1u);
   EXPECT_DOUBLE_EQ(metrics.availability(), 1.0);
@@ -150,12 +169,13 @@ TEST(MeasureAvailability, OfflineSubscribersExcluded) {
 
 TEST(MeasureAvailability, BlockedRelayLowersAvailability) {
   LineSystem sys(12);
+  const overlay::PubSubSystem ps(sys);
   sys.set_peer_online(5, false);
   // Publisher 4's subscribers: 3 (fine) and 5 (offline, excluded). But
   // publisher 6's subscriber 5 excluded, 7 fine. Use a publisher whose
   // route crosses the hole: none on a line; instead verify offline
   // publisher contributes nothing.
-  const auto metrics = measure_availability(sys, {5});
+  const auto metrics = measure_availability(ps, {5});
   EXPECT_EQ(metrics.wanted, 0u);
   EXPECT_DOUBLE_EQ(metrics.availability(), 1.0);
 }

@@ -37,6 +37,7 @@ class ModeEquivalenceTest : public ::testing::Test {
     sys_ = std::make_unique<core::SelectSystem>(g_, core::SelectParams{}, 5,
                                                 net_.get());
     sys_->build();
+    ps_ = std::make_unique<overlay::PubSubSystem>(*sys_);
   }
 
   struct Outcome {
@@ -52,7 +53,7 @@ class ModeEquivalenceTest : public ::testing::Test {
   Outcome run(runtime::Options opts, const fault::FaultSpec& spec,
               std::uint64_t seed) {
     std::unique_ptr<fault::FaultPlan> plan;
-    NotificationEngine engine(*sys_, *net_);
+    NotificationEngine engine(*ps_, *net_);
     engine.set_runtime_options(opts);
     if (spec.any()) {
       plan = std::make_unique<fault::FaultPlan>(spec, seed, g_.num_nodes());
@@ -62,7 +63,7 @@ class ModeEquivalenceTest : public ::testing::Test {
       policy.ack_timeout_s = 2.0;
       engine.set_retry_policy(policy);
       engine.set_multipath_planner([this](PeerId b) {
-        return plan_multipath(sys_->overlay(), g_, b);
+        return plan_multipath(*sys_, g_, b);
       });
     }
     std::vector<MessageId> ids;
@@ -106,6 +107,7 @@ class ModeEquivalenceTest : public ::testing::Test {
   graph::SocialGraph g_;
   std::unique_ptr<net::NetworkModel> net_;
   std::unique_ptr<core::SelectSystem> sys_;
+  std::unique_ptr<overlay::PubSubSystem> ps_;
 };
 
 TEST_F(ModeEquivalenceTest, PerfectPlaneDeliversIdenticallyInBothModes) {
@@ -118,7 +120,7 @@ TEST_F(ModeEquivalenceTest, PerfectPlaneDeliversIdenticallyInBothModes) {
 }
 
 TEST_F(ModeEquivalenceTest, SuperstepArrivalsLandOnRoundBarriers) {
-  NotificationEngine engine(*sys_, *net_);
+  NotificationEngine engine(*ps_, *net_);
   const double round_s = 0.5;
   engine.set_runtime_options(superstep_opts(round_s));
   const auto id = engine.publish(0, 0.0);
@@ -131,7 +133,7 @@ TEST_F(ModeEquivalenceTest, SuperstepArrivalsLandOnRoundBarriers) {
       << "completion time " << *rec.completed_at_s
       << " is not on a round barrier";
   // Quantization can only delay: the async run completes no later.
-  NotificationEngine async_engine(*sys_, *net_);
+  NotificationEngine async_engine(*ps_, *net_);
   const auto async_id = async_engine.publish(0, 0.0);
   async_engine.run_all();
   EXPECT_LE(*async_engine.record(async_id).completed_at_s,

@@ -87,7 +87,8 @@ TEST(SocketTransport, TwoProcessDisseminationDeliversEndToEnd) {
   net::NetworkModel net(g.num_nodes(), 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5, &net);
   sys.build();
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   SocketTransport transport(engine.event_engine(), net, shards,
                             engine.runtime_options());
   engine.set_transport(&transport);
@@ -123,10 +124,11 @@ TEST(SocketTransport, ChaosRunMatchesInProcBackendBitForBit) {
   net::NetworkModel net(g.num_nodes(), 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5, &net);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
 
   const auto run = [&](bool socket_backend) {
     fault::FaultPlan plan(spec, kSeed, g.num_nodes());
-    pubsub::NotificationEngine engine(sys, net);
+    pubsub::NotificationEngine engine(ps, net);
     engine.set_fault_plan(&plan);
     pubsub::RetryPolicy policy;
     policy.enabled = true;
@@ -189,18 +191,19 @@ TEST(SocketTransport, LateCopyBeatsReplayAcrossShards) {
   net::NetworkModel net(g.num_nodes(), 5);
   core::SelectSystem sys(g, core::SelectParams{}, 5, &net);
   sys.build();
-  pubsub::NotificationEngine engine(sys, net);
+  const overlay::PubSubSystem ps(sys);
+  pubsub::NotificationEngine engine(ps, net);
   pubsub::RetryPolicy policy;
   policy.enabled = true;
   engine.set_retry_policy(policy);
   SocketTransport transport(engine.event_engine(), net, shards,
                             engine.runtime_options());
   engine.set_transport(&transport);
-  pubsub::MailboxManager mailbox(engine.event_engine(), sys.overlay(), net,
+  pubsub::MailboxManager mailbox(engine.event_engine(), sys, net,
                                  pubsub::MailboxPolicy{}, 11);
   engine.set_mailbox(&mailbox);
 
-  const auto subs = sys.subscribers_of(0);
+  const auto subs = ps.subscribers_of(0);
   ASSERT_FALSE(subs.empty());
   const PeerId racer = *subs.begin();
 

@@ -73,7 +73,7 @@ TEST_F(AnalysisTest, LinkStrengthLiftAboveOne) {
 }
 
 TEST(IdClusters, UniformIdsGiveManyClustersAtTinyThreshold) {
-  overlay::Overlay ov(64);
+  overlay::RingSubstrate ov(64);
   for (PeerId p = 0; p < 64; ++p) {
     ov.join(p, net::OverlayId(static_cast<double>(p) / 64.0));
   }
@@ -85,7 +85,7 @@ TEST(IdClusters, UniformIdsGiveManyClustersAtTinyThreshold) {
 }
 
 TEST(IdClusters, EmptyOverlay) {
-  overlay::Overlay ov(4);
+  overlay::RingSubstrate ov(4);
   EXPECT_TRUE(id_clusters(ov, 0.1).empty());
 }
 

@@ -39,7 +39,8 @@ TEST_P(SelectParamSweep, BuildsRoutesAndRespectsBudgets) {
     ASSERT_LE(sys.overlay().out_degree(p), k);
     ASSERT_LE(sys.overlay().in_degree(p), k);
   }
-  const auto hops = pubsub::measure_hops(sys, 150, 77);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 150, 77);
   EXPECT_GT(hops.success_rate(), 0.98);
   EXPECT_LT(hops.hops.mean(), 5.0);
 }
@@ -76,7 +77,8 @@ TEST(SelectSmallWorlds, TinyNetworksWork) {
         graph::profile_by_name("slashdot"), n, 79);
     SelectSystem sys(g, SelectParams{}, 79);
     sys.build();
-    const auto hops = pubsub::measure_hops(sys, 50, 79);
+    const overlay::PubSubSystem ps(sys);
+    const auto hops = pubsub::measure_hops(ps, 50, 79);
     EXPECT_GT(hops.success_rate(), 0.9) << "n=" << n;
   }
 }
@@ -113,8 +115,9 @@ TEST(SelectSmallWorlds, DisconnectedGraphStillServesComponents) {
   const auto g = b.build();
   SelectSystem sys(g, SelectParams{}, 82);
   sys.build();
-  const auto tree = sys.build_tree(0);
-  const auto subs = sys.subscribers_of(0);
+  const overlay::PubSubSystem ps(sys);
+  const auto tree = ps.build_tree(0);
+  const auto subs = ps.subscribers_of(0);
   for (const PeerId s : subs) {
     EXPECT_TRUE(tree.contains(s)) << s;
   }

@@ -170,7 +170,8 @@ TEST(SelectRouting, SocialLookupsSucceedWithFewHops) {
   const auto g = fb_graph(500, 10);
   SelectSystem sys(g, SelectParams{}, 10);
   sys.build();
-  const auto hops = pubsub::measure_hops(sys, 300, 10);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 300, 10);
   EXPECT_DOUBLE_EQ(hops.success_rate(), 1.0);
   EXPECT_LT(hops.hops.mean(), 3.0);  // paper: friends 1-2 hops away
 }
@@ -181,7 +182,8 @@ TEST(SelectTree, CoversSubscribersWithFewRelays) {
   sys.build();
   std::vector<PeerId> publishers;
   for (PeerId p = 0; p < 25; ++p) publishers.push_back(p * 17 % 500);
-  const auto relays = pubsub::measure_relays(sys, publishers);
+  const overlay::PubSubSystem ps(sys);
+  const auto relays = pubsub::measure_relays(ps, publishers);
   EXPECT_GT(relays.coverage.mean(), 0.99);
   EXPECT_LT(relays.relays_per_path.mean(), 0.5);
 }
@@ -217,7 +219,8 @@ TEST(SelectAblation, RandomLinksStillBuildUsableOverlay) {
   no_lsh.enable_lsh_selection = false;
   SelectSystem sys(g, no_lsh, 13);
   sys.build();
-  const auto hops = pubsub::measure_hops(sys, 200, 13);
+  const overlay::PubSubSystem ps(sys);
+  const auto hops = pubsub::measure_hops(ps, 200, 13);
   EXPECT_GT(hops.success_rate(), 0.95);
 }
 
@@ -246,12 +249,13 @@ TEST(SelectRouteOptions, TreeRespectsOfflineSubscribers) {
   const auto g = fb_graph(300, 15);
   SelectSystem sys(g, SelectParams{}, 15);
   sys.build();
+  const overlay::PubSubSystem ps(sys);
   const PeerId publisher = 0;
-  const auto subs = sys.subscribers_of(publisher);
+  const auto subs = ps.subscribers_of(publisher);
   ASSERT_FALSE(subs.empty());
   const PeerId victim = *subs.begin();
   sys.set_peer_online(victim, false);
-  const auto tree = sys.build_tree(publisher);
+  const auto tree = ps.build_tree(publisher);
   EXPECT_FALSE(tree.contains(victim));
 }
 

@@ -130,7 +130,7 @@ TEST_F(SelectRecoveryTest, AvailabilityStaysHighUnderChurn) {
       sys_->set_peer_online(p, churn.online(p));
     }
     sys_->maintenance_round();
-    const auto avail = pubsub::measure_availability(*sys_, publishers);
+    const auto avail = pubsub::measure_availability(overlay::PubSubSystem(*sys_), publishers);
     EXPECT_GT(avail.availability(), 0.98)
         << "epoch " << epoch << " online=" << churn.online_fraction();
   }
